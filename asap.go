@@ -1,0 +1,176 @@
+package asap
+
+import (
+	"errors"
+
+	"github.com/asap-go/asap/internal/core"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// Strategy selects the window-search algorithm. The default, ASAP, is the
+// paper's contribution; the others are the comparison strategies from its
+// evaluation and are exposed for benchmarking and ablation.
+type Strategy int
+
+// Available strategies.
+const (
+	// ASAP searches autocorrelation peaks with pruning, then refines with
+	// binary search (Algorithm 2).
+	ASAP Strategy = iota
+	// Exhaustive tries every candidate window.
+	Exhaustive
+	// Grid2 tries every second window.
+	Grid2
+	// Grid10 tries every tenth window.
+	Grid10
+	// Binary bisects on the kurtosis constraint.
+	Binary
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string { return coreStrategy(s).String() }
+
+func coreStrategy(s Strategy) core.Strategy {
+	switch s {
+	case Exhaustive:
+		return core.StrategyExhaustive
+	case Grid2:
+		return core.StrategyGrid2
+	case Grid10:
+		return core.StrategyGrid10
+	case Binary:
+		return core.StrategyBinary
+	default:
+		return core.StrategyASAP
+	}
+}
+
+// config carries the resolved options for Smooth.
+type config struct {
+	resolution int
+	strategy   Strategy
+	maxWindow  int
+	seedWindow int
+}
+
+// Option customizes Smooth.
+type Option func(*config) error
+
+// WithResolution sets the target display width in pixels; ASAP will
+// pre-aggregate the series so its search space is bounded by the display,
+// not the data (Section 4.4 of the paper). Zero disables preaggregation.
+func WithResolution(pixels int) Option {
+	return func(c *config) error {
+		if pixels < 0 {
+			return errors.New("asap: negative resolution")
+		}
+		c.resolution = pixels
+		return nil
+	}
+}
+
+// WithStrategy overrides the search strategy (default ASAP).
+func WithStrategy(s Strategy) Option {
+	return func(c *config) error {
+		if s < ASAP || s > Binary {
+			return errors.New("asap: unknown strategy")
+		}
+		c.strategy = s
+		return nil
+	}
+}
+
+// WithMaxWindow bounds the candidate windows on the (pre-aggregated)
+// series. Zero picks the paper's default of one tenth of the series
+// length.
+func WithMaxWindow(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return errors.New("asap: negative max window")
+		}
+		c.maxWindow = w
+		return nil
+	}
+}
+
+// WithSeedWindow supplies a previously chosen window; if it still
+// satisfies the kurtosis constraint it becomes the search's starting
+// incumbent, pruning most of the space (the streaming fast path).
+func WithSeedWindow(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return errors.New("asap: negative seed window")
+		}
+		c.seedWindow = w
+		return nil
+	}
+}
+
+// Result is the outcome of a batch Smooth call.
+type Result struct {
+	// Values is the smoothed series: the simple moving average of the
+	// (pre-aggregated) input with the chosen window.
+	Values []float64
+	// Window is the chosen SMA window, in pre-aggregated points. Window 1
+	// means ASAP decided the series should not be smoothed (e.g. it
+	// contains a few extreme outliers that averaging would erase).
+	Window int
+	// Ratio is the pixel-aware preaggregation ratio applied before the
+	// search (1 when preaggregation was disabled or unnecessary).
+	Ratio int
+	// Roughness and Kurtosis describe Values.
+	Roughness float64
+	Kurtosis  float64
+	// OriginalRoughness and OriginalKurtosis describe the series the
+	// search ran on (after preaggregation).
+	OriginalRoughness float64
+	OriginalKurtosis  float64
+	// CandidatesTried is the number of windows the search actually
+	// smoothed and measured.
+	CandidatesTried int
+}
+
+// Smooth selects and applies the ASAP smoothing window for values.
+// The input is not modified. It returns an error for inputs shorter than
+// four points or invalid options.
+func Smooth(values []float64, opts ...Option) (*Result, error) {
+	var c config
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.Smooth(values, core.SmoothOptions{
+		Resolution: c.resolution,
+		Strategy:   coreStrategy(c.strategy),
+		MaxWindow:  c.maxWindow,
+		SeedWindow: c.seedWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Values:            res.Smoothed,
+		Window:            res.Window,
+		Ratio:             res.Ratio,
+		Roughness:         res.Roughness,
+		Kurtosis:          res.Kurtosis,
+		OriginalRoughness: res.OriginalRoughness,
+		OriginalKurtosis:  res.OriginalKurtosis,
+		CandidatesTried:   res.Candidates,
+	}, nil
+}
+
+// Roughness returns the paper's roughness measure for a series: the
+// standard deviation of consecutive differences. Lower is smoother; a
+// straight line scores exactly 0.
+func Roughness(values []float64) float64 { return stats.Roughness(values) }
+
+// Kurtosis returns the fourth standardized moment of the values, the
+// paper's trend-preservation measure. Higher kurtosis means deviations
+// are concentrated in rarer, more extreme excursions.
+func Kurtosis(values []float64) float64 { return stats.Kurtosis(values) }
+
+// ZScores returns the series normalized to zero mean and unit variance,
+// the presentation form used in the paper's plots.
+func ZScores(values []float64) []float64 { return stats.ZScores(values) }

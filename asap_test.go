@@ -1,0 +1,228 @@
+package asap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func taxiLike(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		daily := math.Sin(2 * math.Pi * float64(i) / 48)
+		weekly := 0.3 * math.Sin(2*math.Pi*float64(i)/336)
+		xs[i] = 100 + 30*daily + 10*weekly + 5*rng.NormFloat64()
+	}
+	// Sustained dip.
+	for i := 7 * n / 10; i < 8*n/10; i++ {
+		xs[i] *= 0.75
+	}
+	return xs
+}
+
+func TestSmoothDefault(t *testing.T) {
+	xs := taxiLike(3600, 1)
+	res, err := Smooth(xs, WithResolution(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window < 2 {
+		t.Errorf("window = %d, want > 1 on periodic data", res.Window)
+	}
+	if res.Roughness >= res.OriginalRoughness {
+		t.Errorf("no smoothing achieved: %v >= %v", res.Roughness, res.OriginalRoughness)
+	}
+	if res.Kurtosis < res.OriginalKurtosis {
+		t.Errorf("kurtosis constraint violated: %v < %v", res.Kurtosis, res.OriginalKurtosis)
+	}
+	if res.Ratio != 4 {
+		t.Errorf("ratio = %d, want 4 (3600 points at 800 px)", res.Ratio)
+	}
+	if len(res.Values) == 0 {
+		t.Error("empty smoothed output")
+	}
+}
+
+func TestSmoothStrategies(t *testing.T) {
+	xs := taxiLike(2400, 2)
+	var exhaustive *Result
+	for _, s := range []Strategy{ASAP, Exhaustive, Grid2, Grid10, Binary} {
+		res, err := Smooth(xs, WithStrategy(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if s == Exhaustive {
+			exhaustive = res
+		}
+		if res.Window < 1 {
+			t.Errorf("%v: window %d", s, res.Window)
+		}
+	}
+	asapRes, err := Smooth(xs, WithStrategy(ASAP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asapRes.CandidatesTried >= exhaustive.CandidatesTried {
+		t.Errorf("ASAP tried %d candidates, exhaustive %d",
+			asapRes.CandidatesTried, exhaustive.CandidatesTried)
+	}
+}
+
+func TestSmoothOptionValidation(t *testing.T) {
+	xs := taxiLike(100, 3)
+	if _, err := Smooth(xs, WithResolution(-1)); err == nil {
+		t.Error("negative resolution should error")
+	}
+	if _, err := Smooth(xs, WithStrategy(Strategy(42))); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	if _, err := Smooth(xs, WithMaxWindow(-2)); err == nil {
+		t.Error("negative max window should error")
+	}
+	if _, err := Smooth(xs, WithSeedWindow(-2)); err == nil {
+		t.Error("negative seed window should error")
+	}
+	if _, err := Smooth([]float64{1, 2}); err == nil {
+		t.Error("too-short input should error")
+	}
+}
+
+func TestSmoothDoesNotMutateInput(t *testing.T) {
+	xs := taxiLike(1000, 4)
+	orig := append([]float64(nil), xs...)
+	if _, err := Smooth(xs, WithResolution(200)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Smooth mutated its input")
+		}
+	}
+}
+
+func TestSeedWindowOption(t *testing.T) {
+	xs := taxiLike(3600, 5)
+	first, err := Smooth(xs, WithResolution(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Smooth(xs, WithResolution(800), WithSeedWindow(first.Window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Window != first.Window {
+		t.Errorf("seeded run chose %d, unseeded %d", second.Window, first.Window)
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	line := []float64{1, 2, 3, 4, 5}
+	if r := Roughness(line); r != 0 {
+		t.Errorf("line roughness = %v, want 0", r)
+	}
+	if k := Kurtosis([]float64{1, 1, 1}); k != 0 {
+		t.Errorf("degenerate kurtosis = %v, want 0", k)
+	}
+	zs := ZScores([]float64{2, 4, 6})
+	if math.Abs(zs[0]+zs[2]) > 1e-12 || zs[1] != 0 {
+		t.Errorf("z-scores = %v", zs)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if ASAP.String() != "ASAP" || Exhaustive.String() != "Exhaustive" ||
+		Binary.String() != "Binary" || Grid2.String() != "Grid2" || Grid10.String() != "Grid10" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestStreamerEndToEnd(t *testing.T) {
+	st, err := NewStreamer(StreamConfig{
+		WindowPoints: 4800,
+		Resolution:   480,
+		RefreshEvery: 960,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() != 10 {
+		t.Errorf("ratio = %d, want 10", st.Ratio())
+	}
+	if st.Frame() != nil {
+		t.Error("frame before data should be nil")
+	}
+	var frames int
+	for _, x := range taxiLike(24000, 6) {
+		if f := st.Push(x); f != nil {
+			frames++
+			if f.Sequence != frames {
+				t.Fatalf("sequence %d at frame %d", f.Sequence, frames)
+			}
+			if len(f.Values) == 0 {
+				t.Fatal("empty frame values")
+			}
+		}
+	}
+	if frames < 20 {
+		t.Errorf("only %d frames from 24000 points at refresh 960", frames)
+	}
+	stats := st.Stats()
+	if stats.RawPoints != 24000 || stats.Searches != frames {
+		t.Errorf("stats = %+v", stats)
+	}
+	if st.Frame() == nil {
+		t.Error("latest frame should be retained")
+	}
+}
+
+func TestStreamerPushBatch(t *testing.T) {
+	st, err := NewStreamer(StreamConfig{WindowPoints: 1000, Resolution: 100, RefreshEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := st.PushBatch(taxiLike(5000, 7))
+	if f == nil {
+		t.Fatal("no frame from batch")
+	}
+	if f.Window < 1 {
+		t.Errorf("window = %d", f.Window)
+	}
+}
+
+func TestStreamerConfigValidation(t *testing.T) {
+	if _, err := NewStreamer(StreamConfig{WindowPoints: 2, Resolution: 100}); err == nil {
+		t.Error("tiny window should error")
+	}
+	if _, err := NewStreamer(StreamConfig{WindowPoints: 100, Resolution: 0}); err == nil {
+		t.Error("zero resolution should error")
+	}
+}
+
+func TestStreamerStationaryKeepsWindow(t *testing.T) {
+	st, err := NewStreamer(StreamConfig{WindowPoints: 9600, Resolution: 480, RefreshEvery: 2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused int
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 60000; i++ {
+		x := 100 + 30*math.Sin(2*math.Pi*float64(i)/480) + 5*rng.NormFloat64()
+		if f := st.Push(x); f != nil && f.SeedReused {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Error("stationary stream never reused its window parameter")
+	}
+}
+
+func BenchmarkSmooth3600At800(b *testing.B) {
+	xs := taxiLike(3600, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Smooth(xs, WithResolution(800)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package asap
+
+import (
+	"math"
+
+	"github.com/asap-go/asap/internal/acf"
+)
+
+// benchACF runs either ACF implementation for the ablation benchmark.
+func benchACF(xs []float64, fft bool) (*acf.Result, error) {
+	if fft {
+		return acf.Compute(xs, len(xs)/10)
+	}
+	return acf.ComputeBruteForce(xs, len(xs)/10)
+}
+
+// sineAt is a tiny helper for benchmark data.
+func sineAt(i, period int) float64 {
+	return math.Sin(2 * math.Pi * float64(i) / float64(period))
+}

@@ -1,0 +1,168 @@
+package asap
+
+// bench_test.go exposes every table and figure of the paper's evaluation
+// as a testing.B benchmark, one per artifact, delegating to the
+// internal/bench harness (quick configuration). Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// and a single one with e.g.
+//
+//	go test -bench=BenchmarkTable2BatchSearch
+//
+// For the full-size runs with printed paper-vs-measured tables, use
+// cmd/asap-bench.
+
+import (
+	"testing"
+
+	"github.com/asap-go/asap/internal/bench"
+)
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and reports rows produced as a sanity metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := bench.Config{Quick: true, Seed: bench.DefaultConfig.Seed}
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = 0
+		for _, t := range tables {
+			rows += len(t.Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkTable1Preaggregation regenerates Table 1: search-space
+// reduction by device resolution on a 1M-point series.
+func BenchmarkTable1Preaggregation(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2BatchSearch regenerates Table 2: window choice and
+// candidate counts for ASAP vs exhaustive search on all 11 datasets.
+func BenchmarkTable2BatchSearch(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable4PixelError regenerates Table 4: pixel error of ASAP, M4,
+// Visvalingam–Whyatt and PAA800 on the user-study datasets.
+func BenchmarkTable4PixelError(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFigure1TaxiPlots regenerates Figure 1: raw vs ASAP vs
+// oversmoothed renderings of the Taxi series.
+func BenchmarkFigure1TaxiPlots(b *testing.B) { runExperiment(b, "figure1") }
+
+// BenchmarkFigure4Roughness regenerates Figure 4: roughness separates
+// series that share mean and standard deviation.
+func BenchmarkFigure4Roughness(b *testing.B) { runExperiment(b, "figure4") }
+
+// BenchmarkFigure5Kurtosis regenerates Figure 5: kurtosis separates
+// normal from Laplace at equal mean/variance.
+func BenchmarkFigure5Kurtosis(b *testing.B) { runExperiment(b, "figure5") }
+
+// BenchmarkFigure6UserStudy regenerates Figure 6: the simulated
+// anomaly-identification study across seven visualization techniques.
+func BenchmarkFigure6UserStudy(b *testing.B) { runExperiment(b, "figure6") }
+
+// BenchmarkFigure7Preference regenerates Figure 7: the simulated visual
+// preference study.
+func BenchmarkFigure7Preference(b *testing.B) { runExperiment(b, "figure7") }
+
+// BenchmarkFigure8SearchStrategies regenerates Figure 8: speed-up and
+// roughness ratio of ASAP / binary / grid search vs exhaustive.
+func BenchmarkFigure8SearchStrategies(b *testing.B) { runExperiment(b, "figure8") }
+
+// BenchmarkFigure9Preagg regenerates Figure 9: the impact of pixel-aware
+// preaggregation against the raw exhaustive baseline.
+func BenchmarkFigure9Preagg(b *testing.B) { runExperiment(b, "figure9") }
+
+// BenchmarkFigure10Streaming regenerates Figure 10: streaming throughput
+// as a function of the refresh interval.
+func BenchmarkFigure10Streaming(b *testing.B) { runExperiment(b, "figure10") }
+
+// BenchmarkFigure11Factors regenerates Figure 11: the factor analysis and
+// lesion study of ASAP's three optimizations.
+func BenchmarkFigure11Factors(b *testing.B) { runExperiment(b, "figure11") }
+
+// BenchmarkFigureA1RoughnessEstimate regenerates Figure A.1: accuracy of
+// the Equation 5 roughness estimate.
+func BenchmarkFigureA1RoughnessEstimate(b *testing.B) { runExperiment(b, "figureA1") }
+
+// BenchmarkFigureA2Throughput regenerates Figure A.2: throughput with and
+// without preaggregation.
+func BenchmarkFigureA2Throughput(b *testing.B) { runExperiment(b, "figureA2") }
+
+// BenchmarkFigureA3LinearBaselines regenerates Figure A.3: ASAP's runtime
+// against the linear-time reducers PAA and M4.
+func BenchmarkFigureA3LinearBaselines(b *testing.B) { runExperiment(b, "figureA3") }
+
+// BenchmarkFigureB1Sensitivity regenerates Figure B.1: sensitivity of the
+// study outcomes to the roughness and kurtosis targets.
+func BenchmarkFigureB1Sensitivity(b *testing.B) { runExperiment(b, "figureB1") }
+
+// BenchmarkFigureB2Smoothers regenerates Figure B.2: achieved roughness
+// of alternative smoothing functions relative to SMA.
+func BenchmarkFigureB2Smoothers(b *testing.B) { runExperiment(b, "figureB2") }
+
+// BenchmarkFigureCPlots regenerates Figures C.1–C.2: raw vs ASAP
+// renderings of the remaining datasets.
+func BenchmarkFigureCPlots(b *testing.B) { runExperiment(b, "figureC") }
+
+// --- Ablation benchmarks (DESIGN.md Section 5) ---
+
+// BenchmarkAblationACF compares FFT-based and brute-force autocorrelation,
+// the asymptotic optimization of Section 4.3.3.
+func BenchmarkAblationACF(b *testing.B) {
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = float64(i % 128)
+	}
+	b.Run("fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := benchACF(xs, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := benchACF(xs, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSeedWindow measures the streaming fast path: searching
+// with and without the previous window as a seed.
+func BenchmarkAblationSeedWindow(b *testing.B) {
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = sineAt(i, 100)
+	}
+	seed, err := Smooth(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unseeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Smooth(xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Smooth(xs, WithSeedWindow(seed.Window)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+// Command asap-bench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints paper-vs-measured tables; figure
+// experiments additionally emit SVG renderings when -out is set.
+//
+// Usage:
+//
+//	asap-bench -list
+//	asap-bench -run table2
+//	asap-bench -run all -quick -out ./figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/asap-go/asap/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run, or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		out   = flag.String("out", "", "directory for SVG figure outputs")
+		seed  = flag.Int64("seed", bench.DefaultConfig.Seed, "random seed for synthetic data and observers")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments (run with -run <id> or -run all):")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed, OutDir: *out}
+	var targets []bench.Experiment
+	if *run == "all" {
+		targets = bench.All()
+	} else {
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "asap-bench: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		targets = []bench.Experiment{e}
+	}
+
+	failed := false
+	for _, e := range targets {
+		fmt.Printf("==> %s: %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asap-bench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("    (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

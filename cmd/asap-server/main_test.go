@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/asap-go/asap"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	st, err := asap.NewStreamer(asap.StreamConfig{
+		WindowPoints: 400,
+		Resolution:   100,
+		RefreshEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{st: st}
+}
+
+func feed(t *testing.T, s *server, n int) {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(strconv.FormatFloat(math.Sin(2*math.Pi*float64(i)/40), 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader(b.String()))
+	w := httptest.NewRecorder()
+	s.ingest(w, req)
+	if w.Code != 200 {
+		t.Fatalf("ingest status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestIngestAndFrame(t *testing.T) {
+	s := newTestServer(t)
+	feed(t, s, 2000)
+
+	w := httptest.NewRecorder()
+	s.frame(w, httptest.NewRequest("GET", "/frame", nil))
+	if w.Code != 200 {
+		t.Fatalf("frame status %d", w.Code)
+	}
+	var f frameJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &f); err != nil {
+		t.Fatalf("frame not JSON: %v", err)
+	}
+	if f.Window < 1 || len(f.Values) == 0 {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameBeforeData(t *testing.T) {
+	s := newTestServer(t)
+	w := httptest.NewRecorder()
+	s.frame(w, httptest.NewRequest("GET", "/frame", nil))
+	if strings.TrimSpace(w.Body.String()) != "null" {
+		t.Errorf("empty frame = %q, want null", w.Body.String())
+	}
+}
+
+func TestIngestRejectsGarbage(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader("1.5\nnot-a-number\n"))
+	w := httptest.NewRecorder()
+	s.ingest(w, req)
+	if w.Code != 400 {
+		t.Errorf("garbage ingest status %d, want 400", w.Code)
+	}
+}
+
+func TestIngestRejectsGet(t *testing.T) {
+	s := newTestServer(t)
+	w := httptest.NewRecorder()
+	s.ingest(w, httptest.NewRequest("GET", "/ingest", nil))
+	if w.Code != 405 {
+		t.Errorf("GET ingest status %d, want 405", w.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	feed(t, s, 500)
+	w := httptest.NewRecorder()
+	s.stats(w, httptest.NewRequest("GET", "/stats", nil))
+	var st map[string]interface{}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if st["raw_points"].(float64) != 500 {
+		t.Errorf("raw_points = %v", st["raw_points"])
+	}
+	if st["ratio"].(float64) != 4 {
+		t.Errorf("ratio = %v, want 4", st["ratio"])
+	}
+}
+
+func TestPlotSVG(t *testing.T) {
+	s := newTestServer(t)
+	// Before data: 503.
+	w := httptest.NewRecorder()
+	s.plotSVG(w, httptest.NewRequest("GET", "/plot.svg", nil))
+	if w.Code != 503 {
+		t.Errorf("plot before data status %d, want 503", w.Code)
+	}
+	feed(t, s, 2000)
+	w = httptest.NewRecorder()
+	s.plotSVG(w, httptest.NewRequest("GET", "/plot.svg", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "<svg") {
+		t.Errorf("plot status %d, body %q...", w.Code, w.Body.String()[:40])
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	s := newTestServer(t)
+	w := httptest.NewRecorder()
+	s.index(w, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(w.Body.String(), "ASAP streaming dashboard") {
+		t.Error("dashboard HTML missing")
+	}
+}

@@ -1,0 +1,161 @@
+// Command asap smooths a time series from a CSV file (or a built-in
+// synthetic dataset) and writes the smoothed series, an ASCII preview, or
+// an SVG plot.
+//
+// Usage:
+//
+//	asap -in metrics.csv -resolution 800 -svg out.svg
+//	asap -dataset Taxi -ascii
+//	generate-metrics | asap -in - -out smoothed.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/csvio"
+	"github.com/asap-go/asap/internal/datasets"
+	"github.com/asap-go/asap/internal/plot"
+	"github.com/asap-go/asap/internal/stats"
+	"github.com/asap-go/asap/internal/timeseries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "asap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("asap", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "input CSV file (\"-\" for stdin); layouts: value | timestamp,value")
+		dataset    = fs.String("dataset", "", "generate a built-in synthetic dataset instead (see -datasets)")
+		listData   = fs.Bool("datasets", false, "list built-in datasets")
+		resolution = fs.Int("resolution", 800, "target display width in pixels (0 = no preaggregation)")
+		strategy   = fs.String("strategy", "asap", "search strategy: asap|exhaustive|grid2|grid10|binary")
+		out        = fs.String("out", "", "write smoothed values as CSV to this file (\"-\" for stdout)")
+		svg        = fs.String("svg", "", "write an SVG plot (original + smoothed) to this file")
+		ascii      = fs.Bool("ascii", false, "print an ASCII chart of the smoothed series")
+		zscore     = fs.Bool("zscore", false, "z-score normalize the output")
+		seed       = fs.Int64("seed", 42, "seed for -dataset generation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listData {
+		for _, s := range datasets.Catalog() {
+			fmt.Fprintf(stdout, "%-14s %9d points  %-10s %s\n", s.Name, s.N, s.DurationLabel, s.Description)
+		}
+		return nil
+	}
+
+	series, err := loadSeries(*in, *dataset, *seed, stdin)
+	if err != nil {
+		return err
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	res, err := asap.Smooth(series.Values,
+		asap.WithResolution(*resolution),
+		asap.WithStrategy(strat),
+	)
+	if err != nil {
+		return err
+	}
+
+	values := res.Values
+	if *zscore {
+		values = asap.ZScores(values)
+	}
+
+	fmt.Fprintf(stdout, "series: %s (%d points)\n", series.Name, series.Len())
+	fmt.Fprintf(stdout, "chosen window: %d (preaggregation ratio %d, %d candidates tried)\n",
+		res.Window, res.Ratio, res.CandidatesTried)
+	fmt.Fprintf(stdout, "roughness: %.4g -> %.4g   kurtosis: %.4g -> %.4g\n",
+		res.OriginalRoughness, res.Roughness, res.OriginalKurtosis, res.Kurtosis)
+
+	if *ascii {
+		chart, err := plot.ASCII(values, 78, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, chart)
+	}
+	if *out != "" {
+		w := stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := csvio.WriteValues(w, values); err != nil {
+			return err
+		}
+	}
+	if *svg != "" {
+		doc, err := plot.SVGSeries("ASAP: "+series.Name, 900, 360, map[string][]float64{
+			"original": stats.ZScores(series.Values),
+			"ASAP":     stats.ZScores(res.Values),
+		}, []string{"original", "ASAP"})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*svg, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *svg)
+	}
+	return nil
+}
+
+func loadSeries(in, dataset string, seed int64, stdin io.Reader) (*timeseries.Series, error) {
+	switch {
+	case dataset != "":
+		spec, ok := datasets.ByName(dataset)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q (use -datasets to list)", dataset)
+		}
+		return spec.Generate(seed), nil
+	case in == "-":
+		return csvio.Read(stdin, "stdin")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return csvio.Read(f, in)
+	default:
+		return nil, fmt.Errorf("provide -in <file> or -dataset <name>")
+	}
+}
+
+func parseStrategy(s string) (asap.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "asap":
+		return asap.ASAP, nil
+	case "exhaustive":
+		return asap.Exhaustive, nil
+	case "grid2":
+		return asap.Grid2, nil
+	case "grid10":
+		return asap.Grid10, nil
+	case "binary":
+		return asap.Binary, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDataset(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Sine", "-resolution", "800", "-ascii"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"series: Sine (800 points)", "chosen window:", "roughness:", "[min"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunListDatasets(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-datasets"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Taxi", "gas sensor", "Twitter AAPL"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("dataset listing missing %q", want)
+		}
+	}
+}
+
+func TestRunStdinCSV(t *testing.T) {
+	var in strings.Builder
+	in.WriteString("value\n")
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			in.WriteString("1\n")
+		} else {
+			in.WriteString("2\n")
+		}
+	}
+	var out bytes.Buffer
+	err := run([]string{"-in", "-", "-resolution", "0", "-out", "-"}, strings.NewReader(in.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "series: stdin (400 points)") {
+		t.Errorf("stdin not processed: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "value\n") {
+		t.Error("CSV output missing")
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	svgPath := filepath.Join(dir, "out.svg")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Taxi", "-svg", svgPath}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG file malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, nil, &out); err == nil {
+		t.Error("no input should error")
+	}
+	if err := run([]string{"-dataset", "nope"}, nil, &out); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if err := run([]string{"-dataset", "Sine", "-strategy", "magic"}, nil, &out); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	if err := run([]string{"-in", "-"}, strings.NewReader("garbage,more,cols\n1,2,3\n"), &out); err == nil {
+		t.Error("bad CSV should error")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"asap", "exhaustive", "grid2", "grid10", "binary", "ASAP"} {
+		if _, err := parseStrategy(name); err != nil {
+			t.Errorf("parseStrategy(%q): %v", name, err)
+		}
+	}
+	if _, err := parseStrategy("x"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

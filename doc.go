@@ -1,0 +1,32 @@
+// Package asap is a Go implementation of ASAP (Automatic Smoothing for
+// Attention Prioritization), the time-series smoothing operator of
+//
+//	Kexin Rong, Peter Bailis. "ASAP: Prioritizing Attention via Time
+//	Series Smoothing." PVLDB 10(11), 2017.
+//
+// Given a time series, ASAP chooses the simple-moving-average window that
+// makes the plotted series as smooth as possible (minimum roughness, the
+// standard deviation of first differences) while still preserving its
+// large-scale deviations (the smoothed series' kurtosis must not drop
+// below the original's). The search exploits autocorrelation structure,
+// target display resolution, and — in streaming mode — human-perceptible
+// refresh rates to run orders of magnitude faster than exhaustive search.
+//
+// Batch usage:
+//
+//	res, err := asap.Smooth(values, asap.WithResolution(800))
+//	// res.Values is the smoothed series, res.Window the chosen window.
+//
+// Streaming usage:
+//
+//	st, err := asap.NewStreamer(asap.StreamConfig{
+//		WindowPoints: 28800, // visualize the last 8 hours at 1 Hz
+//		Resolution:   800,
+//		RefreshEvery: 60,    // re-render once per minute of data
+//	})
+//	for x := range source {
+//		if frame := st.Push(x); frame != nil {
+//			render(frame.Values)
+//		}
+//	}
+package asap

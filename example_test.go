@@ -1,0 +1,61 @@
+package asap_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asap-go/asap"
+)
+
+// ExampleSmooth smooths a noisy periodic series and reports the chosen
+// window. With a clean sine the search locks onto the period.
+func ExampleSmooth() {
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = math.Sin(2 * math.Pi * float64(i) / 100)
+	}
+	res, err := asap.Smooth(values)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("window:", res.Window)
+	fmt.Println("kurtosis preserved:", res.Kurtosis >= res.OriginalKurtosis)
+	// Output:
+	// window: 200
+	// kurtosis preserved: true
+}
+
+// ExampleRoughness shows that a straight line has roughness exactly zero —
+// the paper's definition of perfect smoothness.
+func ExampleRoughness() {
+	line := []float64{1, 2, 3, 4, 5, 6}
+	jagged := []float64{1, 6, 1, 6, 1, 6}
+	fmt.Println(asap.Roughness(line))
+	fmt.Println(asap.Roughness(jagged) > 1)
+	// Output:
+	// 0
+	// true
+}
+
+// ExampleNewStreamer runs the streaming operator over a short synthetic
+// stream and prints how many frames were rendered.
+func ExampleNewStreamer() {
+	st, err := asap.NewStreamer(asap.StreamConfig{
+		WindowPoints: 400,
+		Resolution:   100,
+		RefreshEvery: 200,
+	})
+	if err != nil {
+		panic(err)
+	}
+	frames := 0
+	for i := 0; i < 2000; i++ {
+		if f := st.Push(math.Sin(2 * math.Pi * float64(i) / 40)); f != nil {
+			frames++
+			_ = f.Values
+		}
+	}
+	fmt.Println("frames:", frames)
+	// Output:
+	// frames: 10
+}

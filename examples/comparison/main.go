@@ -1,0 +1,60 @@
+// Comparison pits ASAP against the visualization baselines from the
+// paper's evaluation (M4, Visvalingam–Whyatt, PAA, oversmoothing) on the
+// Sine dataset — a noisy sine wave hiding a brief double-frequency anomaly
+// — and reports each technique's roughness, kurtosis preservation, pixel
+// error, and how well it exposes the anomaly region.
+//
+// Run with:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/baselines"
+	"github.com/asap-go/asap/internal/datasets"
+	"github.com/asap-go/asap/internal/perception"
+	"github.com/asap-go/asap/internal/render"
+)
+
+func main() {
+	spec, ok := datasets.ByName("Sine")
+	if !ok {
+		log.Fatal("Sine dataset missing")
+	}
+	xs := spec.Generate(32).Values
+	region := spec.AnomalyRegion(len(xs))
+	fmt.Printf("dataset: %s (%d points); anomaly: %s (region %d of 5)\n\n",
+		spec.Name, len(xs), spec.AnomalyText, region)
+
+	fmt.Printf("%-12s %8s %8s %8s %10s %10s\n",
+		"technique", "points", "rough", "kurt", "pixel-err", "prominence")
+	for _, tech := range baselines.AllTechniques {
+		pts, err := baselines.Apply(tech, xs, 800)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			ys[i] = p.Y
+		}
+		pixErr, err := render.TechniquePixelError(tech, xs, 800, 300)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prom, err := perception.Prominence(pts, region, 800)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %8d %8.3f %8.2f %10.3f %10.2f\n",
+			tech, len(pts), asap.Roughness(asap.ZScores(ys)), asap.Kurtosis(ys), pixErr, prom)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("- M4 wins pixel error (it is designed to look identical to the raw plot)")
+	fmt.Println("- ASAP wins prominence (it is designed to highlight the anomaly), at high pixel error")
+	fmt.Println("- that trade-off is the paper's core argument (Section 6)")
+}

@@ -1,0 +1,241 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sine(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{10, 64, 100, 257, 1000} {
+		xs := sine(n, 16, 0.3, int64(n))
+		maxLag := n / 2
+		fast, err := Compute(xs, maxLag)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		slow, err := ComputeBruteForce(xs, maxLag)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for tau := 0; tau <= maxLag; tau++ {
+			if d := math.Abs(fast.Correlations[tau] - slow.Correlations[tau]); d > 1e-8 {
+				t.Errorf("n=%d tau=%d: fft=%v brute=%v (diff %g)",
+					n, tau, fast.Correlations[tau], slow.Correlations[tau], d)
+			}
+		}
+	}
+}
+
+func TestACFPropertyBounds(t *testing.T) {
+	// ACF(0)=1 and |ACF(tau)| <= 1 + tiny numerical slack for all inputs.
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz)%400 + 10
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		res, err := Compute(xs, n-1)
+		if err != nil {
+			return false
+		}
+		if res.Correlations[0] != 1 {
+			return false
+		}
+		for _, c := range res.Correlations {
+			if math.Abs(c) > 1+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicPeakDetection(t *testing.T) {
+	// A clean sine of period 50 must produce an ACF peak at (nearly) every
+	// multiple of 50.
+	xs := sine(1000, 50, 0.05, 42)
+	res, err := Compute(xs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Peaks) == 0 {
+		t.Fatal("no peaks found for periodic series")
+	}
+	foundFundamental := false
+	for _, p := range res.Peaks {
+		if p%50 <= 2 || 50-p%50 <= 2 {
+			foundFundamental = true
+		} else {
+			t.Errorf("peak at %d not near a multiple of the period 50", p)
+		}
+	}
+	if !foundFundamental {
+		t.Errorf("no peak near period 50; peaks=%v", res.Peaks)
+	}
+	if res.MaxACF < 0.8 {
+		t.Errorf("MaxACF = %v, want high correlation for clean sine", res.MaxACF)
+	}
+}
+
+func TestAperiodicHasFewPeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	res, err := Compute(xs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise ACF hovers near 0; nothing should clear the threshold.
+	if len(res.Peaks) != 0 {
+		t.Errorf("white noise produced %d peaks: %v", len(res.Peaks), res.Peaks)
+	}
+	if res.MaxACF != 0 {
+		t.Errorf("MaxACF = %v, want 0", res.MaxACF)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 3.25
+	}
+	res, err := Compute(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Peaks) != 0 {
+		t.Errorf("constant series produced peaks: %v", res.Peaks)
+	}
+	for tau, c := range res.Correlations {
+		if c != 0 {
+			t.Errorf("constant series ACF[%d] = %v, want 0", tau, c)
+		}
+	}
+}
+
+func TestErrTooShort(t *testing.T) {
+	if _, err := Compute([]float64{1}, 5); err != ErrTooShort {
+		t.Errorf("Compute short err = %v, want ErrTooShort", err)
+	}
+	if _, err := Compute([]float64{1, 2, 3}, 0); err != ErrTooShort {
+		t.Errorf("Compute maxLag=0 err = %v, want ErrTooShort", err)
+	}
+	if _, err := ComputeBruteForce(nil, 3); err != ErrTooShort {
+		t.Errorf("brute force short err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMaxLagClamped(t *testing.T) {
+	xs := sine(50, 10, 0, 1)
+	res, err := Compute(xs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Correlations) != 50 {
+		t.Errorf("correlations length = %d, want 50 (lags 0..49)", len(res.Correlations))
+	}
+}
+
+func TestFindPeaksFlatTop(t *testing.T) {
+	// Plateau peaks (equal neighbors) must still be detected once.
+	corr := []float64{1, 0.1, 0.5, 0.5, 0.1, 0.05}
+	peaks, maxACF := FindPeaks(corr)
+	if len(peaks) == 0 {
+		t.Fatal("flat-top peak not detected")
+	}
+	if maxACF != 0.5 {
+		t.Errorf("maxACF = %v, want 0.5", maxACF)
+	}
+}
+
+func TestFindPeaksThreshold(t *testing.T) {
+	corr := []float64{1, 0.05, 0.15, 0.05, 0.01}
+	peaks, _ := FindPeaks(corr)
+	if len(peaks) != 0 {
+		t.Errorf("sub-threshold bump detected as peak: %v", peaks)
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	res := &Result{Correlations: []float64{1, 0.5}}
+	if res.At(-1) != 0 || res.At(2) != 0 {
+		t.Error("At out of range should return 0")
+	}
+	if res.At(1) != 0.5 {
+		t.Errorf("At(1) = %v, want 0.5", res.At(1))
+	}
+}
+
+func TestEstimateRoughnessIID(t *testing.T) {
+	// For IID data ACF ~ 0, so Equation 5 degenerates to Equation 2:
+	// roughness = sqrt(2)*sigma/w.
+	rng := rand.New(rand.NewSource(17))
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	res, err := Compute(xs, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := 1.0
+	for _, w := range []int{2, 5, 10, 50} {
+		got := res.EstimateRoughness(sigma, n, w)
+		want := math.Sqrt2 * sigma / float64(w)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("w=%d: estimate %v, want about %v", w, got, want)
+		}
+	}
+}
+
+func TestEstimateRoughnessDegenerateWindows(t *testing.T) {
+	res := &Result{Correlations: []float64{1, 0.9}}
+	if !math.IsInf(res.EstimateRoughness(1, 10, 0), 1) {
+		t.Error("w=0 should estimate +Inf")
+	}
+	if !math.IsInf(res.EstimateRoughness(1, 10, 10), 1) {
+		t.Error("w=n should estimate +Inf")
+	}
+	// Clamp: ACF near 1 can push the radicand negative.
+	if got := res.EstimateRoughness(1, 10, 1); got < 0 || math.IsNaN(got) {
+		t.Errorf("estimate should clamp to >= 0, got %v", got)
+	}
+}
+
+func BenchmarkComputeFFT(b *testing.B) {
+	xs := sine(100000, 500, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(xs, len(xs)/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeBruteForce(b *testing.B) {
+	xs := sine(10000, 500, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeBruteForce(xs, len(xs)/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package alert implements the alerting integration sketched in the
+// paper's conclusion (Section 7) against the motivating scenario of
+// Section 1: an electrical utility needs to catch systematic shifts in
+// generator metrics that are "sub-threshold" with respect to a critical
+// alarm yet obvious in a properly smoothed plot.
+//
+// The detector consumes streaming ASAP frames. Because the frames are
+// already smoothed to remove periodic structure and noise while preserving
+// large-scale deviations (the kurtosis constraint), a simple sustained
+// z-score rule on frames detects drifts that a raw-threshold alarm misses
+// and that raw z-scores would bury in false positives.
+package alert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// ErrConfig reports an invalid detector configuration.
+var ErrConfig = errors.New("alert: invalid config")
+
+// Config tunes the detector.
+type Config struct {
+	// DriftSigma is the |z| level a smoothed region must reach to be
+	// considered deviating (default 2).
+	DriftSigma float64
+	// SustainFraction is the fraction of the frame's most recent points
+	// that must deviate, in the same direction, for an alert to fire
+	// (default 0.05, i.e. 5% of the visualization window).
+	SustainFraction float64
+	// Cooldown is the number of frames to stay silent after firing, so a
+	// persisting drift raises one alert, not one per refresh (default 5).
+	Cooldown int
+}
+
+func (c *Config) setDefaults() {
+	if c.DriftSigma == 0 {
+		c.DriftSigma = 2
+	}
+	if c.SustainFraction == 0 {
+		c.SustainFraction = 0.05
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 5
+	}
+}
+
+func (c *Config) validate() error {
+	if c.DriftSigma < 0 {
+		return fmt.Errorf("%w: DriftSigma=%v", ErrConfig, c.DriftSigma)
+	}
+	if c.SustainFraction < 0 || c.SustainFraction > 1 {
+		return fmt.Errorf("%w: SustainFraction=%v", ErrConfig, c.SustainFraction)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("%w: Cooldown=%v", ErrConfig, c.Cooldown)
+	}
+	return nil
+}
+
+// Direction is the sign of a detected drift.
+type Direction int
+
+// Drift directions.
+const (
+	Down Direction = -1
+	Up   Direction = +1
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Alert describes one detected sustained drift.
+type Alert struct {
+	// FrameSequence is the frame in which the drift was detected.
+	FrameSequence int
+	// Direction is the sign of the deviation.
+	Direction Direction
+	// Severity is the mean |z| of the deviating run.
+	Severity float64
+	// RunLength is the number of trailing frame points in the run.
+	RunLength int
+}
+
+// Detector is a streaming drift detector over smoothed frames. It is not
+// safe for concurrent use.
+type Detector struct {
+	cfg      Config
+	cooldown int
+	fired    []Alert
+}
+
+// New validates cfg (applying defaults for zero fields) and returns a
+// detector.
+func New(cfg Config) (*Detector, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Observe inspects one smoothed frame (the Values of an ASAP streaming
+// frame plus its sequence number) and returns an alert if the trailing
+// region of the frame is a sustained deviation. It returns nil otherwise.
+func (d *Detector) Observe(values []float64, sequence int) *Alert {
+	if d.cooldown > 0 {
+		d.cooldown--
+		return nil
+	}
+	if len(values) < 8 {
+		return nil
+	}
+	z := stats.ZScores(values)
+	need := int(d.cfg.SustainFraction * float64(len(z)))
+	if need < 2 {
+		need = 2
+	}
+
+	// Count the trailing run of same-direction deviations beyond the
+	// sigma threshold. The run must touch the end of the frame: we alert
+	// on what is happening *now*, not on history inside the window.
+	run := 0
+	var dir Direction
+	var sum float64
+	for i := len(z) - 1; i >= 0; i-- {
+		if math.Abs(z[i]) < d.cfg.DriftSigma {
+			break
+		}
+		sign := Up
+		if z[i] < 0 {
+			sign = Down
+		}
+		if run == 0 {
+			dir = sign
+		} else if sign != dir {
+			break
+		}
+		run++
+		sum += math.Abs(z[i])
+	}
+	if run < need {
+		return nil
+	}
+	a := Alert{
+		FrameSequence: sequence,
+		Direction:     dir,
+		Severity:      sum / float64(run),
+		RunLength:     run,
+	}
+	d.fired = append(d.fired, a)
+	d.cooldown = d.cfg.Cooldown
+	return &a
+}
+
+// Alerts returns all alerts fired so far.
+func (d *Detector) Alerts() []Alert {
+	return append([]Alert(nil), d.fired...)
+}

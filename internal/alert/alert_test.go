@@ -1,0 +1,234 @@
+package alert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-go/asap/internal/stream"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{DriftSigma: -1},
+		{SustainFraction: -0.1},
+		{SustainFraction: 1.5},
+		{Cooldown: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.DriftSigma != 2 || d.cfg.SustainFraction != 0.05 || d.cfg.Cooldown != 5 {
+		t.Errorf("defaults not applied: %+v", d.cfg)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Error("direction names wrong")
+	}
+}
+
+// frameWith builds a synthetic smoothed frame: flat at 0 with a trailing
+// drift of the given z-magnitude and length.
+func frameWith(n, driftLen int, driftLevel float64) []float64 {
+	xs := make([]float64, n)
+	for i := n - driftLen; i < n; i++ {
+		xs[i] = driftLevel
+	}
+	return xs
+}
+
+func TestDetectsTrailingDrift(t *testing.T) {
+	d, err := New(Config{DriftSigma: 1.5, SustainFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Observe(frameWith(200, 30, -5), 1)
+	if a == nil {
+		t.Fatal("no alert for a deep sustained trailing drift")
+	}
+	if a.Direction != Down {
+		t.Errorf("direction = %v, want down", a.Direction)
+	}
+	if a.RunLength < 10 {
+		t.Errorf("run length = %d, want the drift span", a.RunLength)
+	}
+	if a.Severity < 1.5 {
+		t.Errorf("severity = %v, want >= threshold", a.Severity)
+	}
+	if a.FrameSequence != 1 {
+		t.Errorf("sequence = %d", a.FrameSequence)
+	}
+}
+
+func TestIgnoresInteriorDeviation(t *testing.T) {
+	// A deviation that ended mid-frame (not touching the end) is history,
+	// not an active drift.
+	d, err := New(Config{DriftSigma: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 200)
+	for i := 100; i < 130; i++ {
+		xs[i] = -5
+	}
+	if a := d.Observe(xs, 1); a != nil {
+		t.Errorf("alerted on interior deviation: %+v", a)
+	}
+}
+
+func TestIgnoresShortBlip(t *testing.T) {
+	d, err := New(Config{DriftSigma: 1.5, SustainFraction: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 trailing points of 200 deviate: under the 10% sustain requirement.
+	if a := d.Observe(frameWith(200, 3, -6), 1); a != nil {
+		t.Errorf("alerted on a blip: %+v", a)
+	}
+}
+
+func TestQuietOnFlatNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 50; seq++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if a := d.Observe(xs, seq); a != nil {
+			t.Fatalf("false positive on white noise at frame %d: %+v", seq, a)
+		}
+	}
+}
+
+func TestCooldownSuppressesRepeats(t *testing.T) {
+	d, err := New(Config{DriftSigma: 1.5, Cooldown: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameWith(200, 40, 5)
+	if a := d.Observe(frame, 1); a == nil {
+		t.Fatal("first observation should alert")
+	}
+	for seq := 2; seq <= 4; seq++ {
+		if a := d.Observe(frame, seq); a != nil {
+			t.Errorf("frame %d alerted during cooldown", seq)
+		}
+	}
+	if a := d.Observe(frame, 5); a == nil {
+		t.Error("persisting drift should re-alert after cooldown")
+	}
+	if got := len(d.Alerts()); got != 2 {
+		t.Errorf("total alerts = %d, want 2", got)
+	}
+}
+
+func TestTinyFrameIgnored(t *testing.T) {
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := d.Observe([]float64{9, 9, 9}, 1); a != nil {
+		t.Error("tiny frames should not alert")
+	}
+}
+
+// TestEndToEndSubThresholdDrift reproduces the Section 1 utility scenario:
+// a generator metric with daily periodicity and noise develops a slow
+// drift that never crosses a raw-value alarm threshold, yet the
+// ASAP-smoothed stream exposes it and the detector fires.
+func TestEndToEndSubThresholdDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		perDay = 288
+		days   = 30
+	)
+	n := perDay * days
+	raw := make([]float64, n)
+	alarmThreshold := 80.0 // the "critical alarm" level
+	for i := range raw {
+		daily := 8 * math.Sin(2*math.Pi*float64(i%perDay)/perDay)
+		drift := 0.0
+		if i > 25*perDay { // last five days: slow sub-threshold rise
+			drift = 10 * float64(i-25*perDay) / float64(5*perDay)
+		}
+		raw[i] = 50 + daily + drift + 3*rng.NormFloat64()
+		if raw[i] >= alarmThreshold {
+			t.Fatalf("scenario broken: raw value %v crossed the alarm threshold", raw[i])
+		}
+	}
+
+	op, err := stream.New(stream.Config{
+		WindowPoints: n,
+		Resolution:   400,
+		RefreshEvery: perDay / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := New(Config{DriftSigma: 2, SustainFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []Alert
+	for _, x := range raw {
+		if f := op.Push(x); f != nil {
+			if a := det.Observe(f.Smoothed, f.Sequence); a != nil {
+				fired = append(fired, *a)
+			}
+		}
+	}
+	if len(fired) == 0 {
+		t.Fatal("detector missed the sub-threshold drift")
+	}
+	first := fired[0]
+	if first.Direction != Up {
+		t.Errorf("drift direction = %v, want up", first.Direction)
+	}
+	// The drift starts at day 25 of 30; the first alert must come from the
+	// final sixth of the stream's refreshes.
+	totalFrames := op.Stats().Searches
+	if first.FrameSequence < totalFrames*3/4 {
+		t.Errorf("alert at frame %d of %d — too early to be the drift", first.FrameSequence, totalFrames)
+	}
+}
+
+// TestRawZScoresWouldFalseAlarm demonstrates why the detector runs on
+// smoothed frames: the same rule applied to raw windows fires on periodic
+// structure long before any drift exists.
+func TestRawZScoresWouldFalseAlarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const perDay = 288
+	n := perDay * 10
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = 50 + 8*math.Sin(2*math.Pi*float64(i%perDay)/perDay) + 3*rng.NormFloat64()
+	}
+	det, err := New(Config{DriftSigma: 2, SustainFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	falseAlarms := 0
+	window := perDay * 3
+	for end := window; end <= n; end += perDay / 2 {
+		if a := det.Observe(raw[end-window:end], end); a != nil {
+			falseAlarms++
+		}
+	}
+	if falseAlarms == 0 {
+		t.Skip("raw windows happened not to false-alarm with this seed; the smoothed path is still the robust one")
+	}
+	// This is the expected outcome: raw periodic peaks look like drifts.
+	t.Logf("raw-window rule produced %d false alarms on a healthy metric", falseAlarms)
+}

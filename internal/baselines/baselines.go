@@ -1,0 +1,152 @@
+// Package baselines implements every visualization and smoothing technique
+// the paper compares ASAP against: piecewise aggregate approximation (PAA),
+// the M4 aggregation, the Visvalingam–Whyatt and Douglas–Peucker line
+// simplification algorithms, Savitzky–Golay filters, FFT low-pass and
+// dominant-frequency reconstruction, MinMax aggregation, and the fixed
+// "oversmooth" strategy from the user studies (SMA with window = n/4).
+//
+// Techniques that subsample the series (PAA, M4, simplification) return
+// Points carrying their original x positions, because their visual
+// appearance — and thus the pixel-error metric of Appendix B.1 — depends
+// on where the surviving points sit on the time axis.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asap-go/asap/internal/sma"
+)
+
+// ErrInput reports an unusable argument.
+var ErrInput = errors.New("baselines: invalid input")
+
+// Point is a plotted sample: X in units of the original sample index, Y the
+// value drawn at that position.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// PointsFromSeries lifts a dense series into Points at integer positions.
+func PointsFromSeries(xs []float64) []Point {
+	out := make([]Point, len(xs))
+	for i, v := range xs {
+		out[i] = Point{X: float64(i), Y: v}
+	}
+	return out
+}
+
+// PointsFromSMA positions a moving-average output at the centers of its
+// source windows, the natural alignment for visual comparison.
+func PointsFromSMA(smoothed []float64, window int) []Point {
+	out := make([]Point, len(smoothed))
+	half := float64(window-1) / 2
+	for i, v := range smoothed {
+		out[i] = Point{X: float64(i) + half, Y: v}
+	}
+	return out
+}
+
+// PAA reduces xs to m points via piecewise aggregate approximation
+// (Keogh et al. [37]): the series is split into m equal-width frames and
+// each frame is replaced by its mean, drawn at the frame center.
+func PAA(xs []float64, m int) ([]Point, error) {
+	n := len(xs)
+	if m < 1 || n == 0 {
+		return nil, fmt.Errorf("%w: PAA to %d points from %d", ErrInput, m, n)
+	}
+	if m >= n {
+		return PointsFromSeries(xs), nil
+	}
+	out := make([]Point, m)
+	for k := 0; k < m; k++ {
+		// Equal-width frames with integer boundaries spreading remainder.
+		start := k * n / m
+		end := (k + 1) * n / m
+		if end == start {
+			end = start + 1
+		}
+		var sum float64
+		for _, v := range xs[start:end] {
+			sum += v
+		}
+		out[k] = Point{
+			X: (float64(start) + float64(end-1)) / 2,
+			Y: sum / float64(end-start),
+		}
+	}
+	return out, nil
+}
+
+// PAAValues returns just the m frame means (no x positions), for metric
+// computations that treat the PAA output as a plain series.
+func PAAValues(xs []float64, m int) ([]float64, error) {
+	pts, err := PAA(xs, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Y
+	}
+	return out, nil
+}
+
+// MinMax aggregates xs into buckets of the given size and emits each
+// bucket's minimum and maximum in their original order of occurrence —
+// the "minmax" smoothing alternative of Appendix B.2. The result
+// deliberately maximizes the distance between consecutive points within a
+// bucket, which is why the paper reports it produces very rough plots.
+func MinMax(xs []float64, bucket int) ([]Point, error) {
+	n := len(xs)
+	if bucket < 1 || n == 0 {
+		return nil, fmt.Errorf("%w: minmax bucket %d on %d points", ErrInput, bucket, n)
+	}
+	var out []Point
+	for start := 0; start < n; start += bucket {
+		end := start + bucket
+		if end > n {
+			end = n
+		}
+		minIdx, maxIdx := start, start
+		for i := start + 1; i < end; i++ {
+			if xs[i] < xs[minIdx] {
+				minIdx = i
+			}
+			if xs[i] > xs[maxIdx] {
+				maxIdx = i
+			}
+		}
+		if minIdx == maxIdx {
+			out = append(out, Point{X: float64(minIdx), Y: xs[minIdx]})
+			continue
+		}
+		if minIdx < maxIdx {
+			out = append(out, Point{X: float64(minIdx), Y: xs[minIdx]},
+				Point{X: float64(maxIdx), Y: xs[maxIdx]})
+		} else {
+			out = append(out, Point{X: float64(maxIdx), Y: xs[maxIdx]},
+				Point{X: float64(minIdx), Y: xs[minIdx]})
+		}
+	}
+	return out, nil
+}
+
+// OversmoothWindow is the fixed fraction used by the "oversmoothed"
+// comparison plots in the user studies: SMA with a window of 1/4 of the
+// series length.
+const OversmoothWindow = 4
+
+// Oversmooth applies SMA with window = max(2, n/4), the deliberately
+// too-aggressive strategy of Section 5.1.
+func Oversmooth(xs []float64) ([]float64, error) {
+	w := len(xs) / OversmoothWindow
+	if w < 2 {
+		w = 2
+	}
+	if w > len(xs) {
+		return nil, fmt.Errorf("%w: series too short to oversmooth (%d points)", ErrInput, len(xs))
+	}
+	return sma.Transform(xs, w)
+}

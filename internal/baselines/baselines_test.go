@@ -1,0 +1,596 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/asap-go/asap/internal/stats"
+)
+
+func noisySine(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func ys(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Y
+	}
+	return out
+}
+
+func assertXSorted(t *testing.T, pts []Point) {
+	t.Helper()
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Error("points not sorted by X")
+	}
+}
+
+func TestPAACounts(t *testing.T) {
+	xs := noisySine(1000, 50, 0.2, 1)
+	for _, m := range []int{1, 7, 100, 800} {
+		pts, err := PAA(xs, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if len(pts) != m {
+			t.Errorf("PAA(%d) returned %d points", m, len(pts))
+		}
+		assertXSorted(t, pts)
+	}
+	// m >= n returns the series unchanged.
+	pts, err := PAA(xs, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(xs) {
+		t.Errorf("PAA beyond n returned %d points", len(pts))
+	}
+}
+
+func TestPAAPreservesMean(t *testing.T) {
+	prop := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mRaw)%20 + 1
+		n := m * (rng.Intn(20) + 1)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		vals, err := PAAValues(xs, m)
+		if err != nil {
+			return false
+		}
+		// Equal frames: mean of frame means == overall mean.
+		return math.Abs(stats.Mean(vals)-stats.Mean(xs)) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPAAErrors(t *testing.T) {
+	if _, err := PAA(nil, 10); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := PAA([]float64{1, 2}, 0); err == nil {
+		t.Error("m=0 should error")
+	}
+}
+
+func TestM4KeepsExtremes(t *testing.T) {
+	xs := noisySine(10000, 100, 0.5, 2)
+	pts, err := M4(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertXSorted(t, pts)
+	if len(pts) > 400 {
+		t.Errorf("M4 returned %d points, max is 4 per column", len(pts))
+	}
+	// Global extremes must survive.
+	lo, hi, err := stats.MinMax(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plo, phi, err := stats.MinMax(ys(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plo != lo || phi != hi {
+		t.Errorf("M4 lost extremes: got [%v,%v], want [%v,%v]", plo, phi, lo, hi)
+	}
+	// Every point is a genuine sample.
+	for _, p := range pts {
+		i := int(p.X)
+		if float64(i) != p.X || xs[i] != p.Y {
+			t.Fatalf("M4 fabricated point %+v", p)
+		}
+	}
+}
+
+func TestM4SmallInput(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	pts, err := M4(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Errorf("M4 with width > n should return all points, got %d", len(pts))
+	}
+	if _, err := M4(nil, 5); err == nil {
+		t.Error("empty M4 should error")
+	}
+	if _, err := M4(xs, 0); err == nil {
+		t.Error("width 0 should error")
+	}
+}
+
+func TestVisvalingamReduces(t *testing.T) {
+	xs := noisySine(2000, 80, 0.3, 3)
+	pts, err := Visvalingam(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Errorf("Visvalingam kept %d points, want 100", len(pts))
+	}
+	assertXSorted(t, pts)
+	if pts[0].X != 0 || pts[len(pts)-1].X != float64(len(xs)-1) {
+		t.Error("Visvalingam must keep endpoints")
+	}
+	for _, p := range pts {
+		i := int(p.X)
+		if xs[i] != p.Y {
+			t.Fatalf("Visvalingam fabricated point %+v", p)
+		}
+	}
+}
+
+func TestVisvalingamKeepsSpike(t *testing.T) {
+	// A large isolated spike has huge effective area; aggressive
+	// simplification must keep it (that is VW's selling point).
+	xs := make([]float64, 1000)
+	xs[500] = 100
+	pts, err := Visvalingam(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pts {
+		if p.X == 500 && p.Y == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Visvalingam dropped the dominant spike")
+	}
+}
+
+func TestVisvalingamStraightLine(t *testing.T) {
+	// Collinear points all have zero area; any subset is exact.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) * 2
+	}
+	pts, err := Visvalingam(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("line simplification kept %d points, want 2", len(pts))
+	}
+}
+
+func TestVisvalingamErrors(t *testing.T) {
+	if _, err := Visvalingam([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("target < 2 should error")
+	}
+}
+
+func TestDouglasPeuckerLine(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3*float64(i) + 1
+	}
+	pts, err := DouglasPeucker(xs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("DP on a line kept %d points, want 2", len(pts))
+	}
+}
+
+func TestDouglasPeuckerKeepsCorner(t *testing.T) {
+	// A V-shape: the corner must survive any epsilon below its depth.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = math.Abs(float64(i) - 50)
+	}
+	pts, err := DouglasPeucker(xs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pts {
+		if p.X == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DP dropped the corner point")
+	}
+}
+
+func TestDouglasPeuckerN(t *testing.T) {
+	xs := noisySine(2000, 100, 0.3, 4)
+	pts, err := DouglasPeuckerN(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) > 60 {
+		t.Errorf("DP-N target 50 returned %d points", len(pts))
+	}
+	if _, err := DouglasPeuckerN(xs, 1); err == nil {
+		t.Error("target 1 should error")
+	}
+}
+
+func TestDouglasPeuckerErrors(t *testing.T) {
+	if _, err := DouglasPeucker(nil, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := DouglasPeucker([]float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative epsilon should error")
+	}
+}
+
+func TestMinMaxAggregation(t *testing.T) {
+	xs := []float64{1, 5, 2, -3, 8, 0}
+	pts, err := MinMax(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 1: [1,5,2] -> min 1 (idx 0), max 5 (idx 1) in order.
+	// Bucket 2: [-3,8,0] -> min -3 (idx 3), max 8 (idx 4).
+	want := []Point{{0, 1}, {1, 5}, {3, -3}, {4, 8}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points: %v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if p != want[i] {
+			t.Errorf("pts[%d] = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+func TestMinMaxConstantBucket(t *testing.T) {
+	// All-equal bucket: min==max, emit one point, not two.
+	pts, err := MinMax([]float64{7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Errorf("constant bucket emitted %d points, want 1", len(pts))
+	}
+}
+
+func TestMinMaxIsRough(t *testing.T) {
+	// Appendix B.2: minmax yields far rougher output than SMA at the same
+	// budget.
+	xs := noisySine(4000, 200, 0.5, 5)
+	mm, err := MinMax(xs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothed, err := Oversmooth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Roughness(ys(mm)) < 5*stats.Roughness(smoothed) {
+		t.Errorf("minmax roughness %v not >> SMA roughness %v",
+			stats.Roughness(ys(mm)), stats.Roughness(smoothed))
+	}
+}
+
+func TestOversmooth(t *testing.T) {
+	xs := noisySine(1000, 50, 0.5, 6)
+	sm, err := Oversmooth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm) != len(xs)-250+1 {
+		t.Errorf("oversmooth length %d", len(sm))
+	}
+	if stats.Roughness(sm) >= stats.Roughness(xs) {
+		t.Error("oversmoothing did not reduce roughness")
+	}
+	if _, err := Oversmooth([]float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestSavitzkyGolayLinePreservation(t *testing.T) {
+	// SG of any degree >= 1 reproduces a straight line exactly.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 2*float64(i) + 5
+	}
+	for _, deg := range []int{1, 2, 4} {
+		sm, err := SavitzkyGolay(xs, 11, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range sm {
+			want := 2*(float64(i)+5) + 5 // value at window center i+5
+			if math.Abs(v-want) > 1e-8 {
+				t.Fatalf("deg=%d i=%d: %v, want %v", deg, i, v, want)
+			}
+		}
+	}
+}
+
+func TestSavitzkyGolayQuarticPreservation(t *testing.T) {
+	// SG4 reproduces degree-4 polynomials exactly; SG1 does not.
+	xs := make([]float64, 60)
+	for i := range xs {
+		x := float64(i) / 10
+		xs[i] = x*x*x*x - 2*x*x + 3
+	}
+	sm4, err := SavitzkyGolay(xs, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sm4 {
+		x := (float64(i) + 4) / 10
+		want := x*x*x*x - 2*x*x + 3
+		if math.Abs(v-want) > 1e-6 {
+			t.Fatalf("SG4 i=%d: %v, want %v", i, v, want)
+		}
+	}
+	sm1, err := SavitzkyGolay(xs, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i, v := range sm1 {
+		x := (float64(i) + 4) / 10
+		want := x*x*x*x - 2*x*x + 3
+		if d := math.Abs(v - want); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr < 1e-6 {
+		t.Error("SG1 should not reproduce a quartic exactly")
+	}
+}
+
+func TestSavitzkyGolayDegreeZeroIsSMA(t *testing.T) {
+	// A degree-0 fit is the window mean: must equal SMA.
+	xs := noisySine(200, 20, 0.4, 7)
+	sg, err := SavitzkyGolay(xs, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sg {
+		var sum float64
+		for _, v := range xs[i : i+7] {
+			sum += v
+		}
+		if math.Abs(sg[i]-sum/7) > 1e-9 {
+			t.Fatalf("SG0[%d] = %v, SMA = %v", i, sg[i], sum/7)
+		}
+	}
+}
+
+func TestSavitzkyGolayCoefficientsSymmetric(t *testing.T) {
+	// Centered odd-window coefficients are symmetric for any degree.
+	for _, deg := range []int{1, 2, 3, 4} {
+		cs, err := savgolCoefficients(11, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range cs {
+			sum += cs[i]
+			if math.Abs(cs[i]-cs[len(cs)-1-i]) > 1e-9 {
+				t.Errorf("deg=%d: coefficients asymmetric at %d", deg, i)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("deg=%d: coefficients sum to %v, want 1", deg, sum)
+		}
+	}
+}
+
+func TestSavitzkyGolayErrors(t *testing.T) {
+	if _, err := SavitzkyGolay(nil, 5, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := SavitzkyGolay([]float64{1, 2, 3}, 5, 1); err == nil {
+		t.Error("window > n should error")
+	}
+	if _, err := SavitzkyGolay([]float64{1, 2, 3}, 3, -1); err == nil {
+		t.Error("negative degree should error")
+	}
+	// degree >= window clamps instead of erroring.
+	if _, err := SavitzkyGolay([]float64{1, 2, 3, 4, 5}, 3, 10); err != nil {
+		t.Errorf("degree clamp failed: %v", err)
+	}
+}
+
+func TestFFTSmoothLowPass(t *testing.T) {
+	// Signal = slow sine + fast sine. Keeping only the lowest bands must
+	// remove the fast component.
+	n := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*4*float64(i)/float64(n)) +
+			0.5*math.Sin(2*math.Pi*100*float64(i)/float64(n))
+	}
+	sm, err := FFTSmooth(xs, 10, FFTLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sm {
+		want := math.Sin(2 * math.Pi * 4 * float64(i) / float64(n))
+		if math.Abs(v-want) > 1e-8 {
+			t.Fatalf("low-pass did not isolate slow component at %d: %v vs %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTSmoothDominantKeepsStrongest(t *testing.T) {
+	// With the fast component stronger, FFT-dominant keeps it and drops
+	// the weak slow one — reproducing why FFT-dominant plots stay rough.
+	n := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.2*math.Sin(2*math.Pi*4*float64(i)/float64(n)) +
+			2*math.Sin(2*math.Pi*100*float64(i)/float64(n))
+	}
+	sm, err := FFTSmooth(xs, 1, FFTDominant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sm {
+		want := 2 * math.Sin(2*math.Pi*100*float64(i)/float64(n))
+		if math.Abs(v-want) > 1e-8 {
+			t.Fatalf("dominant did not keep strongest component at %d: %v vs %v", i, v, want)
+		}
+	}
+	if stats.Roughness(sm) < stats.Roughness(xs)*0.5 {
+		t.Error("FFT-dominant unexpectedly smoothed a high-frequency-dominated signal")
+	}
+}
+
+func TestFFTSmoothPreservesMean(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() + 3
+		}
+		k := int(kRaw) % 100
+		for _, mode := range []FFTMode{FFTLow, FFTDominant} {
+			sm, err := FFTSmooth(xs, k, mode)
+			if err != nil {
+				return false
+			}
+			if math.Abs(stats.Mean(sm)-stats.Mean(xs)) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTSmoothZeroComponents(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	sm, err := FFTSmooth(xs, 0, FFTLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stats.Mean(xs)
+	for i, v := range sm {
+		if math.Abs(v-m) > 1e-9 {
+			t.Errorf("k=0 reconstruction[%d] = %v, want mean %v", i, v, m)
+		}
+	}
+}
+
+func TestFFTSmoothErrors(t *testing.T) {
+	if _, err := FFTSmooth(nil, 3, FFTLow); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FFTSmooth([]float64{1, 2}, -1, FFTLow); err == nil {
+		t.Error("negative k should error")
+	}
+	if _, err := FFTSmooth([]float64{1, 2}, 1, FFTMode(9)); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if FFTLow.String() != "FFT-low" || FFTDominant.String() != "FFT-dominant" {
+		t.Error("FFTMode names wrong")
+	}
+	if FFTMode(9).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}
+
+func TestApplyAllTechniques(t *testing.T) {
+	xs := noisySine(4000, 200, 0.4, 8)
+	for _, tech := range AllTechniques {
+		pts, err := Apply(tech, xs, 800)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if len(pts) == 0 {
+			t.Errorf("%v produced no points", tech)
+		}
+		assertXSorted(t, pts)
+		// Every x must be within the original index range.
+		for _, p := range pts {
+			if p.X < 0 || p.X > float64(len(xs)) {
+				t.Errorf("%v produced out-of-range x %v", tech, p.X)
+			}
+		}
+	}
+	if _, err := Apply(Technique(99), xs, 800); err == nil {
+		t.Error("unknown technique should error")
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	names := map[Technique]string{
+		TechASAP: "ASAP", TechOriginal: "Original", TechM4: "M4",
+		TechSimplify: "simp", TechPAA800: "PAA800", TechPAA100: "PAA100",
+		TechOversmooth: "Oversmooth",
+	}
+	for tech, want := range names {
+		if tech.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(tech), tech.String(), want)
+		}
+	}
+}
+
+func BenchmarkM4(b *testing.B) {
+	xs := noisySine(1_000_000, 1000, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := M4(xs, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPAA(b *testing.B) {
+	xs := noisySine(1_000_000, 1000, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAA(xs, 800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVisvalingam(b *testing.B) {
+	xs := noisySine(100_000, 1000, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Visvalingam(xs, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

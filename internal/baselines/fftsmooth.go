@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asap-go/asap/internal/fft"
+)
+
+// FFTMode selects which frequency components an FFT reconstruction keeps.
+type FFTMode int
+
+const (
+	// FFTLow keeps the k lowest-frequency components ("FFT-low" in
+	// Appendix B.2) — a brick-wall low-pass filter.
+	FFTLow FFTMode = iota
+	// FFTDominant keeps the k highest-power components regardless of
+	// frequency ("FFT-dominant"), which tends to retain the very
+	// high-frequency content that dominates noisy series — the paper
+	// reports it produces extremely rough plots.
+	FFTDominant
+)
+
+// String names the mode as in the paper's figures.
+func (m FFTMode) String() string {
+	switch m {
+	case FFTLow:
+		return "FFT-low"
+	case FFTDominant:
+		return "FFT-dominant"
+	default:
+		return fmt.Sprintf("FFTMode(%d)", int(m))
+	}
+}
+
+// FFTSmooth reconstructs xs from k frequency components chosen per mode.
+// The DC component (mean) is always kept and does not count against k.
+// Conjugate pairs are kept together so the reconstruction stays real.
+func FFTSmooth(xs []float64, k int, mode FFTMode) ([]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("%w: negative component count %d", ErrInput, k)
+	}
+	spec, err := fft.ForwardReal(xs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frequency "bands" are conjugate pairs {i, n-i} for i in 1..n/2.
+	nBands := n / 2
+	keep := make([]bool, nBands+1)
+	switch mode {
+	case FFTLow:
+		for i := 1; i <= nBands && i <= k; i++ {
+			keep[i] = true
+		}
+	case FFTDominant:
+		type band struct {
+			idx   int
+			power float64
+		}
+		bands := make([]band, 0, nBands)
+		for i := 1; i <= nBands; i++ {
+			re, im := real(spec[i]), imag(spec[i])
+			bands = append(bands, band{idx: i, power: re*re + im*im})
+		}
+		sort.Slice(bands, func(a, b int) bool { return bands[a].power > bands[b].power })
+		for i := 0; i < k && i < len(bands); i++ {
+			keep[bands[i].idx] = true
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown FFT mode %d", ErrInput, int(mode))
+	}
+
+	filtered := make([]complex128, n)
+	filtered[0] = spec[0] // DC
+	for i := 1; i <= nBands; i++ {
+		if !keep[i] {
+			continue
+		}
+		filtered[i] = spec[i]
+		if i != n-i && n-i < n {
+			filtered[n-i] = spec[n-i]
+		}
+	}
+	back, err := fft.Inverse(filtered)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, c := range back {
+		out[i] = real(c)
+	}
+	return out, nil
+}

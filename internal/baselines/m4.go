@@ -1,0 +1,72 @@
+package baselines
+
+import "fmt"
+
+// M4 implements the M4 aggregation of Jugel et al. (VLDB 2014): for each of
+// width pixel columns it keeps the first, last, minimum, and maximum
+// values at their original positions. M4 is the error-free downsampler for
+// line charts — the paper's representative of "visually indistinguishable"
+// techniques (Section 6) — and serves as both a user-study comparison and
+// the pixel-accuracy gold standard of Table 4.
+func M4(xs []float64, width int) ([]Point, error) {
+	n := len(xs)
+	if width < 1 || n == 0 {
+		return nil, fmt.Errorf("%w: M4 width %d on %d points", ErrInput, width, n)
+	}
+	if width >= n {
+		return PointsFromSeries(xs), nil
+	}
+	out := make([]Point, 0, 4*width)
+	for k := 0; k < width; k++ {
+		start := k * n / width
+		end := (k + 1) * n / width
+		if end == start {
+			end = start + 1
+		}
+		firstIdx, lastIdx := start, end-1
+		minIdx, maxIdx := start, start
+		for i := start + 1; i < end; i++ {
+			if xs[i] < xs[minIdx] {
+				minIdx = i
+			}
+			if xs[i] > xs[maxIdx] {
+				maxIdx = i
+			}
+		}
+		// Emit the up-to-4 distinct indices in x order.
+		idxs := dedupSorted(firstIdx, minIdx, maxIdx, lastIdx)
+		for _, i := range idxs {
+			out = append(out, Point{X: float64(i), Y: xs[i]})
+		}
+	}
+	return out, nil
+}
+
+// dedupSorted returns the distinct values among the four indices in
+// ascending order. Four elements: a fixed-size sorting network keeps this
+// allocation-light in the hot loop.
+func dedupSorted(a, b, c, d int) []int {
+	idx := [4]int{a, b, c, d}
+	if idx[0] > idx[1] {
+		idx[0], idx[1] = idx[1], idx[0]
+	}
+	if idx[2] > idx[3] {
+		idx[2], idx[3] = idx[3], idx[2]
+	}
+	if idx[0] > idx[2] {
+		idx[0], idx[2] = idx[2], idx[0]
+	}
+	if idx[1] > idx[3] {
+		idx[1], idx[3] = idx[3], idx[1]
+	}
+	if idx[1] > idx[2] {
+		idx[1], idx[2] = idx[2], idx[1]
+	}
+	out := make([]int, 0, 4)
+	for i, v := range idx {
+		if i == 0 || v != idx[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

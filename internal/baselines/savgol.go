@@ -1,0 +1,148 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SavitzkyGolay smooths xs by least-squares fitting a polynomial of the
+// given degree over each sliding window and evaluating it at the window
+// center (Savitzky & Golay 1964 [56]). Like SMA, the output has length
+// len(xs)-window+1, one value per window position, which keeps the
+// roughness comparison of Appendix B.2 apples-to-apples: SG1 fits lines,
+// SG4 fits quartics.
+//
+// The fit at the (fractional, for even windows) center is a fixed linear
+// combination of the window values, so the filter is a single convolution
+// with precomputed coefficients.
+func SavitzkyGolay(xs []float64, window, degree int) ([]float64, error) {
+	n := len(xs)
+	if window < 1 || window > n {
+		return nil, fmt.Errorf("%w: window %d for %d points", ErrInput, window, n)
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("%w: negative degree %d", ErrInput, degree)
+	}
+	if degree >= window {
+		// A degree >= window-1 polynomial interpolates the window exactly;
+		// clamp so the system stays determined.
+		degree = window - 1
+	}
+	coeffs, err := savgolCoefficients(window, degree)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n-window+1)
+	for i := range out {
+		var sum float64
+		win := xs[i : i+window]
+		for j, c := range coeffs {
+			sum += c * win[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// savgolCoefficients returns the convolution weights that evaluate the
+// least-squares polynomial of the given degree at the window center
+// t = (window-1)/2. Derivation: with design matrix A[j][k] = j^k, the
+// fitted coefficient vector is (A^T A)^{-1} A^T y, and evaluating at t is
+// the dot product with (1, t, t^2, ...); folding the two gives one weight
+// per sample.
+func savgolCoefficients(window, degree int) ([]float64, error) {
+	m := degree + 1
+	// Normal matrix N = A^T A with N[p][q] = sum_j j^(p+q), and A^T rows.
+	normal := make([][]float64, m)
+	for p := 0; p < m; p++ {
+		normal[p] = make([]float64, m)
+		for q := 0; q < m; q++ {
+			var s float64
+			for j := 0; j < window; j++ {
+				s += math.Pow(float64(j), float64(p+q))
+			}
+			normal[p][q] = s
+		}
+	}
+	// Solve N * beta_j = A^T e_j for the weight each sample contributes,
+	// equivalently: weight_j = phi(t)^T N^{-1} a_j where a_j = (1, j, j^2...).
+	inv, err := invertMatrix(normal)
+	if err != nil {
+		return nil, err
+	}
+	t := float64(window-1) / 2
+	phi := make([]float64, m)
+	for k := 0; k < m; k++ {
+		phi[k] = math.Pow(t, float64(k))
+	}
+	// row = phi^T * inv
+	row := make([]float64, m)
+	for q := 0; q < m; q++ {
+		var s float64
+		for p := 0; p < m; p++ {
+			s += phi[p] * inv[p][q]
+		}
+		row[q] = s
+	}
+	coeffs := make([]float64, window)
+	for j := 0; j < window; j++ {
+		var s float64
+		jp := 1.0
+		for k := 0; k < m; k++ {
+			s += row[k] * jp
+			jp *= float64(j)
+		}
+		coeffs[j] = s
+	}
+	return coeffs, nil
+}
+
+// invertMatrix inverts a small dense matrix with Gauss–Jordan elimination
+// and partial pivoting. Sized for Savitzky–Golay normal matrices (degree+1
+// <= ~8), not general linear algebra.
+func invertMatrix(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augment [A | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-300 {
+			return nil, errors.New("baselines: singular normal matrix in Savitzky-Golay fit")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Normalize and eliminate.
+		p := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Visvalingam reduces xs to target points with the Visvalingam–Whyatt
+// algorithm [64]: repeatedly remove the point whose triangle with its two
+// neighbors has the smallest ("effective") area, until only target points
+// remain. The first and last points are always kept.
+func Visvalingam(xs []float64, target int) ([]Point, error) {
+	n := len(xs)
+	if target < 2 {
+		return nil, fmt.Errorf("%w: Visvalingam target %d (need >= 2)", ErrInput, target)
+	}
+	if n <= target {
+		return PointsFromSeries(xs), nil
+	}
+
+	// Doubly linked list over indices plus a lazy-deletion heap of areas.
+	prev := make([]int, n)
+	next := make([]int, n)
+	alive := make([]bool, n)
+	version := make([]int, n)
+	for i := range prev {
+		prev[i] = i - 1
+		next[i] = i + 1
+		alive[i] = true
+	}
+
+	area := func(i int) float64 {
+		p, q := prev[i], next[i]
+		if p < 0 || q >= n {
+			return math.Inf(1) // endpoints are immortal
+		}
+		return triangleArea(float64(p), xs[p], float64(i), xs[i], float64(q), xs[q])
+	}
+
+	h := &areaHeap{}
+	heap.Init(h)
+	for i := 1; i < n-1; i++ {
+		heap.Push(h, areaItem{idx: i, area: area(i), version: 0})
+	}
+
+	remaining := n
+	for remaining > target && h.Len() > 0 {
+		item := heap.Pop(h).(areaItem)
+		i := item.idx
+		if !alive[i] || item.version != version[i] {
+			continue // stale entry
+		}
+		// Remove i from the polyline.
+		alive[i] = false
+		remaining--
+		p, q := prev[i], next[i]
+		if p >= 0 {
+			next[p] = q
+		}
+		if q < n {
+			prev[q] = p
+		}
+		// Recompute neighbor areas (lazy: bump version, push fresh).
+		for _, j := range [2]int{p, q} {
+			if j > 0 && j < n-1 && alive[j] {
+				version[j]++
+				heap.Push(h, areaItem{idx: j, area: area(j), version: version[j]})
+			}
+		}
+	}
+
+	out := make([]Point, 0, target)
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			out = append(out, Point{X: float64(i), Y: xs[i]})
+		}
+	}
+	return out, nil
+}
+
+func triangleArea(x1, y1, x2, y2, x3, y3 float64) float64 {
+	return math.Abs((x1*(y2-y3) + x2*(y3-y1) + x3*(y1-y2)) / 2)
+}
+
+type areaItem struct {
+	idx     int
+	area    float64
+	version int
+}
+
+type areaHeap []areaItem
+
+func (h areaHeap) Len() int            { return len(h) }
+func (h areaHeap) Less(i, j int) bool  { return h[i].area < h[j].area }
+func (h areaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *areaHeap) Push(x interface{}) { *h = append(*h, x.(areaItem)) }
+func (h *areaHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// DouglasPeucker simplifies xs with the classic Douglas–Peucker algorithm
+// [26]: points farther than epsilon (in y-distance to the chord) survive.
+// An explicit stack avoids deep recursion on pathological inputs.
+func DouglasPeucker(xs []float64, epsilon float64) ([]Point, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("%w: negative epsilon %v", ErrInput, epsilon)
+	}
+	if n <= 2 {
+		return PointsFromSeries(xs), nil
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+
+	type span struct{ lo, hi int }
+	stack := []span{{0, n - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Find the point with maximum perpendicular distance to the chord.
+		maxDist, maxIdx := -1.0, -1
+		x1, y1 := float64(s.lo), xs[s.lo]
+		x2, y2 := float64(s.hi), xs[s.hi]
+		dx, dy := x2-x1, y2-y1
+		norm := math.Hypot(dx, dy)
+		for i := s.lo + 1; i < s.hi; i++ {
+			var d float64
+			if norm == 0 {
+				d = math.Hypot(float64(i)-x1, xs[i]-y1)
+			} else {
+				d = math.Abs(dy*float64(i)-dx*xs[i]+x2*y1-y2*x1) / norm
+			}
+			if d > maxDist {
+				maxDist, maxIdx = d, i
+			}
+		}
+		if maxDist > epsilon {
+			keep[maxIdx] = true
+			stack = append(stack, span{s.lo, maxIdx}, span{maxIdx, s.hi})
+		}
+	}
+
+	var out []Point
+	for i, k := range keep {
+		if k {
+			out = append(out, Point{X: float64(i), Y: xs[i]})
+		}
+	}
+	return out, nil
+}
+
+// DouglasPeuckerN binary-searches epsilon so that the simplification keeps
+// approximately target points (within the achievable granularity), which
+// makes DP comparable with the fixed-budget techniques.
+func DouglasPeuckerN(xs []float64, target int) ([]Point, error) {
+	if target < 2 {
+		return nil, fmt.Errorf("%w: target %d (need >= 2)", ErrInput, target)
+	}
+	if len(xs) <= target {
+		return PointsFromSeries(xs), nil
+	}
+	lo, hi := 0.0, 0.0
+	for _, v := range xs {
+		if a := math.Abs(v); a > hi {
+			hi = a
+		}
+	}
+	hi = hi*2 + 1
+	best, err := DouglasPeucker(xs, 0)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		pts, err := DouglasPeucker(xs, mid)
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) > target {
+			lo = mid
+		} else {
+			hi = mid
+			best = pts
+		}
+	}
+	return best, nil
+}

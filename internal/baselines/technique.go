@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/asap-go/asap/internal/core"
+)
+
+// Technique identifies one of the seven visualization methods compared in
+// the anomaly-identification user study (Section 5.1 / Figure 6).
+type Technique int
+
+// The compared techniques, in the order of Figure 6's legend.
+const (
+	TechASAP Technique = iota
+	TechOriginal
+	TechM4
+	TechSimplify // Visvalingam–Whyatt ("simp" in the figures)
+	TechPAA800
+	TechPAA100
+	TechOversmooth
+)
+
+// AllTechniques lists every technique in presentation order.
+var AllTechniques = []Technique{
+	TechASAP, TechOriginal, TechM4, TechSimplify, TechPAA800, TechPAA100, TechOversmooth,
+}
+
+// String returns the legend label used in the paper's figures.
+func (t Technique) String() string {
+	switch t {
+	case TechASAP:
+		return "ASAP"
+	case TechOriginal:
+		return "Original"
+	case TechM4:
+		return "M4"
+	case TechSimplify:
+		return "simp"
+	case TechPAA800:
+		return "PAA800"
+	case TechPAA100:
+		return "PAA100"
+	case TechOversmooth:
+		return "Oversmooth"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Apply renders xs with the given technique targeting the given display
+// resolution (the studies use 800 px) and returns the plotted points.
+func Apply(t Technique, xs []float64, resolution int) ([]Point, error) {
+	switch t {
+	case TechOriginal:
+		return PointsFromSeries(xs), nil
+	case TechASAP:
+		res, err := core.Smooth(xs, core.SmoothOptions{Resolution: resolution})
+		if err != nil {
+			return nil, err
+		}
+		// Plot positions are in units of the original index: each
+		// aggregated point spans Ratio raw points.
+		pts := make([]Point, len(res.Smoothed))
+		half := float64(res.Window-1) / 2
+		for i, v := range res.Smoothed {
+			pts[i] = Point{X: (float64(i) + half + 0.5) * float64(res.Ratio), Y: v}
+		}
+		return pts, nil
+	case TechM4:
+		return M4(xs, resolution)
+	case TechSimplify:
+		return Visvalingam(xs, resolution)
+	case TechPAA800:
+		return PAA(xs, 800)
+	case TechPAA100:
+		return PAA(xs, 100)
+	case TechOversmooth:
+		sm, err := Oversmooth(xs)
+		if err != nil {
+			return nil, err
+		}
+		w := len(xs) / OversmoothWindow
+		return PointsFromSMA(sm, w), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown technique %d", ErrInput, int(t))
+	}
+}

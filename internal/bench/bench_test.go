@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, Seed: 20170901}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	wantIDs := []string{
+		"table1", "table2", "table4",
+		"figure1", "figure4", "figure5", "figure6", "figure7",
+		"figure8", "figure9", "figure10", "figure11",
+		"figureA1", "figureA2", "figureA3", "figureB1", "figureB2", "figureC",
+	}
+	for _, id := range wantIDs {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(wantIDs) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(wantIDs))
+	}
+	if _, ok := ByID("bogus"); ok {
+		t.Error("bogus experiment found")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	// tables first, then main figures numerically, then appendix figures.
+	idx := func(id string) int {
+		for i, v := range ids {
+			if v == id {
+				return i
+			}
+		}
+		t.Fatalf("%s missing", id)
+		return -1
+	}
+	if !(idx("table1") < idx("table2") && idx("table2") < idx("figure1")) {
+		t.Errorf("tables not first: %v", ids)
+	}
+	if idx("figure8") > idx("figure10") {
+		t.Errorf("figure10 sorted before figure8: %v", ids)
+	}
+	if idx("figure11") > idx("figureA1") {
+		t.Errorf("appendix figures before main: %v", ids)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.String()
+	for _, want := range []string{"demo", "a", "bb", "333", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsRunQuick executes every registered experiment in quick
+// mode — the integration test that the whole harness produces output.
+// Heavier experiments get their own subtests so failures are attributable.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+				if out := tbl.String(); len(out) < 10 {
+					t.Errorf("%s: table renders to %q", e.ID, out)
+				}
+			}
+		})
+	}
+}
+
+func TestSweepInts(t *testing.T) {
+	got := sweepInts(2, 10, 5)
+	if got[0] != 2 || got[len(got)-1] != 10 {
+		t.Errorf("sweep endpoints wrong: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("sweep not increasing: %v", got)
+		}
+	}
+	if len(sweepInts(5, 5, 3)) != 1 {
+		t.Error("degenerate sweep should dedupe")
+	}
+	if len(sweepInts(5, 2, 3)) < 1 {
+		t.Error("inverted range should clamp")
+	}
+}
+
+func TestOrderKey(t *testing.T) {
+	if !(orderKey("table1") < orderKey("table2")) {
+		t.Error("table order")
+	}
+	if !(orderKey("figure2") < orderKey("figure10")) {
+		t.Error("numeric figure order")
+	}
+	if !(orderKey("figure11") < orderKey("figureA1")) {
+		t.Error("appendix after main figures")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+// Property-based tests of the search invariants that hold for *every*
+// strategy on *any* input (DESIGN.md Section 7): results stay in bounds,
+// the kurtosis constraint is never violated, exhaustive search dominates,
+// and preaggregation composes with search without breaking either.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSeries generates a random mix of periodic, trend, and noise
+// components — the space of inputs ASAP is designed for.
+func randomSeries(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(2000) + 100
+	period := float64(rng.Intn(100) + 4)
+	amp := rng.Float64() * 10
+	noise := rng.Float64() * 2
+	trend := (rng.Float64() - 0.5) * 0.01
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = amp*math.Sin(2*math.Pi*float64(i)/period) +
+			trend*float64(i) + noise*rng.NormFloat64()
+	}
+	// Occasionally inject an outlier spike.
+	if rng.Intn(3) == 0 {
+		xs[rng.Intn(n)] += amp*10 + 50
+	}
+	return xs
+}
+
+func TestInvariantWindowInBounds(t *testing.T) {
+	prop := func(seed int64, stratRaw uint8) bool {
+		xs := randomSeries(seed)
+		strat := Strategy(int(stratRaw) % 5)
+		res, err := Search(strat, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Window >= 1 && res.Window <= res.MaxWindow
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantKurtosisNeverViolated(t *testing.T) {
+	prop := func(seed int64, stratRaw uint8) bool {
+		xs := randomSeries(seed)
+		strat := Strategy(int(stratRaw) % 5)
+		res, err := Search(strat, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Kurtosis >= res.OriginalKurtosis-1e-9 || res.Window == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantExhaustiveDominates(t *testing.T) {
+	// No strategy may achieve strictly lower roughness than exhaustive
+	// search under the same constraint — exhaustive is the optimum by
+	// construction.
+	prop := func(seed int64, stratRaw uint8) bool {
+		xs := randomSeries(seed)
+		strat := Strategy(int(stratRaw)%4 + 1) // grid/binary variants; ASAP checked below
+		ex, err := Search(StrategyExhaustive, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		res, err := Search(strat, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		asapRes, err := Search(StrategyASAP, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		eps := 1e-9 * (1 + ex.Roughness)
+		return res.Roughness >= ex.Roughness-eps && asapRes.Roughness >= ex.Roughness-eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantRoughnessNeverIncreases(t *testing.T) {
+	prop := func(seed int64, stratRaw uint8) bool {
+		xs := randomSeries(seed)
+		strat := Strategy(int(stratRaw) % 5)
+		res, err := Search(strat, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Roughness <= res.OriginalRoughness+1e-9*(1+res.OriginalRoughness)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantCandidatesBounded(t *testing.T) {
+	// Candidate evaluations are bounded by the search space: exhaustive
+	// tries at most maxWindow-1, ASAP strictly fewer than exhaustive plus
+	// O(log maxWindow) refinement, binary O(log maxWindow).
+	prop := func(seed int64) bool {
+		xs := randomSeries(seed)
+		ex, err := Search(StrategyExhaustive, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		if ex.Candidates > ex.MaxWindow-1 {
+			return false
+		}
+		as, err := Search(StrategyASAP, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		logBound := 2*int(math.Log2(float64(as.MaxWindow))) + 4
+		if as.Candidates > ex.Candidates+logBound {
+			return false
+		}
+		bi, err := Search(StrategyBinary, xs, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		return bi.Candidates <= logBound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantSmoothComposesWithPreaggregation(t *testing.T) {
+	// Smooth(resolution=r) must equal preaggregating then searching: the
+	// two code paths may not drift apart.
+	prop := func(seed int64) bool {
+		xs := randomSeries(seed)
+		if len(xs) < 200 {
+			return true
+		}
+		res := 64
+		full, err := Smooth(xs, SmoothOptions{Resolution: res})
+		if err != nil {
+			return false
+		}
+		if len(xs) < 2*res {
+			return full.Ratio == 1
+		}
+		manual, err := Search(StrategyASAP, full.Aggregated, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		return manual.Window == full.Window
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantOutputsFinite(t *testing.T) {
+	prop := func(seed int64) bool {
+		xs := randomSeries(seed)
+		res, err := Smooth(xs, SmoothOptions{Resolution: 100})
+		if err != nil {
+			return false
+		}
+		for _, v := range res.Smoothed {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package csvio loads and saves time series as CSV, the interchange format
+// of the CLI and examples. Two layouts are supported: a single value
+// column, or timestamp,value rows (RFC 3339 or Unix-seconds timestamps).
+package csvio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/asap-go/asap/internal/timeseries"
+)
+
+// ErrFormat reports unparseable CSV content.
+var ErrFormat = errors.New("csvio: bad format")
+
+// Write emits the series as timestamp,value rows in RFC 3339.
+func Write(w io.Writer, s *timeseries.Series) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "value"}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			s.TimeAt(i).Format(time.RFC3339),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteValues emits one value per line with a "value" header.
+func WriteValues(w io.Writer, values []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"value"}); err != nil {
+		return err
+	}
+	for _, v := range values {
+		if err := cw.Write([]string{strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a series from CSV. Accepted layouts:
+//
+//	value              (single column; interval defaults to 1s)
+//	timestamp,value    (RFC 3339 or Unix seconds; interval inferred from
+//	                    the first two rows)
+//
+// A non-numeric first row is treated as a header and skipped.
+func Read(r io.Reader, name string) (*timeseries.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty file", ErrFormat)
+	}
+	// Header detection: first row where no field parses as a number/time.
+	startRow := 0
+	if isHeader(records[0]) {
+		startRow = 1
+	}
+	rows := records[startRow:]
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: no data rows", ErrFormat)
+	}
+
+	width := len(rows[0])
+	for i, rec := range rows {
+		if len(rec) != width {
+			return nil, fmt.Errorf("%w: row %d has %d columns, expected %d",
+				ErrFormat, startRow+i+1, len(rec), width)
+		}
+	}
+
+	switch width {
+	case 1:
+		values := make([]float64, 0, len(rows))
+		for i, rec := range rows {
+			v, err := strconv.ParseFloat(rec[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d: %v", ErrFormat, startRow+i+1, err)
+			}
+			values = append(values, v)
+		}
+		return timeseries.New(name, time.Unix(0, 0).UTC(), time.Second, values), nil
+	case 2:
+		values := make([]float64, 0, len(rows))
+		times := make([]time.Time, 0, len(rows))
+		for i, rec := range rows {
+			ts, err := parseTime(rec[0])
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d timestamp: %v", ErrFormat, startRow+i+1, err)
+			}
+			v, err := strconv.ParseFloat(rec[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d value: %v", ErrFormat, startRow+i+1, err)
+			}
+			times = append(times, ts)
+			values = append(values, v)
+		}
+		interval := time.Second
+		if len(times) >= 2 {
+			interval = times[1].Sub(times[0])
+			if interval <= 0 {
+				return nil, fmt.Errorf("%w: non-increasing timestamps", ErrFormat)
+			}
+		}
+		return timeseries.New(name, times[0], interval, values), nil
+	default:
+		return nil, fmt.Errorf("%w: expected 1 or 2 columns, got %d", ErrFormat, len(rows[0]))
+	}
+}
+
+func isHeader(rec []string) bool {
+	for _, f := range rec {
+		if _, err := strconv.ParseFloat(f, 64); err == nil {
+			return false
+		}
+		if _, err := parseTime(f); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// maxUnixSeconds is 9999-12-31T23:59:59Z — the largest instant RFC 3339
+// can represent, and therefore the largest Unix timestamp Read accepts so
+// that every accepted series can be rewritten by Write and read back.
+const maxUnixSeconds = 253402300799
+
+func parseTime(s string) (time.Time, error) {
+	if ts, err := time.Parse(time.RFC3339, s); err == nil {
+		return ts, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if secs < 0 || secs > maxUnixSeconds {
+			return time.Time{}, fmt.Errorf("unix timestamp %d out of range [0, %d]", secs, int64(maxUnixSeconds))
+		}
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("unrecognized timestamp %q", s)
+}

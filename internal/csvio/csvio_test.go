@@ -1,0 +1,133 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap/internal/timeseries"
+)
+
+func TestRoundTrip(t *testing.T) {
+	start := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	s := timeseries.New("demo", start, 30*time.Second, []float64{1.5, -2, 3.25})
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Start.Equal(start) {
+		t.Errorf("start = %v, want %v", back.Start, start)
+	}
+	if back.Interval != 30*time.Second {
+		t.Errorf("interval = %v", back.Interval)
+	}
+	if back.Len() != 3 || back.Values[2] != 3.25 {
+		t.Errorf("values = %v", back.Values)
+	}
+}
+
+func TestReadSingleColumn(t *testing.T) {
+	in := "value\n1\n2.5\n-3\n"
+	s, err := Read(strings.NewReader(in), "vals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Values[1] != 2.5 {
+		t.Errorf("values = %v", s.Values)
+	}
+	if s.Interval != time.Second {
+		t.Errorf("default interval = %v", s.Interval)
+	}
+}
+
+func TestReadNoHeader(t *testing.T) {
+	in := "1\n2\n3\n"
+	s, err := Read(strings.NewReader(in), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestReadUnixTimestamps(t *testing.T) {
+	in := "100,1.5\n160,2.5\n220,3.5\n"
+	s, err := Read(strings.NewReader(in), "unix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval != time.Minute {
+		t.Errorf("interval = %v, want 1m", s.Interval)
+	}
+	if !s.Start.Equal(time.Unix(100, 0).UTC()) {
+		t.Errorf("start = %v", s.Start)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"header only\n",
+		"1,2,3\n",
+		"abc\n",
+		"2020-01-01T00:00:00Z,notanumber\n",
+		"nottime,5\n",
+		"200,1\n100,2\n", // non-increasing timestamps
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestWriteValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteValues(&buf, []float64{1, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	want := "value\n1\n2.5\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteInvalidSeries(t *testing.T) {
+	var buf bytes.Buffer
+	var nilSeries *timeseries.Series
+	if err := Write(&buf, nilSeries); err == nil {
+		t.Error("nil series should fail")
+	}
+}
+
+func TestReadRaggedRowsRejected(t *testing.T) {
+	// Regression (found by FuzzRead): ragged rows used to panic the
+	// two-column path.
+	if _, err := Read(strings.NewReader("0,0\n0"), "x"); err == nil {
+		t.Error("ragged rows should be rejected")
+	}
+	if _, err := Read(strings.NewReader("1\n2,3\n"), "x"); err == nil {
+		t.Error("widening rows should be rejected")
+	}
+}
+
+func TestReadTimestampRange(t *testing.T) {
+	// Regression (found by FuzzRead): unix timestamps past year 9999 are
+	// not representable in RFC 3339 and must be rejected on input so
+	// every accepted series round-trips through Write.
+	if _, err := Read(strings.NewReader("1000000050055,1\n1000000050056,2\n"), "x"); err == nil {
+		t.Error("year-33658 timestamp should be rejected")
+	}
+	if _, err := Read(strings.NewReader("-5,1\n-4,2\n"), "x"); err == nil {
+		t.Error("negative unix timestamp should be rejected")
+	}
+	if _, err := Read(strings.NewReader("253402300799,1\n"), "x"); err != nil {
+		t.Errorf("max representable timestamp rejected: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the CSV reader and
+// that everything it accepts round-trips through Write and parses again
+// to the same values.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"value\n1\n2\n3\n",
+		"1\n2\n3\n",
+		"timestamp,value\n2020-01-01T00:00:00Z,1.5\n2020-01-01T00:01:00Z,2\n",
+		"100,1\n160,2\n",
+		"",
+		"a,b,c\n",
+		"value\nNaN\n",
+		"value\n1e309\n",
+		"\x00\xff\n",
+		"value\r\n1\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := s.Validate(); err != nil {
+			// Read accepted values that Validate rejects (NaN/Inf parse as
+			// floats). That is acceptable for Read — the CLI validates —
+			// but must not panic anywhere below.
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write of accepted series failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(buf.String()), "fuzz")
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round-trip length %d != %d", back.Len(), s.Len())
+		}
+		for i := range s.Values {
+			if back.Values[i] != s.Values[i] {
+				t.Fatalf("round-trip value %d: %v != %v", i, back.Values[i], s.Values[i])
+			}
+		}
+	})
+}

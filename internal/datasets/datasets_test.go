@@ -1,0 +1,338 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asap-go/asap/internal/acf"
+	"github.com/asap-go/asap/internal/core"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 11 {
+		t.Fatalf("catalog has %d datasets, want 11 (Table 2)", len(specs))
+	}
+	want := map[string]int{
+		"gas sensor": 4_208_261, "EEG": 45_000, "Power": 35_040,
+		"traffic data": 32_075, "machine temp": 22_695, "Twitter AAPL": 15_902,
+		"ramp traffic": 8_640, "sim daily": 4_033, "Taxi": 3_600,
+		"Temp": 2_976, "Sine": 800,
+	}
+	for _, s := range specs {
+		n, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %q", s.Name)
+			continue
+		}
+		if s.N != n {
+			t.Errorf("%s: N = %d, want %d", s.Name, s.N, n)
+		}
+		if s.gen == nil {
+			t.Errorf("%s: missing generator", s.Name)
+		}
+		if s.PaperWindow < 1 {
+			t.Errorf("%s: missing paper window", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Taxi"); !ok {
+		t.Error("Taxi not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestUserStudySpecs(t *testing.T) {
+	specs := UserStudySpecs()
+	wantOrder := []string{"Taxi", "Power", "Sine", "EEG", "Temp"}
+	if len(specs) != 5 {
+		t.Fatalf("%d user-study datasets, want 5", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != wantOrder[i] {
+			t.Errorf("user-study[%d] = %s, want %s", i, s.Name, wantOrder[i])
+		}
+		if !s.UserStudy {
+			t.Errorf("%s not flagged as user-study dataset", s.Name)
+		}
+		if s.AnomalyFracStart < 0 || s.AnomalyText == "" {
+			t.Errorf("%s: user-study dataset needs a labeled anomaly", s.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, s := range Catalog() {
+		n := s.N
+		if n > 50_000 {
+			n = 50_000 // keep the test fast; determinism is size-independent
+		}
+		a := s.GenerateN(n, 42).Values
+		b := s.GenerateN(n, 42).Values
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: differs at %d with same seed", s.Name, i)
+				break
+			}
+		}
+		c := s.GenerateN(n, 43).Values
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: identical output for different seeds", s.Name)
+		}
+	}
+}
+
+func TestSeriesAreValid(t *testing.T) {
+	for _, s := range Catalog() {
+		n := s.N
+		if n > 100_000 {
+			n = 100_000
+		}
+		series := s.GenerateN(n, 1)
+		if err := series.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if series.Len() != n {
+			t.Errorf("%s: generated %d points, want %d", s.Name, series.Len(), n)
+		}
+		if series.Name != s.Name {
+			t.Errorf("%s: series name %q", s.Name, series.Name)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	// Generate at full Table 2 size for everything but gas sensor (4.2M:
+	// exercised in benchmarks).
+	for _, s := range Catalog() {
+		if s.Name == "gas sensor" {
+			continue
+		}
+		series := s.Generate(7)
+		if series.Len() != s.N {
+			t.Errorf("%s: default size %d, want %d", s.Name, series.Len(), s.N)
+		}
+	}
+}
+
+func TestAnomalySpansAndRegions(t *testing.T) {
+	for _, s := range Catalog() {
+		lo, hi := s.AnomalySpan(s.N)
+		region := s.AnomalyRegion(s.N)
+		if s.AnomalyFracStart < 0 {
+			if lo != -1 || hi != -1 || region != -1 {
+				t.Errorf("%s: unlabeled dataset returned span %d..%d region %d", s.Name, lo, hi, region)
+			}
+			continue
+		}
+		if lo < 0 || hi <= lo || hi > s.N {
+			t.Errorf("%s: bad anomaly span [%d,%d)", s.Name, lo, hi)
+		}
+		if region < 0 || region > 4 {
+			t.Errorf("%s: bad region %d", s.Name, region)
+		}
+	}
+	// Known answer keys for the user-study datasets.
+	taxi, _ := ByName("Taxi")
+	if got := taxi.AnomalyRegion(taxi.N); got != 3 {
+		t.Errorf("Taxi anomaly region = %d, want 3 (Thanksgiving at ~77%%)", got)
+	}
+	temp, _ := ByName("Temp")
+	if got := temp.AnomalyRegion(temp.N); got != 4 {
+		t.Errorf("Temp anomaly region = %d, want 4 (warming at the end)", got)
+	}
+	sine, _ := ByName("Sine")
+	if got := sine.AnomalyRegion(sine.N); got != 2 {
+		t.Errorf("Sine anomaly region = %d, want 2", got)
+	}
+}
+
+func TestPeriodicityMatchesDesign(t *testing.T) {
+	// Verify the ACF structure the generators promise: Taxi daily period
+	// = 48 samples; Sine period = 32; ramp traffic daily = 288.
+	cases := []struct {
+		name   string
+		n      int
+		period int
+		tol    int
+	}{
+		{"Taxi", 3600, 48, 2},
+		{"Sine", 800, 32, 2},
+		{"ramp traffic", 8640, 288, 4},
+	}
+	for _, c := range cases {
+		s, ok := ByName(c.name)
+		if !ok {
+			t.Fatalf("%s missing", c.name)
+		}
+		xs := s.GenerateN(c.n, 3).Values
+		res, err := acf.Compute(xs, c.period*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range res.Peaks {
+			if abs(p-c.period) <= c.tol {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no ACF peak near period %d; peaks=%v", c.name, c.period, res.Peaks)
+		}
+	}
+}
+
+func TestTwitterAAPLHighKurtosis(t *testing.T) {
+	s, _ := ByName("Twitter AAPL")
+	xs := s.Generate(5).Values
+	k := stats.Kurtosis(xs)
+	if k < 20 {
+		t.Errorf("Twitter AAPL kurtosis = %v, want very high (spiky series)", k)
+	}
+	// The defining behaviour: ASAP must leave it unsmoothed at 1200 px.
+	res, err := core.Smooth(xs, core.SmoothOptions{Resolution: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window != 1 {
+		t.Errorf("Twitter AAPL smoothed with window %d, want 1 (Table 2)", res.Window)
+	}
+}
+
+func TestTaxiThanksgivingDip(t *testing.T) {
+	s, _ := ByName("Taxi")
+	xs := s.Generate(11).Values
+	lo, hi := s.AnomalySpan(len(xs))
+	dipMean := stats.Mean(xs[lo:hi])
+	// Compare with same-length windows before and after.
+	before := stats.Mean(xs[lo-(hi-lo) : lo])
+	if dipMean >= before*0.9 {
+		t.Errorf("Thanksgiving dip not present: dip mean %v vs before %v", dipMean, before)
+	}
+}
+
+func TestTempWarmingTrend(t *testing.T) {
+	s, _ := ByName("Temp")
+	xs := s.Generate(13).Values
+	n := len(xs)
+	early := stats.Mean(xs[:n/5])
+	late := stats.Mean(xs[4*n/5:])
+	if late-early < 0.5 {
+		t.Errorf("warming trend too weak: early %v, late %v", early, late)
+	}
+}
+
+func TestSimDailyAbnormalDay(t *testing.T) {
+	s, _ := ByName("sim daily")
+	xs := s.Generate(17).Values
+	lo, hi := s.AnomalySpan(len(xs))
+	anomVar := stats.Variance(xs[lo:hi])
+	normVar := stats.Variance(xs[hi : hi+(hi-lo)])
+	if anomVar >= normVar/2 {
+		t.Errorf("abnormal day not flattened: variance %v vs normal day %v", anomVar, normVar)
+	}
+}
+
+func TestEEGAnomalyIsLargest(t *testing.T) {
+	s, _ := ByName("EEG")
+	xs := s.GenerateN(45000, 19).Values
+	lo, hi := s.AnomalySpan(len(xs))
+	var minV float64
+	for _, v := range xs {
+		if v < minV {
+			minV = v
+		}
+	}
+	var minAnom float64
+	for _, v := range xs[lo:hi] {
+		if v < minAnom {
+			minAnom = v
+		}
+	}
+	if minAnom > minV+1e-9 {
+		t.Errorf("PVC should be the deepest deflection: anomaly min %v, global min %v", minAnom, minV)
+	}
+}
+
+func TestGenerateNScaling(t *testing.T) {
+	// Asking for a smaller instance keeps the anomaly at its fractional
+	// position.
+	s, _ := ByName("Taxi")
+	small := s.GenerateN(720, 23) // 15 days at 48/day
+	if small.Len() != 720 {
+		t.Fatalf("GenerateN(720) returned %d points", small.Len())
+	}
+	lo, hi := s.AnomalySpan(720)
+	if lo <= 0 || hi >= 720 || hi <= lo {
+		t.Errorf("scaled anomaly span [%d,%d) invalid", lo, hi)
+	}
+	// Zero or negative n falls back to the default size.
+	if got := s.GenerateN(0, 23).Len(); got != s.N {
+		t.Errorf("GenerateN(0) = %d points, want default %d", got, s.N)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPowerHolidayDip(t *testing.T) {
+	s, _ := ByName("Power")
+	xs := s.Generate(29).Values
+	lo, hi := s.AnomalySpan(len(xs))
+	holiday := stats.Mean(xs[lo:hi])
+	// Compare against the same weekday span one week earlier (672 points).
+	week := 672
+	if lo-week < 0 {
+		t.Fatal("anomaly too early for comparison")
+	}
+	normal := stats.Mean(xs[lo-week : hi-week])
+	if holiday >= normal*0.85 {
+		t.Errorf("holiday dip missing: holiday %v vs normal %v", holiday, normal)
+	}
+}
+
+func TestMachineTempFailureDip(t *testing.T) {
+	s, _ := ByName("machine temp")
+	xs := s.Generate(31).Values
+	lo, hi := s.AnomalySpan(len(xs))
+	failMin := math.Inf(1)
+	for _, v := range xs[lo:hi] {
+		failMin = math.Min(failMin, v)
+	}
+	normalMean := stats.Mean(xs[:lo])
+	if normalMean-failMin < 10 {
+		t.Errorf("failure dip too shallow: min %v vs normal %v", failMin, normalMean)
+	}
+}
+
+func BenchmarkGenerateTaxi(b *testing.B) {
+	s, _ := ByName("Taxi")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Generate(int64(i))
+	}
+}
+
+func BenchmarkGenerateGasSensorFull(b *testing.B) {
+	s, _ := ByName("gas sensor")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Generate(int64(i))
+	}
+}

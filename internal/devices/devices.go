@@ -1,0 +1,38 @@
+// Package devices catalogs the display devices of Table 1 and computes the
+// search-space reduction that pixel-aware preaggregation achieves on each
+// (Section 4.4).
+package devices
+
+import "github.com/asap-go/asap/internal/preagg"
+
+// Device is a display target with its native resolution.
+type Device struct {
+	Name   string
+	Width  int // horizontal pixels — the dimension that bounds a time axis
+	Height int
+}
+
+// Table1 lists the devices of Table 1 in the paper's order.
+var Table1 = []Device{
+	{Name: "38mm Apple Watch", Width: 272, Height: 340},
+	{Name: "Samsung Galaxy S7", Width: 1440, Height: 2560},
+	{Name: "13\" MacBook Pro", Width: 2304, Height: 1440},
+	{Name: "Dell 34 Curved Monitor", Width: 3440, Height: 1440},
+	{Name: "27\" iMac Retina", Width: 5120, Height: 2880},
+}
+
+// Reduction returns the factor by which preaggregating an n-point series
+// for this device shrinks ASAP's search space (Table 1, right column).
+func (d Device) Reduction(n int) (float64, error) {
+	return preagg.SearchSpaceReduction(n, d.Width)
+}
+
+// ByName finds a device in Table1.
+func ByName(name string) (Device, bool) {
+	for _, d := range Table1 {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}

@@ -1,0 +1,51 @@
+package devices
+
+import "testing"
+
+func TestTable1Reductions(t *testing.T) {
+	// The published reductions for 1M points. The paper prints 291x for
+	// the Dell (we compute floor(1e6/3440) = 290 — the paper rounds the
+	// real-valued ratio 290.7); all others match exactly.
+	want := map[string]float64{
+		"38mm Apple Watch":       3676,
+		"Samsung Galaxy S7":      694,
+		"13\" MacBook Pro":       434,
+		"Dell 34 Curved Monitor": 290,
+		"27\" iMac Retina":       195,
+	}
+	for _, d := range Table1 {
+		r, err := d.Reduction(1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if r != want[d.Name] {
+			t.Errorf("%s reduction = %v, want %v", d.Name, r, want[d.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, ok := ByName("38mm Apple Watch")
+	if !ok || d.Width != 272 {
+		t.Errorf("ByName watch = %+v, %v", d, ok)
+	}
+	if _, ok := ByName("CRT"); ok {
+		t.Error("bogus device found")
+	}
+}
+
+func TestReductionError(t *testing.T) {
+	d := Table1[0]
+	if _, err := d.Reduction(0); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestTable1Order(t *testing.T) {
+	if len(Table1) != 5 {
+		t.Fatalf("Table1 has %d devices, want 5", len(Table1))
+	}
+	if Table1[0].Name != "38mm Apple Watch" || Table1[4].Name != "27\" iMac Retina" {
+		t.Error("Table1 not in paper order")
+	}
+}

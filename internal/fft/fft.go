@@ -1,0 +1,214 @@
+// Package fft implements the fast Fourier transform from scratch on top of
+// the standard library's complex128 type.
+//
+// ASAP needs the FFT for two things: computing autocorrelation in
+// O(n log n) via the Wiener–Khinchin theorem (Section 4.3.3 of the paper),
+// and the FFT-based smoothing baselines of Appendix B.2 (low-pass and
+// dominant-frequency reconstruction).
+//
+// Transform sizes that are powers of two use an iterative radix-2
+// Cooley–Tukey kernel; every other size is handled exactly (not by zero
+// padding) with Bluestein's chirp-z algorithm, so callers never need to
+// care about the length of their data.
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmpty is returned when a transform is requested on an empty slice.
+var ErrEmpty = errors.New("fft: empty input")
+
+// Forward returns the discrete Fourier transform of xs:
+//
+//	X[k] = sum_j xs[j] * exp(-2*pi*i*j*k/n)
+//
+// The input slice is not modified. Any length n >= 1 is supported.
+func Forward(xs []complex128) ([]complex128, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]complex128, len(xs))
+	copy(out, xs)
+	transform(out, false)
+	return out, nil
+}
+
+// Inverse returns the inverse DFT of xs, normalized by 1/n so that
+// Inverse(Forward(x)) == x up to floating-point error.
+func Inverse(xs []complex128) ([]complex128, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]complex128, len(xs))
+	copy(out, xs)
+	transform(out, true)
+	inv := complex(1/float64(len(out)), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// ForwardReal transforms a real-valued series. It is a convenience wrapper
+// that lifts xs into complex space; the asymptotics are unchanged.
+func ForwardReal(xs []float64) ([]complex128, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	cs := make([]complex128, len(xs))
+	for i, x := range xs {
+		cs[i] = complex(x, 0)
+	}
+	transform(cs, false)
+	return cs, nil
+}
+
+// transform runs an in-place DFT (or inverse DFT without normalization when
+// inverse is true) on xs of any length.
+func transform(xs []complex128, inverse bool) {
+	n := len(xs)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(xs, inverse)
+		return
+	}
+	bluestein(xs, inverse)
+}
+
+// radix2 is an iterative, in-place Cooley–Tukey FFT for power-of-two sizes.
+func radix2(xs []complex128, inverse bool) {
+	n := len(xs)
+	logN := bits.TrailingZeros(uint(n))
+
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := xs[start+k]
+				b := xs[start+k+half] * w
+				xs[start+k] = a + b
+				xs[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-size DFT as a convolution, which is then
+// evaluated with power-of-two FFTs. This keeps every transform exact for
+// its nominal length (unlike zero-padding the input, which would change
+// the DFT being computed).
+func bluestein(xs []complex128, inverse bool) {
+	n := len(xs)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[j] = exp(sign * i * pi * j^2 / n).
+	chirp := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j^2 mod 2n avoids precision loss for large j.
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		angle := sign * math.Pi * float64(jj) / float64(n)
+		chirp[j] = cmplx.Exp(complex(0, angle))
+	}
+
+	m := nextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = xs[j] * chirp[j]
+		b[j] = cmplx.Conj(chirp[j])
+	}
+	// b is symmetric: b[m-j] = b[j] for the wrapped part of the convolution.
+	for j := 1; j < n; j++ {
+		b[m-j] = b[j]
+	}
+
+	radix2(a, false)
+	radix2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for j := 0; j < n; j++ {
+		xs[j] = a[j] * scale * chirp[j]
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NextPow2 exposes nextPow2 for callers sizing FFT work buffers.
+func NextPow2(n int) int { return nextPow2(n) }
+
+// Convolve returns the linear convolution of a and b computed via FFT in
+// O((|a|+|b|) log(|a|+|b|)) time. The result has length |a|+|b|-1.
+func Convolve(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(a) + len(b) - 1
+	m := nextPow2(n)
+	ca := make([]complex128, m)
+	cb := make([]complex128, m)
+	for i, x := range a {
+		ca[i] = complex(x, 0)
+	}
+	for i, x := range b {
+		cb[i] = complex(x, 0)
+	}
+	radix2(ca, false)
+	radix2(cb, false)
+	for i := range ca {
+		ca[i] *= cb[i]
+	}
+	radix2(ca, true)
+	out := make([]float64, n)
+	scale := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		out[i] = real(ca[i]) * scale
+	}
+	return out, nil
+}
+
+// PowerSpectrum returns |X[k]|^2 for the DFT X of the real series xs.
+func PowerSpectrum(xs []float64) ([]float64, error) {
+	cs, err := ForwardReal(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		re, im := real(c), imag(c)
+		out[i] = re*re + im*im
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation used to validate both FFT
+// kernels.
+func naiveDFT(xs []complex128, inverse bool) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += xs[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return xs
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	// Cover powers of two (radix-2 path), primes, and composites
+	// (Bluestein path).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 100, 127, 128, 243, 500} {
+		xs := randComplex(n, int64(n))
+		got, err := Forward(xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := naiveDFT(xs, false)
+		if d := maxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: max diff vs naive DFT = %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 15, 64, 99} {
+		xs := randComplex(n, int64(n)+100)
+		got, err := Inverse(xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := naiveDFT(xs, true)
+		for i := range want {
+			want[i] /= complex(float64(n), 0)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: max diff vs naive IDFT = %g", n, d)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		xs := randComplex(n, seed)
+		f, err := Forward(xs)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(f)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(xs, back) < 1e-8*float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/n) sum |X|^2 for every transform size.
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz)%256 + 1
+		xs := randComplex(n, seed)
+		f, err := Forward(xs)
+		if err != nil {
+			return false
+		}
+		var tEnergy, fEnergy float64
+		for i := range xs {
+			tEnergy += real(xs[i])*real(xs[i]) + imag(xs[i])*imag(xs[i])
+			fEnergy += real(f[i])*real(f[i]) + imag(f[i])*imag(f[i])
+		}
+		fEnergy /= float64(n)
+		return math.Abs(tEnergy-fEnergy) < 1e-7*(1+tEnergy)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := 73 // prime: exercises Bluestein
+		a := randComplex(n, seed)
+		b := randComplex(n, seed+1)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		fa, _ := Forward(a)
+		fb, _ := Forward(b)
+		fsum, _ := Forward(sum)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = 2*fa[i] + 3*fb[i]
+		}
+		return maxAbsDiff(fsum, want) < 1e-8*float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardRealKnownSpectrum(t *testing.T) {
+	// A pure cosine of frequency k has spikes at bins k and n-k.
+	n, k := 64, 5
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	f, err := ForwardReal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bin, c := range f {
+		mag := cmplx.Abs(c)
+		if bin == k || bin == n-k {
+			if math.Abs(mag-float64(n)/2) > 1e-8 {
+				t.Errorf("bin %d magnitude = %v, want %v", bin, mag, float64(n)/2)
+			}
+		} else if mag > 1e-8 {
+			t.Errorf("bin %d magnitude = %v, want 0", bin, mag)
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5}
+	got, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("Convolve length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		na, nb := rng.Intn(50)+1, rng.Intn(50)+1
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got, err := Convolve(a, b)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, na+nb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Forward(nil); err != ErrEmpty {
+		t.Errorf("Forward(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Inverse(nil); err != ErrEmpty {
+		t.Errorf("Inverse(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := ForwardReal(nil); err != ErrEmpty {
+		t.Errorf("ForwardReal(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Convolve(nil, []float64{1}); err != ErrEmpty {
+		t.Errorf("Convolve(nil,...) err = %v, want ErrEmpty", err)
+	}
+	if _, err := PowerSpectrum(nil); err != ErrEmpty {
+		t.Errorf("PowerSpectrum(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPowerSpectrumDC(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	ps, err := PowerSpectrum(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps[0]-16) > 1e-9 {
+		t.Errorf("DC power = %v, want 16", ps[0])
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] > 1e-9 {
+			t.Errorf("bin %d power = %v, want 0", i, ps[i])
+		}
+	}
+}
+
+func BenchmarkForwardPow2(b *testing.B) {
+	xs := randComplex(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardBluestein(b *testing.B) {
+	xs := randComplex(4095, 1) // 4095 = 3^2 * 5 * 7 * 13: worst case
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

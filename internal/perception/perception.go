@@ -1,0 +1,334 @@
+// Package perception simulates the user studies of Section 5.1. The
+// paper's studies put rendered time-series plots in front of 700 Mechanical
+// Turk workers (anomaly identification, Figure 6) and 20 graduate students
+// (visual preference, Figure 7). Humans are not available to an offline
+// reproduction, so this package substitutes a simple saliency-based
+// observer model that encodes the paper's own causal explanation of the
+// results:
+//
+//   - an observer perceives the plot at display resolution, not the data;
+//   - small-scale fluctuations ("clutter") mask large-scale deviations —
+//     perceptual noise grows with the roughness of the rendered plot;
+//   - observers report the region whose perceived deviation from typical
+//     behaviour is largest, and take longer when the plot is cluttered or
+//     the choice is ambiguous.
+//
+// The model's free parameters are fixed constants chosen once (not fit per
+// dataset); the reproduction targets the *ordering* of techniques —
+// smoothed plots beat raw plots, oversmoothing wins only when the anomaly
+// is a monotone trend — not the paper's absolute percentages. DESIGN.md
+// Section 3 documents this substitution.
+package perception
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/asap-go/asap/internal/baselines"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// Regions is the number of equal-width answer regions in the
+// identification task (the study's five-way multiple choice).
+const Regions = 5
+
+// Model constants. Chosen once for the whole evaluation; see package
+// comment.
+const (
+	// foveaWindow is the local averaging window (in pixels) of the
+	// percept: the visual system integrates nearby pixels when judging
+	// level, so single-pixel detail does not read as "level shift".
+	foveaWindow = 9
+	// clutterNoise scales perceptual noise by the rendered plot's
+	// roughness: noisy plots mask deviations.
+	clutterNoise = 1.1
+	// baseSeconds, clutterSeconds and ambiguitySeconds compose the
+	// response-time model.
+	baseSeconds      = 6.0
+	clutterSeconds   = 26.0
+	ambiguitySeconds = 14.0
+)
+
+// ErrInput reports unusable study input.
+var ErrInput = errors.New("perception: invalid input")
+
+// Trial is one observer's answer in the identification task.
+type Trial struct {
+	ChosenRegion    int
+	Correct         bool
+	ResponseSeconds float64
+}
+
+// StudyResult aggregates trials: mean accuracy and response time with
+// standard errors, as plotted in Figure 6.
+type StudyResult struct {
+	Observers  int
+	Accuracy   float64 // fraction correct, 0..1
+	AccuracySE float64
+	MeanTime   float64 // seconds
+	TimeSE     float64
+}
+
+// Percept resamples a rendered polyline at the given pixel width: the
+// value an ideal display shows in each column. Points must be sorted by X
+// (every baselines technique returns them sorted).
+func Percept(pts []baselines.Point, width int) ([]float64, error) {
+	if len(pts) == 0 || width < 2 {
+		return nil, ErrInput
+	}
+	out := make([]float64, width)
+	x0, x1 := pts[0].X, pts[len(pts)-1].X
+	if x1 == x0 {
+		for i := range out {
+			out[i] = pts[0].Y
+		}
+		return out, nil
+	}
+	j := 0
+	for i := 0; i < width; i++ {
+		x := x0 + (x1-x0)*float64(i)/float64(width-1)
+		for j < len(pts)-2 && pts[j+1].X < x {
+			j++
+		}
+		a, b := pts[j], pts[j+1]
+		if b.X == a.X {
+			out[i] = b.Y
+			continue
+		}
+		t := (x - a.X) / (b.X - a.X)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		out[i] = a.Y + t*(b.Y-a.Y)
+	}
+	return out, nil
+}
+
+// saliency computes the perceptual signal: z-scored percept, foveally
+// averaged, plus the clutter level of the rendered plot.
+func saliency(percept []float64) (signal []float64, clutter float64) {
+	z := stats.ZScores(percept)
+	clutter = stats.Roughness(z)
+	w := foveaWindow
+	if w > len(z) {
+		w = len(z)
+	}
+	if w < 1 {
+		w = 1
+	}
+	signal = make([]float64, len(z))
+	// Centered moving average with shrinking edges.
+	half := w / 2
+	for i := range z {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(z) {
+			hi = len(z) - 1
+		}
+		var sum float64
+		for k := lo; k <= hi; k++ {
+			sum += z[k]
+		}
+		signal[i] = sum / float64(hi-lo+1)
+	}
+	return signal, clutter
+}
+
+// IdentifyAnomaly simulates one observer answering the five-region
+// identification question: the observer's eye lands on the single most
+// salient point of the noisy percept and reports the region containing it.
+// Using the global argmax (rather than comparing per-region maxima) models
+// how people answer when an anomaly smears across a region boundary: they
+// point at its deepest part.
+func IdentifyAnomaly(pts []baselines.Point, trueRegion, width int, rng *rand.Rand) (Trial, error) {
+	if trueRegion < 0 || trueRegion >= Regions {
+		return Trial{}, ErrInput
+	}
+	percept, err := Percept(pts, width)
+	if err != nil {
+		return Trial{}, err
+	}
+	signal, clutter := saliency(percept)
+	n := len(signal)
+	noise := clutterNoise * clutter
+
+	var scores [Regions]float64
+	bestIdx, best := 0, math.Inf(-1)
+	for r := 0; r < Regions; r++ {
+		lo, hi := r*n/Regions, (r+1)*n/Regions
+		for i := lo; i < hi; i++ {
+			v := math.Abs(signal[i] + noise*rng.NormFloat64())
+			if v > scores[r] {
+				scores[r] = v
+			}
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+	}
+	bestRegion := bestIdx * Regions / n
+	if bestRegion >= Regions {
+		bestRegion = Regions - 1
+	}
+	// Decision confidence: how far the chosen region's peak stands above
+	// the strongest competitor, for the response-time model.
+	second := math.Inf(-1)
+	for r, s := range scores {
+		if r != bestRegion && s > second {
+			second = s
+		}
+	}
+	margin := 0.0
+	if best > 0 && second > 0 {
+		margin = (best - second) / best
+	}
+	clutterNorm := clutter / (clutter + 1)
+	rt := baseSeconds + clutterSeconds*clutterNorm + ambiguitySeconds*(1-margin) +
+		2*rng.NormFloat64()
+	if rt < 2 {
+		rt = 2
+	}
+	return Trial{
+		ChosenRegion:    bestRegion,
+		Correct:         bestRegion == trueRegion,
+		ResponseSeconds: rt,
+	}, nil
+}
+
+// RunIdentification simulates a population of observers on one plot and
+// aggregates accuracy and response time.
+func RunIdentification(pts []baselines.Point, trueRegion, width, observers int, seed int64) (StudyResult, error) {
+	if observers < 1 {
+		return StudyResult{}, ErrInput
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var correct int
+	times := make([]float64, 0, observers)
+	var accs []float64
+	for i := 0; i < observers; i++ {
+		tr, err := IdentifyAnomaly(pts, trueRegion, width, rng)
+		if err != nil {
+			return StudyResult{}, err
+		}
+		if tr.Correct {
+			correct++
+			accs = append(accs, 1)
+		} else {
+			accs = append(accs, 0)
+		}
+		times = append(times, tr.ResponseSeconds)
+	}
+	res := StudyResult{
+		Observers: observers,
+		Accuracy:  float64(correct) / float64(observers),
+		MeanTime:  stats.Mean(times),
+	}
+	n := float64(observers)
+	res.AccuracySE = stats.StdDev(accs) / math.Sqrt(n)
+	res.TimeSE = stats.StdDev(times) / math.Sqrt(n)
+	return res, nil
+}
+
+// Prominence scores how strongly a rendered plot highlights the known
+// anomaly region: the gap between the true region's peak deviation and the
+// strongest competing region, under a noise-free percept. This is the
+// quantity preference-study subjects are asked to judge ("select the
+// visualization that best highlights the described anomaly").
+func Prominence(pts []baselines.Point, trueRegion, width int) (float64, error) {
+	if trueRegion < 0 || trueRegion >= Regions {
+		return 0, ErrInput
+	}
+	percept, err := Percept(pts, width)
+	if err != nil {
+		return 0, err
+	}
+	signal, clutter := saliency(percept)
+	n := len(signal)
+	lo, hi := trueRegion*n/Regions, (trueRegion+1)*n/Regions
+	var trueScore float64
+	background := make([]float64, 0, n)
+	for i, v := range signal {
+		a := math.Abs(v)
+		if i >= lo && i < hi {
+			if a > trueScore {
+				trueScore = a
+			}
+		} else {
+			background = append(background, a)
+		}
+	}
+	// Compare the anomaly's peak against the *typical* deviation elsewhere
+	// (the median), not the maximum: an anomaly smeared slightly past its
+	// region boundary should not count against the plot, but a plot whose
+	// background is everywhere as extreme as the anomaly highlights
+	// nothing. Clutter further lowers perceived prominence.
+	sort.Float64s(background)
+	typical := 0.0
+	if len(background) > 0 {
+		typical = background[len(background)/2]
+	}
+	return (trueScore - typical) / (1 + clutterNoise*clutter), nil
+}
+
+// RunPreference simulates the Figure 7 study: each observer sees every
+// plot (anonymized, shuffled) and picks the one that best highlights the
+// described anomaly. It returns the share of observers choosing each plot,
+// in input order.
+func RunPreference(plots [][]baselines.Point, trueRegion, width, observers int, seed int64) ([]float64, error) {
+	if len(plots) < 2 || observers < 1 {
+		return nil, ErrInput
+	}
+	proms := make([]float64, len(plots))
+	for i, pts := range plots {
+		p, err := Prominence(pts, trueRegion, width)
+		if err != nil {
+			return nil, err
+		}
+		proms[i] = p
+	}
+	// Observers rank with individual judgment noise proportional to the
+	// spread of prominences. The noise scale is large enough that close
+	// calls split the population (as the paper's subjects split between
+	// ASAP and PAA100 on Sine) while clear winners still take strong
+	// majorities.
+	spread := spreadOf(proms)
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, len(plots))
+	for o := 0; o < observers; o++ {
+		bestIdx, best := 0, math.Inf(-1)
+		for i, p := range proms {
+			v := p + 0.8*spread*rng.NormFloat64()
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		counts[bestIdx]++
+	}
+	shares := make([]float64, len(plots))
+	for i, c := range counts {
+		shares[i] = float64(c) / float64(observers)
+	}
+	return shares, nil
+}
+
+// spreadOf returns a robust scale of the values (IQR-like: the gap between
+// the top and median), used to size judgment noise.
+func spreadOf(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := sorted[len(sorted)-1] - sorted[len(sorted)/2]
+	if s <= 0 {
+		s = 1e-3
+	}
+	return s
+}

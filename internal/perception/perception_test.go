@@ -1,0 +1,279 @@
+package perception
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-go/asap/internal/baselines"
+	"github.com/asap-go/asap/internal/datasets"
+)
+
+func TestPerceptInterpolation(t *testing.T) {
+	pts := []baselines.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	p, err := Percept(pts, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p {
+		if math.Abs(v-float64(i)) > 1e-9 {
+			t.Errorf("percept[%d] = %v, want %v", i, v, i)
+		}
+	}
+}
+
+func TestPerceptConstantX(t *testing.T) {
+	pts := []baselines.Point{{X: 5, Y: 3}}
+	p, err := Percept(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if v != 3 {
+			t.Errorf("degenerate percept = %v, want 3", v)
+		}
+	}
+}
+
+func TestPerceptErrors(t *testing.T) {
+	if _, err := Percept(nil, 10); err == nil {
+		t.Error("empty points should error")
+	}
+	if _, err := Percept([]baselines.Point{{X: 0, Y: 0}}, 1); err == nil {
+		t.Error("width < 2 should error")
+	}
+}
+
+func TestPerceptPiecewise(t *testing.T) {
+	pts := []baselines.Point{{X: 0, Y: 0}, {X: 4, Y: 4}, {X: 8, Y: 0}}
+	p, err := Percept(pts, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2, 3, 4, 3, 2, 1, 0}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("percept[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestIdentifyCleanStepIsEasy(t *testing.T) {
+	// A clean level shift in region 3 with no clutter: every observer
+	// should find it.
+	xs := make([]float64, 1000)
+	for i := 650; i < 750; i++ {
+		xs[i] = 5
+	}
+	pts := baselines.PointsFromSeries(xs)
+	res, err := RunIdentification(pts, 3, 800, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("clean anomaly accuracy = %v, want ~1", res.Accuracy)
+	}
+}
+
+func TestIdentifyPureNoiseIsChance(t *testing.T) {
+	// Pure white noise has no true anomaly: accuracy should hover near
+	// chance (1/5), definitely below 0.5.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := baselines.PointsFromSeries(xs)
+	res, err := RunIdentification(pts, 2, 800, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy > 0.45 {
+		t.Errorf("noise accuracy = %v, want near chance 0.2", res.Accuracy)
+	}
+}
+
+func TestClutterSlowsObservers(t *testing.T) {
+	// Same anomaly, one plot clean and one buried in noise: the noisy plot
+	// must take longer.
+	rng := rand.New(rand.NewSource(4))
+	clean := make([]float64, 1000)
+	noisy := make([]float64, 1000)
+	for i := range clean {
+		step := 0.0
+		if i >= 650 && i < 750 {
+			step = 3
+		}
+		clean[i] = step
+		noisy[i] = step + 2.5*rng.NormFloat64()
+	}
+	resClean, err := RunIdentification(baselines.PointsFromSeries(clean), 3, 800, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNoisy, err := RunIdentification(baselines.PointsFromSeries(noisy), 3, 800, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNoisy.MeanTime <= resClean.MeanTime {
+		t.Errorf("noisy plot faster than clean: %v <= %v", resNoisy.MeanTime, resClean.MeanTime)
+	}
+	if resNoisy.Accuracy >= resClean.Accuracy {
+		t.Errorf("noisy plot as accurate as clean: %v >= %v", resNoisy.Accuracy, resClean.Accuracy)
+	}
+}
+
+func TestASAPBeatsOriginalOnTaxi(t *testing.T) {
+	// The headline Figure 6 ordering on the Taxi dataset: ASAP's smoothed
+	// plot yields higher accuracy and lower response time than the raw
+	// plot.
+	spec, _ := datasets.ByName("Taxi")
+	xs := spec.Generate(7).Values
+	region := spec.AnomalyRegion(len(xs))
+
+	asapPts, err := baselines.Apply(baselines.TechASAP, xs, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPts, err := baselines.Apply(baselines.TechOriginal, xs, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asapRes, err := RunIdentification(asapPts, region, 800, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRes, err := RunIdentification(origPts, region, 800, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asapRes.Accuracy <= origRes.Accuracy {
+		t.Errorf("ASAP accuracy %v <= original %v", asapRes.Accuracy, origRes.Accuracy)
+	}
+	if asapRes.MeanTime >= origRes.MeanTime {
+		t.Errorf("ASAP time %v >= original %v", asapRes.MeanTime, origRes.MeanTime)
+	}
+}
+
+func TestOversmoothWinsOnTemp(t *testing.T) {
+	// Figure 6 / Figure 7's one exception: on the Temp dataset (monotone
+	// warming trend) the oversmoothed plot highlights the anomaly at least
+	// as well as ASAP, and both beat the raw plot.
+	spec, _ := datasets.ByName("Temp")
+	xs := spec.Generate(9).Values
+	region := spec.AnomalyRegion(len(xs))
+
+	prom := func(tech baselines.Technique) float64 {
+		pts, err := baselines.Apply(tech, xs, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Prominence(pts, region, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	over := prom(baselines.TechOversmooth)
+	asap := prom(baselines.TechASAP)
+	orig := prom(baselines.TechOriginal)
+	if over < asap {
+		t.Errorf("oversmooth prominence %v < ASAP %v on Temp", over, asap)
+	}
+	if asap <= orig {
+		t.Errorf("ASAP prominence %v <= original %v on Temp", asap, orig)
+	}
+}
+
+func TestPreferenceStudyFavorsASAPOnTaxi(t *testing.T) {
+	// Figure 7: on Taxi, a strong majority prefers ASAP over original,
+	// PAA100 and oversmooth.
+	spec, _ := datasets.ByName("Taxi")
+	xs := spec.Generate(13).Values
+	region := spec.AnomalyRegion(len(xs))
+
+	techs := []baselines.Technique{
+		baselines.TechOriginal, baselines.TechASAP, baselines.TechPAA100, baselines.TechOversmooth,
+	}
+	plots := make([][]baselines.Point, len(techs))
+	for i, tech := range techs {
+		pts, err := baselines.Apply(tech, xs, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plots[i] = pts
+	}
+	shares, err := RunPreference(plots, region, 800, 200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != len(techs) {
+		t.Fatalf("%d shares for %d plots", len(shares), len(techs))
+	}
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+	asapShare := shares[1]
+	for i, s := range shares {
+		if i != 1 && asapShare <= s {
+			t.Errorf("ASAP share %v not strictly greatest (plot %d has %v)", asapShare, i, s)
+		}
+	}
+	if asapShare < 0.5 {
+		t.Errorf("ASAP share %v, want a majority on Taxi", asapShare)
+	}
+}
+
+func TestRunIdentificationErrors(t *testing.T) {
+	pts := baselines.PointsFromSeries([]float64{1, 2, 3})
+	if _, err := RunIdentification(pts, -1, 800, 10, 1); err == nil {
+		t.Error("negative region should error")
+	}
+	if _, err := RunIdentification(pts, 7, 800, 10, 1); err == nil {
+		t.Error("region >= 5 should error")
+	}
+	if _, err := RunIdentification(pts, 1, 800, 0, 1); err == nil {
+		t.Error("zero observers should error")
+	}
+}
+
+func TestRunPreferenceErrors(t *testing.T) {
+	pts := baselines.PointsFromSeries([]float64{1, 2, 3})
+	if _, err := RunPreference([][]baselines.Point{pts}, 1, 800, 10, 1); err == nil {
+		t.Error("single plot should error")
+	}
+	if _, err := RunPreference([][]baselines.Point{pts, pts}, 1, 800, 0, 1); err == nil {
+		t.Error("zero observers should error")
+	}
+}
+
+func TestProminenceErrors(t *testing.T) {
+	pts := baselines.PointsFromSeries([]float64{1, 2, 3})
+	if _, err := Prominence(pts, 9, 800); err == nil {
+		t.Error("bad region should error")
+	}
+	if _, err := Prominence(nil, 1, 800); err == nil {
+		t.Error("empty points should error")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	spec, _ := datasets.ByName("Sine")
+	xs := spec.Generate(3).Values
+	pts := baselines.PointsFromSeries(xs)
+	a, err := RunIdentification(pts, spec.AnomalyRegion(len(xs)), 800, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIdentification(pts, spec.AnomalyRegion(len(xs)), 800, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,146 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asap-go/asap/internal/baselines"
+)
+
+func TestASCIIBasic(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	out, err := ASCII(xs, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data marks in chart")
+	}
+	if !strings.Contains(out, "n=10") {
+		t.Error("footer missing point count")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // height rows + footer
+		t.Errorf("chart has %d lines, want 7", len(lines))
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	out, err := ASCII(xs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("constant series should still render")
+	}
+}
+
+func TestASCIIErrors(t *testing.T) {
+	if _, err := ASCII(nil, 10, 5); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := ASCII([]float64{1, 2}, 1, 5); err == nil {
+		t.Error("width 1 should error")
+	}
+	if _, err := ASCII([]float64{1, 2}, 5, 1); err == nil {
+		t.Error("height 1 should error")
+	}
+}
+
+func TestASCIIContinuity(t *testing.T) {
+	// A jump must be connected with '|' characters.
+	xs := []float64{0, 0, 0, 10, 10, 10}
+	out, err := ASCII(xs, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("vertical connector missing at a jump")
+	}
+}
+
+func TestResampleReduce(t *testing.T) {
+	xs := []float64{1, 1, 3, 3}
+	got := resample(xs, 2)
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("resample reduce = %v", got)
+	}
+}
+
+func TestResampleStretch(t *testing.T) {
+	xs := []float64{0, 10}
+	got := resample(xs, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stretch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	xs := []float64{3, 1, 4}
+	got := resample(xs, 3)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("identity resample changed values: %v", got)
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	lines := []Line{
+		{Name: "raw", Points: baselines.PointsFromSeries([]float64{1, 3, 2, 5, 4})},
+		{Name: "smooth", Points: baselines.PointsFromSeries([]float64{2, 2.5, 3, 3.5, 4})},
+	}
+	svg, err := SVG("Demo & Test", 400, 200, lines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "<path", "Demo &amp; Test", "raw", "smooth"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<path") != 2 {
+		t.Errorf("expected 2 paths, got %d", strings.Count(svg, "<path"))
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := SVG("t", 400, 200); err == nil {
+		t.Error("no lines should error")
+	}
+	if _, err := SVG("t", 10, 10, Line{Name: "a", Points: baselines.PointsFromSeries([]float64{1})}); err == nil {
+		t.Error("tiny canvas should error")
+	}
+	if _, err := SVG("t", 400, 200, Line{Name: "empty"}); err == nil {
+		t.Error("empty line should error")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	svg, err := SVG("flat", 400, 200,
+		Line{Name: "flat", Points: baselines.PointsFromSeries([]float64{2, 2, 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<path") {
+		t.Error("flat line missing path")
+	}
+}
+
+func TestSVGSeries(t *testing.T) {
+	svg, err := SVGSeries("multi", 400, 200,
+		map[string][]float64{"a": {1, 2}, "b": {2, 1}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, ">a<") || !strings.Contains(svg, ">b<") {
+		t.Error("legend entries missing")
+	}
+	if _, err := SVGSeries("x", 400, 200, map[string][]float64{}, []string{"missing"}); err == nil {
+		t.Error("missing series should error")
+	}
+}

@@ -1,0 +1,111 @@
+// Package preagg implements ASAP's pixel-aware preaggregation
+// (Section 4.4 of the paper): before searching for a smoothing window, the
+// input is grouped into buckets of size equal to the point-to-pixel ratio
+// N/resolution, and the search runs over the bucket means. This bounds the
+// search space by the target display resolution instead of the input size,
+// the paper's largest single speedup (Table 1, Figure 9).
+package preagg
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asap-go/asap/internal/sma"
+)
+
+// ErrResolution reports an invalid target resolution.
+var ErrResolution = errors.New("preagg: invalid resolution")
+
+// Ratio returns the point-to-pixel ratio for n input points displayed at
+// the given resolution: floor(n/resolution), but never less than 1. A
+// series already at or below the target resolution has ratio 1
+// (preaggregation is the identity).
+func Ratio(n, resolution int) (int, error) {
+	if resolution < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrResolution, resolution)
+	}
+	if n <= 0 {
+		return 0, errors.New("preagg: empty series")
+	}
+	r := n / resolution
+	if r < 1 {
+		r = 1
+	}
+	return r, nil
+}
+
+// Aggregate groups xs into consecutive buckets of size ratio and returns
+// the bucket means. A trailing partial bucket is averaged over its actual
+// size, so no data is dropped. ratio==1 returns a copy.
+func Aggregate(xs []float64, ratio int) ([]float64, error) {
+	if ratio < 1 {
+		return nil, fmt.Errorf("preagg: invalid ratio %d", ratio)
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("preagg: empty series")
+	}
+	out := make([]float64, 0, (len(xs)+ratio-1)/ratio)
+	for start := 0; start < len(xs); start += ratio {
+		end := start + ratio
+		if end > len(xs) {
+			end = len(xs)
+		}
+		var sum float64
+		for _, v := range xs[start:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-start))
+	}
+	return out, nil
+}
+
+// ForResolution preaggregates xs for the given target resolution and
+// returns the aggregated series along with the point-to-pixel ratio used.
+func ForResolution(xs []float64, resolution int) (agg []float64, ratio int, err error) {
+	ratio, err = Ratio(len(xs), resolution)
+	if err != nil {
+		return nil, 0, err
+	}
+	agg, err = Aggregate(xs, ratio)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agg, ratio, nil
+}
+
+// Panes groups xs into consecutive buckets of size ratio and returns full
+// pane aggregates (count/sum/min/max), for consumers that need more than
+// the mean (e.g. the M4-style renderer and the streaming operator).
+func Panes(xs []float64, ratio int) ([]sma.Pane, error) {
+	if ratio < 1 {
+		return nil, fmt.Errorf("preagg: invalid ratio %d", ratio)
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("preagg: empty series")
+	}
+	out := make([]sma.Pane, 0, (len(xs)+ratio-1)/ratio)
+	var p sma.Pane
+	for _, x := range xs {
+		p.Add(x)
+		if p.Count == ratio {
+			out = append(out, p)
+			p = sma.Pane{}
+		}
+	}
+	if p.Count > 0 {
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SearchSpaceReduction returns the factor by which preaggregation shrinks
+// the window-search space for n points at the given resolution — the
+// quantity reported in Table 1 ("Reduction on 1M pts"). It equals the
+// point-to-pixel ratio.
+func SearchSpaceReduction(n, resolution int) (float64, error) {
+	r, err := Ratio(n, resolution)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r), nil
+}

@@ -1,0 +1,236 @@
+package preagg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/asap-go/asap/internal/stats"
+)
+
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		n, res, want int
+	}{
+		{1_000_000, 272, 3676}, // 38mm Apple Watch row of Table 1
+		{1_000_000, 1440, 694}, // Galaxy S7
+		{1_000_000, 2304, 434}, // 13" MacBook Pro
+		{1_000_000, 3440, 290}, // Dell 34 (paper rounds to 291)
+		{1_000_000, 5120, 195}, // iMac Retina
+		{604800, 2304, 262},    // Section 4.4 CPU example
+		{100, 200, 1},          // fewer points than pixels
+		{100, 100, 1},
+		{101, 100, 1},
+	}
+	for _, c := range cases {
+		got, err := Ratio(c.n, c.res)
+		if err != nil {
+			t.Fatalf("Ratio(%d,%d): %v", c.n, c.res, err)
+		}
+		if got != c.want {
+			t.Errorf("Ratio(%d,%d) = %d, want %d", c.n, c.res, got, c.want)
+		}
+	}
+}
+
+func TestRatioErrors(t *testing.T) {
+	if _, err := Ratio(100, 0); err == nil {
+		t.Error("resolution 0 should error")
+	}
+	if _, err := Ratio(0, 100); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestAggregateExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	got, err := Aggregate(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.5, 5.5}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("agg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregatePartialTail(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got, err := Aggregate(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 5 {
+		t.Errorf("partial tail: got %v, want [1.5 3.5 5]", got)
+	}
+}
+
+func TestAggregateIdentity(t *testing.T) {
+	xs := []float64{3, 1, 4}
+	got, err := Aggregate(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 42
+	if xs[0] == 42 {
+		t.Error("ratio-1 aggregate aliases input")
+	}
+}
+
+func TestAggregatePreservesMean(t *testing.T) {
+	// When ratio divides n evenly, the mean of the aggregate equals the
+	// mean of the input exactly (up to float error).
+	prop := func(seed int64, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ratio := int(rRaw)%16 + 1
+		n := ratio * (rng.Intn(50) + 2)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		agg, err := Aggregate(xs, ratio)
+		if err != nil {
+			return false
+		}
+		return math.Abs(stats.Mean(agg)-stats.Mean(xs)) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateReducesVariance(t *testing.T) {
+	// Averaging IID noise over buckets of size r divides variance by ~r.
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	agg, err := Aggregate(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stats.Variance(agg)
+	if v < 0.005 || v > 0.02 {
+		t.Errorf("variance of 100-bucket aggregate = %v, want about 0.01", v)
+	}
+}
+
+func TestForResolution(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	agg, ratio, err := ForResolution(xs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 10 {
+		t.Errorf("ratio = %d, want 10", ratio)
+	}
+	if len(agg) != 1000 {
+		t.Errorf("aggregated length = %d, want 1000", len(agg))
+	}
+	// First bucket mean of 0..9 = 4.5.
+	if agg[0] != 4.5 {
+		t.Errorf("agg[0] = %v, want 4.5", agg[0])
+	}
+}
+
+func TestPanes(t *testing.T) {
+	xs := []float64{5, 1, 3, 9, 2}
+	panes, err := Panes(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panes) != 3 {
+		t.Fatalf("panes = %d, want 3", len(panes))
+	}
+	if panes[0].Min != 1 || panes[0].Max != 5 || panes[0].Mean() != 3 {
+		t.Errorf("pane0 = %+v", panes[0])
+	}
+	if panes[2].Count != 1 || panes[2].Mean() != 2 {
+		t.Errorf("tail pane = %+v", panes[2])
+	}
+}
+
+func TestPanesConsistentWithAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 1003)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	agg, err := Aggregate(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panes, err := Panes(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != len(panes) {
+		t.Fatalf("aggregate %d vs panes %d", len(agg), len(panes))
+	}
+	for i := range agg {
+		if math.Abs(agg[i]-panes[i].Mean()) > 1e-12 {
+			t.Errorf("bucket %d: %v vs %v", i, agg[i], panes[i].Mean())
+		}
+	}
+}
+
+func TestSearchSpaceReductionTable1(t *testing.T) {
+	// The headline numbers of Table 1.
+	devices := []struct {
+		res  int
+		want float64
+	}{
+		{272, 3676}, {1440, 694}, {2304, 434}, {5120, 195},
+	}
+	for _, d := range devices {
+		got, err := SearchSpaceReduction(1_000_000, d.res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != d.want {
+			t.Errorf("reduction at %dpx = %v, want %v", d.res, got, d.want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Aggregate(nil, 2); err == nil {
+		t.Error("empty aggregate should error")
+	}
+	if _, err := Aggregate([]float64{1}, 0); err == nil {
+		t.Error("ratio 0 should error")
+	}
+	if _, err := Panes(nil, 2); err == nil {
+		t.Error("empty panes should error")
+	}
+	if _, err := Panes([]float64{1}, 0); err == nil {
+		t.Error("pane ratio 0 should error")
+	}
+	if _, _, err := ForResolution(nil, 100); err == nil {
+		t.Error("empty ForResolution should error")
+	}
+}
+
+func BenchmarkAggregate1M(b *testing.B) {
+	xs := make([]float64, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(xs, 434); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

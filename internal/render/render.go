@@ -1,0 +1,210 @@
+// Package render rasterizes time series into binary pixel grids and
+// computes the pixel-error metric used in Appendix B.1 (Table 4) to compare
+// ASAP against pixel-preserving techniques such as M4.
+//
+// The model follows the M4 line of work: a plot is the set of pixels an
+// ideal line renderer would ink when drawing the polyline through the
+// plotted points on a width x height canvas, with the y-range fixed by the
+// reference (original) series so that smoothed and raw plots share a
+// coordinate system. The pixel error of technique T is the fraction of
+// pixels in which raster(T) differs from raster(original).
+package render
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/asap-go/asap/internal/baselines"
+)
+
+// ErrCanvas reports invalid canvas geometry.
+var ErrCanvas = errors.New("render: invalid canvas")
+
+// Raster is a binary pixel grid in row-major order.
+type Raster struct {
+	Width  int
+	Height int
+	bits   []bool
+}
+
+// NewRaster returns an empty raster of the given dimensions.
+func NewRaster(width, height int) (*Raster, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrCanvas, width, height)
+	}
+	return &Raster{Width: width, Height: height, bits: make([]bool, width*height)}, nil
+}
+
+// At reports whether pixel (x, y) is inked. Out-of-range coordinates are
+// un-inked.
+func (r *Raster) At(x, y int) bool {
+	if x < 0 || x >= r.Width || y < 0 || y >= r.Height {
+		return false
+	}
+	return r.bits[y*r.Width+x]
+}
+
+// set inks a pixel, ignoring out-of-range coordinates (a clipped line
+// simply does not ink outside the canvas).
+func (r *Raster) set(x, y int) {
+	if x < 0 || x >= r.Width || y < 0 || y >= r.Height {
+		return
+	}
+	r.bits[y*r.Width+x] = true
+}
+
+// InkedPixels returns the number of inked pixels.
+func (r *Raster) InkedPixels() int {
+	n := 0
+	for _, b := range r.bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Viewport fixes the data-to-canvas mapping so multiple renders share
+// coordinates.
+type Viewport struct {
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// ViewportFor computes the viewport that exactly frames the given points.
+// Degenerate ranges (all x or all y equal) are widened symmetrically so
+// the mapping stays invertible.
+func ViewportFor(pts []baselines.Point) (Viewport, error) {
+	if len(pts) == 0 {
+		return Viewport{}, errors.New("render: no points")
+	}
+	v := Viewport{XMin: pts[0].X, XMax: pts[0].X, YMin: pts[0].Y, YMax: pts[0].Y}
+	for _, p := range pts[1:] {
+		v.XMin = math.Min(v.XMin, p.X)
+		v.XMax = math.Max(v.XMax, p.X)
+		v.YMin = math.Min(v.YMin, p.Y)
+		v.YMax = math.Max(v.YMax, p.Y)
+	}
+	if v.XMax == v.XMin {
+		v.XMin, v.XMax = v.XMin-0.5, v.XMax+0.5
+	}
+	if v.YMax == v.YMin {
+		v.YMin, v.YMax = v.YMin-0.5, v.YMax+0.5
+	}
+	return v, nil
+}
+
+// Draw rasterizes the polyline through pts onto a width x height canvas
+// under the given viewport, using Bresenham's line algorithm between
+// consecutive points.
+func Draw(pts []baselines.Point, width, height int, vp Viewport) (*Raster, error) {
+	r, err := NewRaster(width, height)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return r, nil
+	}
+	px := func(p baselines.Point) (int, int) {
+		fx := (p.X - vp.XMin) / (vp.XMax - vp.XMin)
+		fy := (p.Y - vp.YMin) / (vp.YMax - vp.YMin)
+		x := int(math.Round(fx * float64(width-1)))
+		// y axis points up in data space, down in raster space.
+		y := int(math.Round((1 - fy) * float64(height-1)))
+		return x, y
+	}
+	x0, y0 := px(pts[0])
+	r.set(x0, y0)
+	for _, p := range pts[1:] {
+		x1, y1 := px(p)
+		bresenham(r, x0, y0, x1, y1)
+		x0, y0 = x1, y1
+	}
+	return r, nil
+}
+
+// bresenham inks the line from (x0,y0) to (x1,y1) inclusive.
+func bresenham(r *Raster, x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 >= x1 {
+		sx = -1
+	}
+	if y0 >= y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		r.set(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// PixelError returns the fraction of the reference raster's inked pixels
+// that differ between the two rasters: |a XOR b| / |a OR b|. This
+// normalization (Jaccard distance of the ink sets) matches the relative
+// pixel-error numbers of Table 4: identical plots score 0, disjoint plots
+// score 1.
+func PixelError(a, b *Raster) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrCanvas, a.Width, a.Height, b.Width, b.Height)
+	}
+	var diff, union int
+	for i := range a.bits {
+		ai, bi := a.bits[i], b.bits[i]
+		if ai || bi {
+			union++
+			if ai != bi {
+				diff++
+			}
+		}
+	}
+	if union == 0 {
+		return 0, nil
+	}
+	return float64(diff) / float64(union), nil
+}
+
+// TechniquePixelError renders the original series and the technique's
+// output in the shared viewport of the original and returns their pixel
+// error — the per-cell computation behind Table 4.
+func TechniquePixelError(tech baselines.Technique, xs []float64, width, height int) (float64, error) {
+	orig := baselines.PointsFromSeries(xs)
+	vp, err := ViewportFor(orig)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := Draw(orig, width, height, vp)
+	if err != nil {
+		return 0, err
+	}
+	pts, err := baselines.Apply(tech, xs, width)
+	if err != nil {
+		return 0, err
+	}
+	got, err := Draw(pts, width, height, vp)
+	if err != nil {
+		return 0, err
+	}
+	return PixelError(ref, got)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

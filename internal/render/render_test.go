@@ -1,0 +1,234 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-go/asap/internal/baselines"
+)
+
+func TestNewRasterValidation(t *testing.T) {
+	if _, err := NewRaster(0, 5); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := NewRaster(5, -1); err == nil {
+		t.Error("negative height should error")
+	}
+	r, err := NewRaster(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InkedPixels() != 0 {
+		t.Error("fresh raster should be blank")
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	r, _ := NewRaster(2, 2)
+	if r.At(-1, 0) || r.At(0, -1) || r.At(2, 0) || r.At(0, 2) {
+		t.Error("out-of-range At should be false")
+	}
+}
+
+func TestDrawHorizontalLine(t *testing.T) {
+	pts := []baselines.Point{{X: 0, Y: 1}, {X: 9, Y: 1}}
+	vp := Viewport{XMin: 0, XMax: 9, YMin: 0, YMax: 2}
+	r, err := Draw(pts, 10, 5, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y=1 maps to the middle row (row 2 of 0..4).
+	for x := 0; x < 10; x++ {
+		if !r.At(x, 2) {
+			t.Errorf("pixel (%d,2) not inked", x)
+		}
+	}
+	if r.InkedPixels() != 10 {
+		t.Errorf("inked %d pixels, want 10", r.InkedPixels())
+	}
+}
+
+func TestDrawDiagonal(t *testing.T) {
+	pts := []baselines.Point{{X: 0, Y: 0}, {X: 9, Y: 9}}
+	vp := Viewport{XMin: 0, XMax: 9, YMin: 0, YMax: 9}
+	r, err := Draw(pts, 10, 10, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !r.At(i, 9-i) {
+			t.Errorf("diagonal pixel (%d,%d) not inked", i, 9-i)
+		}
+	}
+}
+
+func TestDrawContinuity(t *testing.T) {
+	// A rasterized polyline must be 8-connected: every inked column of a
+	// function plot connects to the next column within one pixel run.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := baselines.PointsFromSeries(xs)
+	vp, err := ViewportFor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Draw(pts, 100, 50, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < r.Width; x++ {
+		found := false
+		for y := 0; y < r.Height; y++ {
+			if r.At(x, y) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("column %d has no inked pixel — line not continuous", x)
+		}
+	}
+}
+
+func TestViewportFor(t *testing.T) {
+	pts := []baselines.Point{{X: 1, Y: -2}, {X: 5, Y: 7}}
+	vp, err := ViewportFor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.XMin != 1 || vp.XMax != 5 || vp.YMin != -2 || vp.YMax != 7 {
+		t.Errorf("viewport = %+v", vp)
+	}
+	// Degenerate ranges widen.
+	flat, err := ViewportFor([]baselines.Point{{X: 2, Y: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.XMax <= flat.XMin || flat.YMax <= flat.YMin {
+		t.Errorf("degenerate viewport not widened: %+v", flat)
+	}
+	if _, err := ViewportFor(nil); err == nil {
+		t.Error("empty points should error")
+	}
+}
+
+func TestPixelErrorIdentity(t *testing.T) {
+	pts := []baselines.Point{{X: 0, Y: 0}, {X: 9, Y: 5}}
+	vp := Viewport{XMin: 0, XMax: 9, YMin: 0, YMax: 5}
+	a, _ := Draw(pts, 10, 10, vp)
+	b, _ := Draw(pts, 10, 10, vp)
+	e, err := PixelError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("identical rasters error = %v, want 0", e)
+	}
+}
+
+func TestPixelErrorDisjoint(t *testing.T) {
+	vp := Viewport{XMin: 0, XMax: 9, YMin: 0, YMax: 9}
+	a, _ := Draw([]baselines.Point{{X: 0, Y: 0}, {X: 9, Y: 0}}, 10, 10, vp)
+	b, _ := Draw([]baselines.Point{{X: 0, Y: 9}, {X: 9, Y: 9}}, 10, 10, vp)
+	e, err := PixelError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Errorf("disjoint rasters error = %v, want 1", e)
+	}
+}
+
+func TestPixelErrorBlank(t *testing.T) {
+	a, _ := NewRaster(5, 5)
+	b, _ := NewRaster(5, 5)
+	e, err := PixelError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("blank rasters error = %v, want 0", e)
+	}
+}
+
+func TestPixelErrorDimensionMismatch(t *testing.T) {
+	a, _ := NewRaster(5, 5)
+	b, _ := NewRaster(6, 5)
+	if _, err := PixelError(a, b); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestTechniquePixelErrorOrdering(t *testing.T) {
+	// The Table 4 ordering: M4 (error-free by construction at matching
+	// width) has near-zero error; ASAP distorts aggressively and must have
+	// much higher error. This is the paper's point — ASAP optimizes
+	// attention, not pixel fidelity.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/200) + 0.4*rng.NormFloat64()
+	}
+	width, height := 400, 150
+
+	m4Err, err := TechniquePixelError(baselines.TechM4, xs, width, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asapErr, err := TechniquePixelError(baselines.TechASAP, xs, width, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4Err > 0.15 {
+		t.Errorf("M4 pixel error = %v, want near 0", m4Err)
+	}
+	if asapErr < 0.5 {
+		t.Errorf("ASAP pixel error = %v, want large (ASAP distorts)", asapErr)
+	}
+	if asapErr <= m4Err {
+		t.Errorf("expected ASAP error (%v) >> M4 error (%v)", asapErr, m4Err)
+	}
+}
+
+func TestDrawEmptyPoints(t *testing.T) {
+	r, err := Draw(nil, 10, 10, Viewport{XMin: 0, XMax: 1, YMin: 0, YMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InkedPixels() != 0 {
+		t.Error("drawing no points should ink nothing")
+	}
+}
+
+func TestDrawClipsOutOfViewport(t *testing.T) {
+	// Points outside the viewport must not panic; the line is clipped.
+	pts := []baselines.Point{{X: -5, Y: -5}, {X: 15, Y: 15}}
+	vp := Viewport{XMin: 0, XMax: 9, YMin: 0, YMax: 9}
+	r, err := Draw(pts, 10, 10, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InkedPixels() == 0 {
+		t.Error("clipped diagonal should still ink in-viewport pixels")
+	}
+}
+
+func BenchmarkDraw(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := baselines.PointsFromSeries(xs)
+	vp, _ := ViewportFor(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Draw(pts, 800, 300, vp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package sma implements the simple moving average — ASAP's smoothing
+// function (Section 3.3) — in three forms: a batch transform, an
+// incremental sliding-window evaluator, and the pane-based sub-aggregation
+// of Li et al. ("No pane, no gain", SIGMOD Record 2005) that ASAP's
+// streaming mode builds on (Section 4.5).
+//
+// Following the paper, SMA(X, w) produces y_i = (1/w) * sum_{j=0}^{w-1}
+// x_{i+j}, one output per *slide* of the window. Batch search uses slide 1;
+// the pixel-aware policy picks slide = window for preaggregation.
+package sma
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWindow reports an invalid window or slide configuration.
+var ErrWindow = errors.New("sma: invalid window configuration")
+
+// Transform returns the simple moving average of xs with the given window
+// and slide 1: output i is the mean of xs[i : i+window]. The result has
+// length len(xs)-window+1. window==1 returns a copy of xs. It returns
+// ErrWindow when window < 1 or window > len(xs).
+func Transform(xs []float64, window int) ([]float64, error) {
+	return TransformSlide(xs, window, 1)
+}
+
+// TransformSlide returns the moving average with an explicit slide:
+// output k is the mean of xs[k*slide : k*slide+window]. Windows that would
+// run past the end of the input are not emitted.
+func TransformSlide(xs []float64, window, slide int) ([]float64, error) {
+	if window < 1 || slide < 1 {
+		return nil, fmt.Errorf("%w: window=%d slide=%d", ErrWindow, window, slide)
+	}
+	if window > len(xs) {
+		return nil, fmt.Errorf("%w: window %d exceeds series length %d", ErrWindow, window, len(xs))
+	}
+	n := (len(xs)-window)/slide + 1
+	out := make([]float64, n)
+
+	if slide >= window {
+		// Disjoint or gapped windows: direct summation is both faster and
+		// exact (no drift).
+		for k := 0; k < n; k++ {
+			start := k * slide
+			var sum float64
+			for _, v := range xs[start : start+window] {
+				sum += v
+			}
+			out[k] = sum / float64(window)
+		}
+		return out, nil
+	}
+
+	// Overlapping windows: rolling sum with periodic re-summation to bound
+	// floating-point drift. A full re-sum every `resum` outputs keeps the
+	// error of any output within `window` additions of a fresh sum.
+	const resum = 4096
+	inv := 1 / float64(window)
+	var sum float64
+	for _, v := range xs[:window] {
+		sum += v
+	}
+	out[0] = sum * inv
+	for k := 1; k < n; k++ {
+		start := k * slide
+		if k%resum == 0 {
+			sum = 0
+			for _, v := range xs[start : start+window] {
+				sum += v
+			}
+		} else {
+			for i := start - slide; i < start; i++ {
+				sum -= xs[i]
+			}
+			for i := start - slide + window; i < start+window; i++ {
+				sum += xs[i]
+			}
+		}
+		out[k] = sum * inv
+	}
+	return out, nil
+}
+
+// Window is an incremental sliding-window mean over a stream. Push adds a
+// point; once Full, Mean returns the average of the most recent Size
+// points in O(1).
+type Window struct {
+	size  int
+	buf   []float64
+	next  int
+	count int
+	sum   float64
+	// pushes since the last full recompute; bounds floating-point drift.
+	sincePushReset int
+}
+
+// NewWindow returns an incremental window of the given size.
+func NewWindow(size int) (*Window, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("%w: size=%d", ErrWindow, size)
+	}
+	return &Window{size: size, buf: make([]float64, size)}, nil
+}
+
+// Push adds x, evicting the oldest value once the window is full.
+func (w *Window) Push(x float64) {
+	if w.count == w.size {
+		w.sum -= w.buf[w.next]
+	} else {
+		w.count++
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.next = (w.next + 1) % w.size
+	w.sincePushReset++
+	if w.sincePushReset >= 1<<16 {
+		w.recompute()
+	}
+}
+
+func (w *Window) recompute() {
+	w.sum = 0
+	for i := 0; i < w.count; i++ {
+		w.sum += w.buf[i]
+	}
+	w.sincePushReset = 0
+}
+
+// Full reports whether Size points have been pushed.
+func (w *Window) Full() bool { return w.count == w.size }
+
+// Count returns the number of points currently in the window.
+func (w *Window) Count() int { return w.count }
+
+// Size returns the configured window size.
+func (w *Window) Size() int { return w.size }
+
+// Mean returns the mean of the points in the window (all pushed points
+// until the window fills). It returns 0 when empty.
+func (w *Window) Mean() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	return w.sum / float64(w.count)
+}
+
+// Pane is a disjoint sub-aggregate of a stream: the count and sum of a
+// fixed-size batch of input points. Sliding-window aggregates over panes
+// need only O(window/pane) work per slide instead of O(window), the
+// technique ASAP adopts for pixel-aware streaming (Section 4.5).
+type Pane struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Add folds a point into the pane.
+func (p *Pane) Add(x float64) {
+	if p.Count == 0 {
+		p.Min, p.Max = x, x
+	} else {
+		if x < p.Min {
+			p.Min = x
+		}
+		if x > p.Max {
+			p.Max = x
+		}
+	}
+	p.Count++
+	p.Sum += x
+}
+
+// Mean returns the pane average, or 0 for an empty pane.
+func (p *Pane) Mean() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Sum / float64(p.Count)
+}
+
+// Paner splits an incoming stream into consecutive disjoint panes of a
+// fixed size and emits each completed pane. This is the pixel-aware
+// preaggregation of Section 4.4 applied online: pane size = point-to-pixel
+// ratio.
+type Paner struct {
+	paneSize int
+	current  Pane
+	emit     func(Pane)
+}
+
+// NewPaner returns a Paner that calls emit for every completed pane of
+// paneSize points.
+func NewPaner(paneSize int, emit func(Pane)) (*Paner, error) {
+	if paneSize < 1 {
+		return nil, fmt.Errorf("%w: pane size=%d", ErrWindow, paneSize)
+	}
+	if emit == nil {
+		return nil, errors.New("sma: nil emit callback")
+	}
+	return &Paner{paneSize: paneSize, emit: emit}, nil
+}
+
+// Push adds a point, emitting the pane when it completes.
+func (p *Paner) Push(x float64) {
+	p.current.Add(x)
+	if p.current.Count == p.paneSize {
+		p.emit(p.current)
+		p.current = Pane{}
+	}
+}
+
+// Flush emits any partial pane and resets. Use at end-of-stream.
+func (p *Paner) Flush() {
+	if p.current.Count > 0 {
+		p.emit(p.current)
+		p.current = Pane{}
+	}
+}
+
+// Pending returns the number of points buffered in the unfinished pane.
+func (p *Paner) Pending() int { return p.current.Count }

@@ -1,0 +1,360 @@
+package sma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSMA is the straightforward O(n*w) reference.
+func naiveSMA(xs []float64, window, slide int) []float64 {
+	var out []float64
+	for start := 0; start+window <= len(xs); start += slide {
+		var sum float64
+		for _, v := range xs[start : start+window] {
+			sum += v
+		}
+		out = append(out, sum/float64(window))
+	}
+	return out
+}
+
+func randSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 5
+	}
+	return xs
+}
+
+func TestTransformMatchesNaive(t *testing.T) {
+	xs := randSeries(500, 1)
+	for _, w := range []int{1, 2, 3, 7, 100, 499, 500} {
+		got, err := Transform(xs, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		want := naiveSMA(xs, w, 1)
+		if len(got) != len(want) {
+			t.Fatalf("w=%d: length %d, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("w=%d i=%d: got %v, want %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformSlideMatchesNaive(t *testing.T) {
+	xs := randSeries(300, 2)
+	for _, w := range []int{1, 4, 10, 50} {
+		for _, s := range []int{1, 2, 3, 10, 50, 60} {
+			got, err := TransformSlide(xs, w, s)
+			if err != nil {
+				t.Fatalf("w=%d s=%d: %v", w, s, err)
+			}
+			want := naiveSMA(xs, w, s)
+			if len(got) != len(want) {
+				t.Fatalf("w=%d s=%d: length %d, want %d", w, s, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Errorf("w=%d s=%d i=%d: got %v, want %v", w, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransformProperty(t *testing.T) {
+	prop := func(seed int64, wRaw, sRaw uint8) bool {
+		xs := randSeries(257, seed)
+		w := int(wRaw)%len(xs) + 1
+		s := int(sRaw)%64 + 1
+		got, err := TransformSlide(xs, w, s)
+		if err != nil {
+			return false
+		}
+		want := naiveSMA(xs, w, s)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := Transform(xs, 0); err == nil {
+		t.Error("window 0 should error")
+	}
+	if _, err := Transform(xs, 4); err == nil {
+		t.Error("window > len should error")
+	}
+	if _, err := TransformSlide(xs, 2, 0); err == nil {
+		t.Error("slide 0 should error")
+	}
+	if _, err := Transform(nil, 1); err == nil {
+		t.Error("window on empty series should error")
+	}
+}
+
+func TestTransformWindowOne(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	got, err := Transform(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("w=1 should be identity; got[%d]=%v", i, got[i])
+		}
+	}
+	// Must be a copy, not an alias.
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("Transform(x,1) aliases its input")
+	}
+}
+
+func TestTransformConstantSeries(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 7.5
+	}
+	got, err := Transform(xs, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if math.Abs(v-7.5) > 1e-12 {
+			t.Errorf("constant series smoothed[%d] = %v, want 7.5", i, v)
+		}
+	}
+}
+
+func TestTransformDriftResumation(t *testing.T) {
+	// A long series with large offset: rolling sums drift without periodic
+	// re-summation. Verify every output stays within strict tolerance of
+	// the exact mean.
+	n := 20000
+	xs := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = 1e9 + rng.Float64()
+	}
+	w := 37
+	got, err := Transform(xs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(got); i += 977 {
+		var sum float64
+		for _, v := range xs[i : i+w] {
+			sum += v
+		}
+		want := sum / float64(w)
+		if math.Abs(got[i]-want) > 1e-4 {
+			t.Fatalf("drift at %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestWindowIncremental(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Full() || w.Count() != 0 || w.Mean() != 0 {
+		t.Error("fresh window should be empty with mean 0")
+	}
+	w.Push(3)
+	if w.Mean() != 3 {
+		t.Errorf("mean after one push = %v", w.Mean())
+	}
+	w.Push(6)
+	w.Push(9)
+	if !w.Full() || w.Mean() != 6 {
+		t.Errorf("full window mean = %v, want 6", w.Mean())
+	}
+	w.Push(12) // evicts 3
+	if w.Mean() != 9 {
+		t.Errorf("after eviction mean = %v, want 9", w.Mean())
+	}
+	if w.Size() != 3 {
+		t.Errorf("Size = %d", w.Size())
+	}
+}
+
+func TestWindowMatchesTransform(t *testing.T) {
+	xs := randSeries(1000, 4)
+	size := 25
+	w, err := NewWindow(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Transform(xs, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for _, x := range xs {
+		w.Push(x)
+		if w.Full() {
+			got = append(got, w.Mean())
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("incremental emitted %d means, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("i=%d: incremental %v, batch %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWindowLongRunStability(t *testing.T) {
+	// After many pushes (crossing the recompute threshold) the incremental
+	// mean must still match a fresh computation.
+	w, err := NewWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var last10 []float64
+	for i := 0; i < 1<<17; i++ {
+		x := rng.NormFloat64() * 1e6
+		w.Push(x)
+		last10 = append(last10, x)
+		if len(last10) > 10 {
+			last10 = last10[1:]
+		}
+	}
+	var sum float64
+	for _, v := range last10 {
+		sum += v
+	}
+	if math.Abs(w.Mean()-sum/10) > 1e-6 {
+		t.Errorf("long-run mean drifted: %v vs %v", w.Mean(), sum/10)
+	}
+}
+
+func TestNewWindowInvalid(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("NewWindow(0) should error")
+	}
+}
+
+func TestPane(t *testing.T) {
+	var p Pane
+	if p.Mean() != 0 {
+		t.Error("empty pane mean should be 0")
+	}
+	p.Add(2)
+	p.Add(8)
+	p.Add(-1)
+	if p.Count != 3 || p.Sum != 9 || p.Mean() != 3 {
+		t.Errorf("pane = %+v", p)
+	}
+	if p.Min != -1 || p.Max != 8 {
+		t.Errorf("pane min/max = %v/%v, want -1/8", p.Min, p.Max)
+	}
+}
+
+func TestPanerEmitsDisjointPanes(t *testing.T) {
+	var panes []Pane
+	p, err := NewPaner(4, func(pn Pane) { panes = append(panes, pn) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		p.Push(float64(i))
+	}
+	if len(panes) != 2 {
+		t.Fatalf("emitted %d panes, want 2 before flush", len(panes))
+	}
+	if panes[0].Mean() != 2.5 || panes[1].Mean() != 6.5 {
+		t.Errorf("pane means = %v, %v; want 2.5, 6.5", panes[0].Mean(), panes[1].Mean())
+	}
+	if p.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", p.Pending())
+	}
+	p.Flush()
+	if len(panes) != 3 || panes[2].Mean() != 9.5 {
+		t.Fatalf("flush: %d panes, last mean %v", len(panes), panes[len(panes)-1].Mean())
+	}
+	if p.Pending() != 0 {
+		t.Errorf("pending after flush = %d", p.Pending())
+	}
+	// Flushing again is a no-op.
+	p.Flush()
+	if len(panes) != 3 {
+		t.Error("second flush emitted a pane")
+	}
+}
+
+func TestPanerEquivalentToTransformSlide(t *testing.T) {
+	// Pane means with pane size p == TransformSlide(xs, p, p) on inputs
+	// whose length is a multiple of p.
+	xs := randSeries(960, 6)
+	paneSize := 32
+	var got []float64
+	p, err := NewPaner(paneSize, func(pn Pane) { got = append(got, pn.Mean()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		p.Push(x)
+	}
+	want, err := TransformSlide(xs, paneSize, paneSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paner emitted %d, transform %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("i=%d: paner %v, transform %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewPanerInvalid(t *testing.T) {
+	if _, err := NewPaner(0, func(Pane) {}); err == nil {
+		t.Error("pane size 0 should error")
+	}
+	if _, err := NewPaner(3, nil); err == nil {
+		t.Error("nil emit should error")
+	}
+}
+
+func BenchmarkTransformRolling(b *testing.B) {
+	xs := randSeries(1_000_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transform(xs, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowPush(b *testing.B) {
+	w, _ := NewWindow(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Push(float64(i))
+	}
+}

@@ -1,0 +1,294 @@
+// Package stream implements streaming ASAP (Section 4.5, Algorithm 3): a
+// stream operator that maintains a sliding visualization window over an
+// unbounded series and re-runs the smoothing-parameter search on demand.
+//
+// Three optimizations from the paper are individually controllable so the
+// factor analysis and lesion study of Figure 11 can be reproduced:
+//
+//   - pixel-aware preaggregation: incoming points are sub-aggregated into
+//     panes of the point-to-pixel ratio before anything else touches them;
+//   - autocorrelation pruning: the window search is ASAP's Algorithm 2
+//     (disable it to fall back to exhaustive search over the same data);
+//   - on-demand ("lazy") refresh: the search re-runs only once per refresh
+//     interval rather than on every arriving point.
+//
+// Each refresh seeds the new search with the previous window
+// (CheckLastWindow): if the old parameter still satisfies the kurtosis
+// constraint it becomes the incumbent, activating the roughness and
+// lower-bound pruning immediately.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asap-go/asap/internal/acf"
+	"github.com/asap-go/asap/internal/core"
+)
+
+// ErrConfig reports an invalid operator configuration.
+var ErrConfig = errors.New("stream: invalid config")
+
+// Config configures a streaming ASAP operator.
+type Config struct {
+	// WindowPoints is the number of raw points in the visualization window
+	// (e.g. "the last 30 minutes" at the stream's rate). Required.
+	WindowPoints int
+	// Resolution is the target display width in pixels. Required.
+	Resolution int
+	// RefreshEvery is the on-demand update interval measured in raw
+	// points, as in Figure 10. 0 picks one refresh per aggregated point
+	// (the non-lazy baseline).
+	RefreshEvery int
+	// Strategy is the search algorithm to run at each refresh. The
+	// default (StrategyASAP) enables autocorrelation pruning; the lesion
+	// study uses StrategyExhaustive here ("no AC").
+	Strategy core.Strategy
+	// DisablePreaggregation turns off pixel-aware preaggregation ("no
+	// Pixel" lesion): the search runs over raw points.
+	DisablePreaggregation bool
+	// MaxWindow optionally bounds the search on the aggregated window.
+	MaxWindow int
+}
+
+// Frame is one rendered output of the operator: the state of the smoothed
+// visualization after a refresh.
+type Frame struct {
+	// Smoothed is the SMA of the aggregated window with the chosen window.
+	Smoothed []float64
+	// Window is the chosen SMA window (in aggregated points).
+	Window int
+	// Roughness and Kurtosis describe Smoothed.
+	Roughness float64
+	Kurtosis  float64
+	// SeedReused reports whether the previous window satisfied the
+	// kurtosis constraint and seeded this search (CheckLastWindow).
+	SeedReused bool
+	// Sequence numbers the refreshes, starting at 1.
+	Sequence int
+}
+
+// Stats counts the operator's work, the raw material of Figures 10 and 11.
+type Stats struct {
+	RawPoints  int // points pushed
+	Panes      int // aggregated points produced
+	Searches   int // search invocations (refreshes)
+	Candidates int // total candidate windows evaluated across searches
+}
+
+// Operator is a streaming ASAP instance. It is not safe for concurrent
+// use; callers own synchronization (one operator per stream partition is
+// the intended deployment, mirroring the MacroBase operator).
+type Operator struct {
+	cfg      Config
+	ratio    int // pane size in raw points (1 when preaggregation is off)
+	capacity int // aggregated points kept in the window
+
+	// pane accumulation
+	paneSum   float64
+	paneCount int
+
+	// ring buffer of aggregated points
+	ring  []float64
+	head  int // index of oldest
+	count int
+
+	// refresh scheduling
+	refreshEveryRaw int // raw points per refresh
+	rawSinceRefresh int
+
+	lastWindow int
+	frame      *Frame
+	stats      Stats
+
+	// scratch buffer reused across refreshes to avoid per-refresh
+	// allocation of the chronological window copy.
+	scratch []float64
+}
+
+// New validates cfg and returns a ready operator.
+func New(cfg Config) (*Operator, error) {
+	if cfg.WindowPoints < 4 {
+		return nil, fmt.Errorf("%w: WindowPoints=%d (need >= 4)", ErrConfig, cfg.WindowPoints)
+	}
+	if cfg.Resolution < 1 {
+		return nil, fmt.Errorf("%w: Resolution=%d", ErrConfig, cfg.Resolution)
+	}
+	if cfg.RefreshEvery < 0 {
+		return nil, fmt.Errorf("%w: RefreshEvery=%d", ErrConfig, cfg.RefreshEvery)
+	}
+	ratio := 1
+	if !cfg.DisablePreaggregation {
+		ratio = cfg.WindowPoints / cfg.Resolution
+		if ratio < 1 {
+			ratio = 1
+		}
+	}
+	capacity := cfg.WindowPoints / ratio
+	if capacity < 4 {
+		capacity = 4
+	}
+	refreshRaw := cfg.RefreshEvery
+	if refreshRaw <= 0 {
+		refreshRaw = ratio // one refresh per completed pane
+	}
+	return &Operator{
+		cfg:             cfg,
+		ratio:           ratio,
+		capacity:        capacity,
+		ring:            make([]float64, capacity),
+		refreshEveryRaw: refreshRaw,
+		lastWindow:      1,
+		scratch:         make([]float64, capacity),
+	}, nil
+}
+
+// Ratio returns the point-to-pixel ratio (pane size) in effect.
+func (o *Operator) Ratio() int { return o.ratio }
+
+// Push feeds one raw point into the operator, returning the new frame if
+// this point triggered a refresh, or nil otherwise.
+func (o *Operator) Push(x float64) *Frame {
+	o.stats.RawPoints++
+	o.paneSum += x
+	o.paneCount++
+	if o.paneCount == o.ratio {
+		o.appendAgg(o.paneSum / float64(o.ratio))
+		o.paneSum, o.paneCount = 0, 0
+	}
+	o.rawSinceRefresh++
+	if o.rawSinceRefresh >= o.refreshEveryRaw && o.count >= 4 {
+		o.rawSinceRefresh = 0
+		return o.refresh()
+	}
+	return nil
+}
+
+// PushBatch feeds a slice of points and returns the last frame produced
+// during the batch (nil when no refresh fired).
+func (o *Operator) PushBatch(xs []float64) *Frame {
+	var last *Frame
+	for _, x := range xs {
+		if f := o.Push(x); f != nil {
+			last = f
+		}
+	}
+	return last
+}
+
+// Prefill loads historical points into the window without triggering any
+// refreshes — a warm start for operators attached to a stream with
+// existing history (and the untimed fill phase of throughput benchmarks).
+// The next regular Push resumes the configured refresh cadence.
+func (o *Operator) Prefill(xs []float64) {
+	for _, x := range xs {
+		o.stats.RawPoints++
+		o.paneSum += x
+		o.paneCount++
+		if o.paneCount == o.ratio {
+			o.appendAgg(o.paneSum / float64(o.ratio))
+			o.paneSum, o.paneCount = 0, 0
+		}
+	}
+	o.rawSinceRefresh = 0
+}
+
+// appendAgg adds one aggregated point to the ring, evicting the oldest
+// when the visualization window is full (data "transits" the window).
+func (o *Operator) appendAgg(v float64) {
+	o.stats.Panes++
+	if o.count < o.capacity {
+		o.ring[(o.head+o.count)%o.capacity] = v
+		o.count++
+		return
+	}
+	o.ring[o.head] = v
+	o.head = (o.head + 1) % o.capacity
+}
+
+// window copies the ring into chronological order in the reusable scratch
+// buffer.
+func (o *Operator) window() []float64 {
+	w := o.scratch[:o.count]
+	for i := 0; i < o.count; i++ {
+		w[i] = o.ring[(o.head+i)%o.capacity]
+	}
+	return w
+}
+
+// refresh re-runs the parameter search over the current window
+// (UpdateWindow in Algorithm 3) and renders a new frame.
+func (o *Operator) refresh() *Frame {
+	data := o.window()
+	o.stats.Searches++
+
+	// UPDATEACF + CHECKLASTWINDOW + FINDWINDOW, fused: core.Search
+	// verifies the seed first when SeedWindow is set, which is exactly
+	// CheckLastWindow's "known feasible window" fast path.
+	opts := core.SearchOptions{
+		MaxWindow:  o.cfg.MaxWindow,
+		SeedWindow: o.lastWindow,
+	}
+	if o.cfg.Strategy == core.StrategyASAP {
+		maxWindow := opts.MaxWindow
+		if maxWindow <= 0 {
+			maxWindow = int(float64(len(data)) * core.DefaultMaxWindowFraction)
+		}
+		maxLag := maxWindow + 2
+		if maxLag > len(data)-1 {
+			maxLag = len(data) - 1
+		}
+		if maxLag >= 1 {
+			if r, err := acf.Compute(data, maxLag); err == nil {
+				opts.ACF = r
+			}
+		}
+	}
+	res, err := core.Search(o.cfg.Strategy, data, opts)
+	if err != nil {
+		// A window this small cannot be searched; keep the last frame.
+		o.stats.Searches--
+		return nil
+	}
+	o.stats.Candidates += res.Candidates
+
+	smoothed := smaInto(data, res.Window)
+	seedReused := o.lastWindow > 1 && res.Window == o.lastWindow
+	o.lastWindow = res.Window
+	o.frame = &Frame{
+		Smoothed:   smoothed,
+		Window:     res.Window,
+		Roughness:  res.Roughness,
+		Kurtosis:   res.Kurtosis,
+		SeedReused: seedReused,
+		Sequence:   o.stats.Searches,
+	}
+	return o.frame
+}
+
+// smaInto materializes SMA(data, w) into a fresh slice (frames escape to
+// callers, so they cannot share the scratch buffer).
+func smaInto(data []float64, w int) []float64 {
+	out := make([]float64, len(data)-w+1)
+	inv := 1 / float64(w)
+	var sum float64
+	for i := 0; i < w; i++ {
+		sum += data[i]
+	}
+	out[0] = sum * inv
+	for i := 1; i < len(out); i++ {
+		sum += data[i+w-1] - data[i-1]
+		out[i] = sum * inv
+	}
+	return out
+}
+
+// Frame returns the most recent frame, or nil before the first refresh.
+func (o *Operator) Frame() *Frame { return o.frame }
+
+// Stats returns a copy of the operator's work counters.
+func (o *Operator) Stats() Stats { return o.stats }
+
+// WindowFill returns how many aggregated points are currently buffered and
+// the buffer capacity, for observability.
+func (o *Operator) WindowFill() (have, capacity int) { return o.count, o.capacity }

@@ -1,0 +1,296 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-go/asap/internal/core"
+)
+
+func periodicStream(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{WindowPoints: 0, Resolution: 100},
+		{WindowPoints: 3, Resolution: 100},
+		{WindowPoints: 100, Resolution: 0},
+		{WindowPoints: 100, Resolution: 10, RefreshEvery: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v should fail validation", cfg)
+		}
+	}
+	if _, err := New(Config{WindowPoints: 100, Resolution: 10}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRatioComputation(t *testing.T) {
+	op, err := New(Config{WindowPoints: 10000, Resolution: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Ratio() != 10 {
+		t.Errorf("ratio = %d, want 10", op.Ratio())
+	}
+	op, err = New(Config{WindowPoints: 500, Resolution: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Ratio() != 1 {
+		t.Errorf("ratio = %d, want 1 when points < resolution", op.Ratio())
+	}
+	op, err = New(Config{WindowPoints: 10000, Resolution: 1000, DisablePreaggregation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Ratio() != 1 {
+		t.Errorf("ratio = %d, want 1 with preaggregation disabled", op.Ratio())
+	}
+}
+
+func TestFramesProduced(t *testing.T) {
+	op, err := New(Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Frame() != nil {
+		t.Error("frame before any data should be nil")
+	}
+	data := periodicStream(20000, 200, 0.3, 1)
+	frame := op.PushBatch(data)
+	if frame == nil {
+		t.Fatal("no frame produced after 20k points")
+	}
+	st := op.Stats()
+	if st.RawPoints != 20000 {
+		t.Errorf("RawPoints = %d", st.RawPoints)
+	}
+	// 20000 raw / 1000 per refresh = 20 refreshes (first few may be
+	// skipped while the window has < 4 aggregated points).
+	if st.Searches < 15 || st.Searches > 20 {
+		t.Errorf("Searches = %d, want about 20", st.Searches)
+	}
+	if frame.Window < 1 {
+		t.Errorf("window = %d", frame.Window)
+	}
+	if len(frame.Smoothed) == 0 {
+		t.Error("empty smoothed frame")
+	}
+}
+
+func TestSmoothingReducesRoughnessOnPeriodicStream(t *testing.T) {
+	op, err := New(Config{WindowPoints: 8000, Resolution: 800, RefreshEvery: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period 400 raw points = 40 aggregated points: clearly periodic.
+	frame := op.PushBatch(periodicStream(8000, 400, 0.5, 2))
+	if frame == nil {
+		t.Fatal("no frame")
+	}
+	if frame.Window < 2 {
+		t.Errorf("window = %d, want > 1 for periodic data", frame.Window)
+	}
+}
+
+func TestSeedReuseAcrossRefreshes(t *testing.T) {
+	// A stationary periodic stream should keep the same window from
+	// refresh to refresh, flagged as reused.
+	op, err := New(Config{WindowPoints: 6000, Resolution: 600, RefreshEvery: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := periodicStream(30000, 300, 0.3, 3)
+	var reused, total int
+	for _, x := range data {
+		if f := op.Push(x); f != nil {
+			total++
+			if f.SeedReused {
+				reused++
+			}
+		}
+	}
+	if total < 10 {
+		t.Fatalf("only %d refreshes", total)
+	}
+	if reused == 0 {
+		t.Error("seed window never reused on a stationary stream")
+	}
+}
+
+func TestEvictionKeepsWindowBounded(t *testing.T) {
+	op, err := New(Config{WindowPoints: 1000, Resolution: 100, RefreshEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.PushBatch(periodicStream(50000, 100, 0.2, 4))
+	have, capacity := op.WindowFill()
+	if have != capacity {
+		t.Errorf("window fill = %d, want full (%d)", have, capacity)
+	}
+	if capacity != 100 {
+		t.Errorf("capacity = %d, want 100 aggregated points", capacity)
+	}
+}
+
+func TestEvictionContentIsMostRecent(t *testing.T) {
+	// Push a ramp; after eviction the window must hold the latest values.
+	op, err := New(Config{WindowPoints: 100, Resolution: 100, RefreshEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	var lastFrame *Frame
+	for i := 0; i < n; i++ {
+		if f := op.Push(float64(i)); f != nil {
+			lastFrame = f
+		}
+	}
+	if lastFrame == nil {
+		t.Fatal("no frame")
+	}
+	// Ratio 1, capacity 100: the window is [400..499]. Any smoothed value
+	// must lie within that range.
+	for _, v := range lastFrame.Smoothed {
+		if v < 400 || v > 499 {
+			t.Fatalf("smoothed value %v outside the most recent window [400,499]", v)
+		}
+	}
+}
+
+func TestLazyRefreshReducesSearches(t *testing.T) {
+	mk := func(refresh int) Stats {
+		op, err := New(Config{WindowPoints: 2000, Resolution: 200, RefreshEvery: refresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op.PushBatch(periodicStream(40000, 100, 0.2, 5))
+		return op.Stats()
+	}
+	eager := mk(0)   // refresh per aggregated point
+	lazy := mk(4000) // refresh every 4000 raw points
+	if lazy.Searches >= eager.Searches {
+		t.Errorf("lazy searches %d >= eager %d", lazy.Searches, eager.Searches)
+	}
+	// Refresh interval 4000 raw = 10x fewer searches than per-pane (400).
+	ratio := float64(eager.Searches) / float64(lazy.Searches)
+	if ratio < 5 {
+		t.Errorf("lazy refresh only reduced searches by %.1fx", ratio)
+	}
+}
+
+func TestExhaustiveStrategyLesion(t *testing.T) {
+	// "no AC" lesion: exhaustive search produces the same or smoother
+	// output but evaluates far more candidates.
+	mk := func(s core.Strategy) (Stats, *Frame) {
+		op, err := New(Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 4000, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := op.PushBatch(periodicStream(16000, 400, 0.3, 6))
+		return op.Stats(), f
+	}
+	asapStats, asapFrame := mk(core.StrategyASAP)
+	exStats, exFrame := mk(core.StrategyExhaustive)
+	if asapFrame == nil || exFrame == nil {
+		t.Fatal("missing frames")
+	}
+	if asapStats.Candidates >= exStats.Candidates {
+		t.Errorf("ASAP candidates %d >= exhaustive %d", asapStats.Candidates, exStats.Candidates)
+	}
+	if asapFrame.Roughness > exFrame.Roughness*1.5+1e-9 {
+		t.Errorf("ASAP frame much rougher than exhaustive: %v vs %v",
+			asapFrame.Roughness, exFrame.Roughness)
+	}
+}
+
+func TestNoPreaggLesion(t *testing.T) {
+	op, err := New(Config{WindowPoints: 2000, Resolution: 200, RefreshEvery: 2000, DisablePreaggregation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := op.PushBatch(periodicStream(4000, 100, 0.2, 7))
+	if f == nil {
+		t.Fatal("no frame")
+	}
+	_, capacity := op.WindowFill()
+	if capacity != 2000 {
+		t.Errorf("no-preagg capacity = %d, want 2000 raw points", capacity)
+	}
+}
+
+func TestStatsPaneAccounting(t *testing.T) {
+	op, err := New(Config{WindowPoints: 1000, Resolution: 100, RefreshEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.PushBatch(periodicStream(10000, 100, 0.2, 8))
+	st := op.Stats()
+	if st.Panes != 1000 {
+		t.Errorf("Panes = %d, want 1000 (ratio 10)", st.Panes)
+	}
+}
+
+func TestFrameSequenceMonotonic(t *testing.T) {
+	op, err := New(Config{WindowPoints: 400, Resolution: 100, RefreshEvery: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, x := range periodicStream(5000, 50, 0.2, 9) {
+		if f := op.Push(x); f != nil {
+			if f.Sequence != prev+1 {
+				t.Fatalf("sequence jumped from %d to %d", prev, f.Sequence)
+			}
+			prev = f.Sequence
+		}
+	}
+	if prev == 0 {
+		t.Fatal("no frames")
+	}
+}
+
+func BenchmarkStreamingPush(b *testing.B) {
+	op, err := New(Config{WindowPoints: 100000, Resolution: 1000, RefreshEvery: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := periodicStream(100000, 500, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Push(data[i%len(data)])
+	}
+}
+
+func TestPrefillNoRefresh(t *testing.T) {
+	op, err := New(Config{WindowPoints: 1000, Resolution: 100, RefreshEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Prefill(periodicStream(1000, 100, 0.2, 10))
+	st := op.Stats()
+	if st.Searches != 0 {
+		t.Errorf("Prefill triggered %d searches, want 0", st.Searches)
+	}
+	if st.RawPoints != 1000 || st.Panes != 100 {
+		t.Errorf("Prefill accounting: %+v", st)
+	}
+	have, capacity := op.WindowFill()
+	if have != capacity {
+		t.Errorf("window not filled: %d/%d", have, capacity)
+	}
+	// Regular pushes resume refreshes.
+	if f := op.Push(1.0); f == nil {
+		t.Error("first Push after Prefill should refresh (RefreshEvery=1)")
+	}
+}

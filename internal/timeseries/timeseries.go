@@ -1,0 +1,159 @@
+// Package timeseries defines the regularly-sampled series type shared by
+// every layer of the library: datasets produce Series, ASAP transforms
+// them, renderers and plotters consume them.
+//
+// ASAP operates on a single, temporally ordered stream (Section 2 of the
+// paper), so Series models exactly that: a start instant, a fixed sampling
+// interval, and the sample values. Timestamps are derived, never stored
+// per-point, which keeps million-point series compact.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// Series is a regularly sampled, temporally ordered sequence of values.
+type Series struct {
+	// Name identifies the series (dataset name, metric name).
+	Name string
+	// Start is the timestamp of Values[0].
+	Start time.Time
+	// Interval is the spacing between consecutive samples. It must be
+	// positive for time-derived operations; a zero Interval is permitted
+	// for index-only use.
+	Interval time.Duration
+	// Values are the samples.
+	Values []float64
+}
+
+// New returns a Series with the given name, start, interval and values.
+func New(name string, start time.Time, interval time.Duration, values []float64) *Series {
+	return &Series{Name: name, Start: start, Interval: interval, Values: values}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Interval)
+}
+
+// End returns the timestamp of the last sample, or Start for an empty
+// series.
+func (s *Series) End() time.Time {
+	if len(s.Values) == 0 {
+		return s.Start
+	}
+	return s.TimeAt(len(s.Values) - 1)
+}
+
+// Duration returns the time spanned from the first to the last sample.
+func (s *Series) Duration() time.Duration {
+	if len(s.Values) < 2 {
+		return 0
+	}
+	return time.Duration(len(s.Values)-1) * s.Interval
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	vals := make([]float64, len(s.Values))
+	copy(vals, s.Values)
+	return &Series{Name: s.Name, Start: s.Start, Interval: s.Interval, Values: vals}
+}
+
+// Slice returns a view of samples [i, j) as a new Series with adjusted
+// start time. The underlying values are shared, matching Go slice
+// semantics; use Clone for an independent copy.
+func (s *Series) Slice(i, j int) (*Series, error) {
+	if i < 0 || j > len(s.Values) || i > j {
+		return nil, fmt.Errorf("timeseries: slice [%d:%d) out of range for %d samples", i, j, len(s.Values))
+	}
+	return &Series{
+		Name:     s.Name,
+		Start:    s.TimeAt(i),
+		Interval: s.Interval,
+		Values:   s.Values[i:j],
+	}, nil
+}
+
+// Window returns the trailing window of at most n samples — the "last N
+// points" visualization target ASAP smooths in streaming mode.
+func (s *Series) Window(n int) *Series {
+	if n >= len(s.Values) {
+		out, _ := s.Slice(0, len(s.Values))
+		return out
+	}
+	out, _ := s.Slice(len(s.Values)-n, len(s.Values))
+	return out
+}
+
+// ZScored returns a copy of the series normalized to zero mean and unit
+// standard deviation, the presentation form used throughout the paper's
+// plots (Section 1, footnote 1).
+func (s *Series) ZScored() *Series {
+	return &Series{
+		Name:     s.Name,
+		Start:    s.Start,
+		Interval: s.Interval,
+		Values:   stats.ZScores(s.Values),
+	}
+}
+
+// WithValues returns a series with the same identity and timing metadata
+// but different values, e.g. a smoothed transform of s. When the new
+// values are shorter than the original, the start and interval are kept:
+// the transform semantics (a sliding window average) align the i-th output
+// with the i-th input window.
+func (s *Series) WithValues(name string, values []float64) *Series {
+	return &Series{Name: name, Start: s.Start, Interval: s.Interval, Values: values}
+}
+
+// Validate reports structural problems: nil receiver, negative interval,
+// or non-finite values.
+func (s *Series) Validate() error {
+	if s == nil {
+		return errors.New("timeseries: nil series")
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("timeseries: negative interval %v", s.Interval)
+	}
+	for i, v := range s.Values {
+		if v != v { // NaN
+			return fmt.Errorf("timeseries: NaN at index %d", i)
+		}
+		if v > maxFinite || v < -maxFinite {
+			return fmt.Errorf("timeseries: non-finite value at index %d", i)
+		}
+	}
+	return nil
+}
+
+const maxFinite = 1.7976931348623157e308
+
+// Stats bundles the summary statistics used across the evaluation.
+type Stats struct {
+	N         int
+	Mean      float64
+	StdDev    float64
+	Kurtosis  float64
+	Roughness float64
+}
+
+// Summary computes the series' summary statistics in a single pass per
+// statistic.
+func (s *Series) Summary() Stats {
+	m := stats.ComputeMoments(s.Values)
+	return Stats{
+		N:         m.N,
+		Mean:      m.Mean,
+		StdDev:    m.StdDev(),
+		Kurtosis:  m.Kurtosis(),
+		Roughness: stats.Roughness(s.Values),
+	}
+}

@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2014, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTimeDerivation(t *testing.T) {
+	s := New("taxi", t0, 30*time.Minute, []float64{1, 2, 3, 4})
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.TimeAt(2); !got.Equal(t0.Add(time.Hour)) {
+		t.Errorf("TimeAt(2) = %v", got)
+	}
+	if got := s.End(); !got.Equal(t0.Add(90 * time.Minute)) {
+		t.Errorf("End = %v", got)
+	}
+	if got := s.Duration(); got != 90*time.Minute {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := New("empty", t0, time.Second, nil)
+	if !s.End().Equal(t0) {
+		t.Errorf("End of empty = %v, want start", s.End())
+	}
+	if s.Duration() != 0 {
+		t.Errorf("Duration of empty = %v", s.Duration())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("empty series should validate: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New("a", t0, time.Second, []float64{1, 2, 3})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] == 99 {
+		t.Error("Clone shares values")
+	}
+	if c.Name != s.Name || !c.Start.Equal(s.Start) || c.Interval != s.Interval {
+		t.Error("Clone lost metadata")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New("a", t0, time.Minute, []float64{0, 1, 2, 3, 4, 5})
+	sub, err := s.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.Values[0] != 2 {
+		t.Errorf("Slice values = %v", sub.Values)
+	}
+	if !sub.Start.Equal(t0.Add(2 * time.Minute)) {
+		t.Errorf("Slice start = %v", sub.Start)
+	}
+	for _, bad := range [][2]int{{-1, 3}, {0, 7}, {4, 2}} {
+		if _, err := s.Slice(bad[0], bad[1]); err == nil {
+			t.Errorf("Slice%v should error", bad)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := New("a", t0, time.Minute, []float64{0, 1, 2, 3, 4, 5})
+	w := s.Window(2)
+	if w.Len() != 2 || w.Values[0] != 4 {
+		t.Errorf("Window(2) = %v", w.Values)
+	}
+	all := s.Window(100)
+	if all.Len() != 6 {
+		t.Errorf("Window larger than series should return everything, got %d", all.Len())
+	}
+}
+
+func TestZScored(t *testing.T) {
+	s := New("a", t0, time.Minute, []float64{2, 4, 6, 8})
+	z := s.ZScored()
+	sum := 0.0
+	for _, v := range z.Values {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("z-scored mean = %v", sum/4)
+	}
+	if s.Values[0] != 2 {
+		t.Error("ZScored mutated original")
+	}
+}
+
+func TestWithValues(t *testing.T) {
+	s := New("raw", t0, time.Minute, []float64{1, 2, 3, 4})
+	sm := s.WithValues("smoothed", []float64{1.5, 2.5})
+	if sm.Name != "smoothed" || sm.Len() != 2 {
+		t.Errorf("WithValues = %+v", sm)
+	}
+	if !sm.Start.Equal(s.Start) || sm.Interval != s.Interval {
+		t.Error("WithValues lost timing metadata")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var nilSeries *Series
+	if err := nilSeries.Validate(); err == nil {
+		t.Error("nil series should fail validation")
+	}
+	bad := New("nan", t0, time.Second, []float64{1, math.NaN()})
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN should fail validation")
+	}
+	inf := New("inf", t0, time.Second, []float64{math.Inf(1)})
+	if err := inf.Validate(); err == nil {
+		t.Error("Inf should fail validation")
+	}
+	neg := &Series{Interval: -time.Second}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative interval should fail validation")
+	}
+	ok := New("ok", t0, time.Second, []float64{1, 2})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid series failed validation: %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := New("a", t0, time.Second, []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	st := s.Summary()
+	if st.N != 8 {
+		t.Errorf("N = %d", st.N)
+	}
+	if math.Abs(st.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v", st.Mean)
+	}
+	if math.Abs(st.StdDev-2) > 1e-12 {
+		t.Errorf("StdDev = %v", st.StdDev)
+	}
+	if st.Roughness <= 0 {
+		t.Errorf("Roughness = %v, want > 0", st.Roughness)
+	}
+}

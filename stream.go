@@ -1,0 +1,124 @@
+package asap
+
+import (
+	"github.com/asap-go/asap/internal/core"
+	"github.com/asap-go/asap/internal/stream"
+)
+
+// StreamConfig configures a Streamer.
+type StreamConfig struct {
+	// WindowPoints is the number of raw points in the visualization
+	// window (e.g. 1800 to always show the last 30 minutes of a 1 Hz
+	// stream). Required, must be at least 4.
+	WindowPoints int
+	// Resolution is the target display width in pixels. Required.
+	Resolution int
+	// RefreshEvery is the on-demand update interval in raw points: the
+	// smoothing parameters are re-searched once per interval instead of
+	// per point (Section 4.5). Zero refreshes once per aggregated point.
+	RefreshEvery int
+	// Strategy overrides the search strategy (default ASAP). Exposed for
+	// ablation; production use should keep the default.
+	Strategy Strategy
+	// DisablePreaggregation turns off pixel-aware preaggregation. Exposed
+	// for ablation.
+	DisablePreaggregation bool
+	// MaxWindow optionally bounds the search on the aggregated window.
+	MaxWindow int
+}
+
+// Frame is one rendered output of a Streamer.
+type Frame struct {
+	// Values is the smoothed visualization window.
+	Values []float64
+	// Window is the chosen SMA window in aggregated points.
+	Window int
+	// Roughness and Kurtosis describe Values.
+	Roughness float64
+	Kurtosis  float64
+	// SeedReused reports whether the previous window parameter was still
+	// valid and reused (the CheckLastWindow fast path).
+	SeedReused bool
+	// Sequence numbers frames from 1.
+	Sequence int
+}
+
+// StreamStats counts a Streamer's work.
+type StreamStats struct {
+	RawPoints  int
+	Panes      int
+	Searches   int
+	Candidates int
+}
+
+// Streamer is streaming ASAP: push points, receive refreshed smoothed
+// frames at the configured cadence. Not safe for concurrent use; wrap
+// with your own synchronization or run one Streamer per goroutine.
+type Streamer struct {
+	op *stream.Operator
+}
+
+// NewStreamer validates cfg and returns a ready Streamer.
+func NewStreamer(cfg StreamConfig) (*Streamer, error) {
+	op, err := stream.New(stream.Config{
+		WindowPoints:          cfg.WindowPoints,
+		Resolution:            cfg.Resolution,
+		RefreshEvery:          cfg.RefreshEvery,
+		Strategy:              coreStrategyForStream(cfg.Strategy),
+		DisablePreaggregation: cfg.DisablePreaggregation,
+		MaxWindow:             cfg.MaxWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{op: op}, nil
+}
+
+func coreStrategyForStream(s Strategy) core.Strategy { return coreStrategy(s) }
+
+// Push feeds one point. It returns a new Frame when this point triggered
+// a refresh, or nil otherwise.
+func (s *Streamer) Push(x float64) *Frame {
+	return convertFrame(s.op.Push(x))
+}
+
+// PushBatch feeds many points, returning the last frame produced (nil if
+// none).
+func (s *Streamer) PushBatch(xs []float64) *Frame {
+	return convertFrame(s.op.PushBatch(xs))
+}
+
+// Prefill loads historical points without triggering refreshes — a warm
+// start when attaching to a stream with existing history.
+func (s *Streamer) Prefill(xs []float64) { s.op.Prefill(xs) }
+
+// Frame returns the most recent frame, or nil before the first refresh.
+func (s *Streamer) Frame() *Frame { return convertFrame(s.op.Frame()) }
+
+// Stats returns cumulative work counters.
+func (s *Streamer) Stats() StreamStats {
+	st := s.op.Stats()
+	return StreamStats{
+		RawPoints:  st.RawPoints,
+		Panes:      st.Panes,
+		Searches:   st.Searches,
+		Candidates: st.Candidates,
+	}
+}
+
+// Ratio returns the pixel-aware preaggregation ratio in effect.
+func (s *Streamer) Ratio() int { return s.op.Ratio() }
+
+func convertFrame(f *stream.Frame) *Frame {
+	if f == nil {
+		return nil
+	}
+	return &Frame{
+		Values:     f.Smoothed,
+		Window:     f.Window,
+		Roughness:  f.Roughness,
+		Kurtosis:   f.Kurtosis,
+		SeedReused: f.SeedReused,
+		Sequence:   f.Sequence,
+	}
+}
