@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz clean
+
+## check: the standard verify — vet, build, and the race-enabled suite.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz: run the ingest line-protocol fuzzer for a short burst.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzIngestParse -fuzztime=30s ./internal/server/
+
+clean:
+	$(GO) clean ./...

@@ -1,207 +1,84 @@
 // Command asap-server runs ASAP in the server-side execution mode of
-// Section 2: it ingests a metric stream over HTTP and serves smoothed
-// frames to visualization clients, plus a small self-contained dashboard.
+// Section 2: it ingests metric streams over HTTP and serves smoothed
+// frames to visualization clients, plus a small self-contained
+// dashboard. It fronts a sharded multi-series hub (internal/server):
+// each series name maps to its own streaming operator, and series are
+// spread across per-mutex shards so concurrent ingest into distinct
+// series does not contend.
 //
 // Endpoints:
 //
-//	POST /ingest        body: one float per line — appends to the stream
-//	GET  /frame         latest smoothed frame as JSON
-//	GET  /stats         operator counters as JSON
-//	GET  /              embedded dashboard (auto-refreshing SVG)
-//	GET  /plot.svg      SVG of the current frame
+//	POST /ingest                line protocol (below) — appends points
+//	GET  /frame?series=NAME     latest smoothed frame as JSON
+//	GET  /series                live series listing as JSON
+//	GET  /stats[?series=NAME]   aggregate + per-series counters as JSON
+//	GET  /plot.svg?series=NAME  SVG of the current frame
+//	GET  /                      embedded dashboard (auto-refreshing SVG)
 //
-// For demos, -simulate taxi feeds the built-in Taxi generator at a fixed
-// rate so the dashboard animates without an external producer.
+// The ingest line protocol is one point per line: either "series=value"
+// or a bare "value", which is routed to the default series (-series).
+// Blank lines and #-comments are skipped. Bodies are all-or-nothing: a
+// bad line rejects the whole batch with 400 and nothing is applied.
+// Reads default to the default series when ?series= is omitted.
+//
+// For demos, -simulate taxi feeds the built-in Taxi generator at a
+// fixed rate so the dashboard animates without an external producer.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
+	"os/signal"
+	"syscall"
 
 	"github.com/asap-go/asap"
-	"github.com/asap-go/asap/internal/datasets"
-	"github.com/asap-go/asap/internal/plot"
-	"github.com/asap-go/asap/internal/stats"
+	"github.com/asap-go/asap/internal/server"
 )
-
-type server struct {
-	mu sync.Mutex
-	st *asap.Streamer
-}
-
-func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	defer r.Body.Close()
-	sc := bufio.NewScanner(r.Body)
-	count := 0
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(line, 64)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad value %q", line), http.StatusBadRequest)
-			return
-		}
-		s.st.Push(v)
-		count++
-	}
-	if err := sc.Err(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	fmt.Fprintf(w, "ingested %d points\n", count)
-}
-
-type frameJSON struct {
-	Values     []float64 `json:"values"`
-	Window     int       `json:"window"`
-	Roughness  float64   `json:"roughness"`
-	Kurtosis   float64   `json:"kurtosis"`
-	SeedReused bool      `json:"seed_reused"`
-	Sequence   int       `json:"sequence"`
-}
-
-func (s *server) frame(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	f := s.st.Frame()
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	if f == nil {
-		fmt.Fprintln(w, "null")
-		return
-	}
-	if err := json.NewEncoder(w).Encode(frameJSON{
-		Values: f.Values, Window: f.Window, Roughness: f.Roughness,
-		Kurtosis: f.Kurtosis, SeedReused: f.SeedReused, Sequence: f.Sequence,
-	}); err != nil {
-		log.Printf("frame encode: %v", err)
-	}
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	st := s.st.Stats()
-	ratio := s.st.Ratio()
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(map[string]interface{}{
-		"raw_points": st.RawPoints,
-		"panes":      st.Panes,
-		"searches":   st.Searches,
-		"candidates": st.Candidates,
-		"ratio":      ratio,
-	}); err != nil {
-		log.Printf("stats encode: %v", err)
-	}
-}
-
-func (s *server) plotSVG(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	f := s.st.Frame()
-	s.mu.Unlock()
-	if f == nil {
-		http.Error(w, "no frame yet", http.StatusServiceUnavailable)
-		return
-	}
-	doc, err := plot.SVGSeries(
-		fmt.Sprintf("ASAP frame #%d (window %d)", f.Sequence, f.Window),
-		880, 320,
-		map[string][]float64{"smoothed": stats.ZScores(f.Values)},
-		[]string{"smoothed"},
-	)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	fmt.Fprint(w, doc)
-}
-
-const dashboard = `<!DOCTYPE html>
-<html><head><title>ASAP dashboard</title>
-<meta http-equiv="refresh" content="2">
-<style>body{font-family:sans-serif;margin:2em}</style></head>
-<body>
-<h2>ASAP streaming dashboard</h2>
-<p>Auto-smoothed view of the incoming stream; refreshes every 2s.</p>
-<img src="/plot.svg" alt="waiting for data..."/>
-<p><a href="/frame">frame JSON</a> | <a href="/stats">stats JSON</a></p>
-</body></html>
-`
-
-func (s *server) index(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/html")
-	fmt.Fprint(w, dashboard)
-}
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8347", "listen address")
-		window   = flag.Int("window", 14400, "visualization window in raw points")
-		res      = flag.Int("resolution", 800, "target display width in pixels")
-		refresh  = flag.Int("refresh", 0, "refresh interval in raw points (0 = per aggregated point)")
-		simulate = flag.String("simulate", "", "feed a built-in dataset (e.g. Taxi) at -rate points/sec")
-		rate     = flag.Int("rate", 200, "simulation rate, points per second")
+		addr      = flag.String("addr", ":8347", "listen address")
+		window    = flag.Int("window", 14400, "visualization window in raw points")
+		res       = flag.Int("resolution", 800, "target display width in pixels")
+		refresh   = flag.Int("refresh", 0, "refresh interval in raw points (0 = per aggregated point)")
+		shards    = flag.Int("shards", 0, "series lock shards (0 = GOMAXPROCS)")
+		maxSeries = flag.Int("max-series", server.DefaultMaxSeries, "live series cap (LRU eviction beyond it)")
+		series    = flag.String("series", server.DefaultSeriesName, "default series for bare-value ingest and reads")
+		simulate  = flag.String("simulate", "", "feed a built-in dataset (e.g. Taxi) at -rate points/sec")
+		rate      = flag.Int("rate", 200, "simulation rate, points per second")
 	)
 	flag.Parse()
 
-	st, err := asap.NewStreamer(asap.StreamConfig{
-		WindowPoints: *window,
-		Resolution:   *res,
-		RefreshEvery: *refresh,
+	srv, err := server.New(server.Config{
+		Hub: server.HubConfig{
+			Stream: asap.StreamConfig{
+				WindowPoints: *window,
+				Resolution:   *res,
+				RefreshEvery: *refresh,
+			},
+			Shards:        *shards,
+			MaxSeries:     *maxSeries,
+			DefaultSeries: *series,
+		},
+		Simulate: *simulate,
+		Rate:     *rate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &server{st: st}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *simulate != "" {
-		spec, ok := datasets.ByName(*simulate)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "asap-server: unknown dataset %q\n", *simulate)
-			os.Exit(1)
-		}
-		go func() {
-			values := spec.Generate(1).Values
-			tick := time.NewTicker(time.Second / time.Duration(*rate))
-			defer tick.Stop()
-			i := 0
-			for range tick.C {
-				srv.mu.Lock()
-				srv.st.Push(values[i%len(values)])
-				srv.mu.Unlock()
-				i++
-			}
-		}()
 		log.Printf("simulating %s at %d pts/sec", *simulate, *rate)
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", srv.index)
-	mux.HandleFunc("/ingest", srv.ingest)
-	mux.HandleFunc("/frame", srv.frame)
-	mux.HandleFunc("/stats", srv.stats)
-	mux.HandleFunc("/plot.svg", srv.plotSVG)
-
 	log.Printf("asap-server listening on %s (window %d pts, %d px)", *addr, *window, *res)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := srv.Run(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 }

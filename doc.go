@@ -29,4 +29,12 @@
 //			render(frame.Values)
 //		}
 //	}
+//
+// Server usage: cmd/asap-server exposes the streaming operator as a
+// multi-series HTTP service. It fronts a sharded hub (one Streamer per
+// series name, series spread across per-mutex shards) and ingests a
+// line protocol of "series=value" or bare "value" lines over
+// POST /ingest, with per-series reads on /frame, /plot.svg, /series,
+// and /stats. Ingest bodies are all-or-nothing: a bad line rejects the
+// whole batch before any point is applied.
 package asap

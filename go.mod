@@ -1,0 +1,3 @@
+module github.com/asap-go/asap
+
+go 1.22

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzIngestParse checks that arbitrary ingest bodies never panic the
+// line-protocol parser, that every accepted point is well-formed, and
+// that accepted batches round-trip through their canonical
+// "series=value" serialization to the same points.
+func FuzzIngestParse(f *testing.F) {
+	seeds := []string{
+		"1\n2\n3\n",
+		"1.5\n-2e3\n+0.25\n",
+		"cpu.load=0.93\ndisk.io=1200\ncpu.load=0.94\n",
+		"mixed=1\n42\nmixed=2\n",
+		"\n\n\n",
+		"# comment\n1\n  # indented comment\n",
+		"  spaced = 3.5 \n",
+		"not-a-number\n",
+		"=5\n",
+		"a=\n",
+		"a==5\n",
+		"NaN\nInf\n-Inf\n",
+		"x=NaN\n",
+		"1e309\n",
+		"0x1p10\n",
+		"\x00\xff\n",
+		"s\r\n1\r\n",
+		"a\rb=1\n",
+		"a\x00b=2\n",
+		strings.Repeat("9", 400) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := parseIngest(bytes.NewReader(data), "default")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var canon strings.Builder
+		for i, p := range pts {
+			if p.series == "" {
+				t.Fatalf("point %d has empty series", i)
+			}
+			if strings.HasPrefix(p.series, "#") {
+				t.Fatalf("point %d series %q begins a comment", i, p.series)
+			}
+			if strings.ContainsAny(p.series, "=\n\r") {
+				t.Fatalf("point %d series %q contains protocol bytes", i, p.series)
+			}
+			if math.IsNaN(p.value) || math.IsInf(p.value, 0) {
+				t.Fatalf("point %d accepted non-finite value %v", i, p.value)
+			}
+			canon.WriteString(p.series)
+			canon.WriteByte('=')
+			canon.WriteString(strconv.FormatFloat(p.value, 'g', -1, 64))
+			canon.WriteByte('\n')
+		}
+		back, err := parseIngest(strings.NewReader(canon.String()), "default")
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\ncanonical: %q", err, canon.String())
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("round-trip length %d != %d", len(back), len(pts))
+		}
+		for i := range pts {
+			if back[i] != pts[i] {
+				t.Fatalf("round-trip point %d: %+v != %+v", i, back[i], pts[i])
+			}
+		}
+	})
+}

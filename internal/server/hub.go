@@ -1,0 +1,253 @@
+// Package server implements the multi-series streaming hub behind
+// cmd/asap-server: a sharded map of series name → *asap.Streamer plus
+// the HTTP handlers that expose ingest, frames, plots, and stats.
+//
+// The hub hashes series names (FNV-1a) onto a fixed array of shards,
+// each guarded by its own mutex, so concurrent ingest into distinct
+// series rarely contends. A max-series cap with approximate LRU
+// eviction bounds memory when clients create series faster than they
+// revisit them.
+package server
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asap-go/asap"
+)
+
+// Defaults for HubConfig fields left zero.
+const (
+	DefaultMaxSeries  = 1024
+	DefaultSeriesName = "default"
+)
+
+// HubConfig configures a Hub.
+type HubConfig struct {
+	// Stream configures the per-series Streamer created on first ingest
+	// of each series name.
+	Stream asap.StreamConfig
+	// Shards is the number of lock shards. Zero means GOMAXPROCS.
+	Shards int
+	// MaxSeries caps live series across the hub; creating one beyond the
+	// cap evicts the least-recently-used series. Zero means
+	// DefaultMaxSeries.
+	MaxSeries int
+	// DefaultSeries is the series fed by bare-value ingest lines and read
+	// by endpoints with no ?series= parameter. Empty means
+	// DefaultSeriesName.
+	DefaultSeries string
+}
+
+// Hub routes per-series traffic to independent Streamers behind
+// per-shard locks. All methods are safe for concurrent use.
+type Hub struct {
+	cfg       HubConfig
+	shards    []shard
+	clock     atomic.Uint64 // LRU clock, ticks on every series touch
+	count     atomic.Int64  // live series across all shards
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu     sync.Mutex
+	series map[string]*entry
+}
+
+type entry struct {
+	st       *asap.Streamer
+	lastUsed uint64 // guarded by the owning shard's mutex
+}
+
+// NewHub validates cfg (by constructing a throwaway Streamer) and
+// returns a ready Hub with no series.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSeries <= 0 {
+		cfg.MaxSeries = DefaultMaxSeries
+	}
+	if cfg.DefaultSeries == "" {
+		cfg.DefaultSeries = DefaultSeriesName
+	}
+	if _, err := asap.NewStreamer(cfg.Stream); err != nil {
+		return nil, err
+	}
+	h := &Hub{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	for i := range h.shards {
+		h.shards[i].series = make(map[string]*entry)
+	}
+	return h, nil
+}
+
+// DefaultSeries returns the resolved default series name.
+func (h *Hub) DefaultSeries() string { return h.cfg.DefaultSeries }
+
+// Len returns the number of live series.
+func (h *Hub) Len() int { return int(h.count.Load()) }
+
+// Evictions returns how many series the LRU cap has removed.
+func (h *Hub) Evictions() int64 { return h.evictions.Load() }
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnv32a is FNV-1a over the name without the []byte conversion a
+// hash.Hash32 would force on the ingest hot path.
+func fnv32a(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func (h *Hub) shardFor(name string) *shard {
+	return &h.shards[fnv32a(name)%uint32(len(h.shards))]
+}
+
+// PushBatch appends values to the named series in order, creating the
+// series on first use. Only the series' own shard is locked while
+// pushing, so batches for different series proceed in parallel.
+func (h *Hub) PushBatch(name string, values []float64) error {
+	sh := h.shardFor(name)
+	sh.mu.Lock()
+	e := sh.series[name]
+	created := false
+	if e == nil {
+		st, err := asap.NewStreamer(h.cfg.Stream)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		e = &entry{st: st}
+		sh.series[name] = e
+		created = true
+	}
+	e.lastUsed = h.clock.Add(1)
+	e.st.PushBatch(values)
+	sh.mu.Unlock()
+	if created && int(h.count.Add(1)) > h.cfg.MaxSeries {
+		h.evictLRU(name)
+	}
+	return nil
+}
+
+// Apply pushes an already-parsed ingest batch, grouping consecutive
+// points per series so each series takes its shard lock once. Call
+// only with a fully parsed batch: parse errors must be surfaced before
+// any point is applied so a bad line never leaves a partial batch.
+func (h *Hub) Apply(pts []point) (npoints, nseries int) {
+	order := make([]string, 0, 4)
+	groups := make(map[string][]float64, 4)
+	for _, p := range pts {
+		if _, ok := groups[p.series]; !ok {
+			order = append(order, p.series)
+		}
+		groups[p.series] = append(groups[p.series], p.value)
+	}
+	for _, name := range order {
+		// The error path is config validation, which NewHub already ran.
+		_ = h.PushBatch(name, groups[name])
+	}
+	return len(pts), len(order)
+}
+
+// evictLRU removes the least-recently-used series other than keep. The
+// scan locks one shard at a time, so under concurrent churn the choice
+// is approximate and a touched victim is skipped rather than evicted —
+// the cap is a memory bound, not an exact invariant.
+func (h *Hub) evictLRU(keep string) {
+	var victimShard *shard
+	victimName := ""
+	victimUsed := uint64(math.MaxUint64)
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for name, e := range sh.series {
+			if name != keep && e.lastUsed < victimUsed {
+				victimShard, victimName, victimUsed = sh, name, e.lastUsed
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victimShard == nil {
+		return
+	}
+	victimShard.mu.Lock()
+	if e, ok := victimShard.series[victimName]; ok && e.lastUsed == victimUsed {
+		delete(victimShard.series, victimName)
+		h.count.Add(-1)
+		h.evictions.Add(1)
+	}
+	victimShard.mu.Unlock()
+}
+
+// Frame returns the latest frame for the named series. The second
+// result reports whether the series exists; the frame is nil until the
+// series' first refresh. Reading a frame counts as a use for LRU.
+func (h *Hub) Frame(name string) (*asap.Frame, bool) {
+	sh := h.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.series[name]
+	if e == nil {
+		return nil, false
+	}
+	e.lastUsed = h.clock.Add(1)
+	return e.st.Frame(), true
+}
+
+// SeriesStats is one series' cumulative operator counters.
+type SeriesStats struct {
+	RawPoints  int
+	Panes      int
+	Searches   int
+	Candidates int
+	Ratio      int
+}
+
+// Stats snapshots every live series' counters. Shards are locked one
+// at a time, so the snapshot is per-series consistent but not a global
+// point-in-time cut.
+func (h *Hub) Stats() map[string]SeriesStats {
+	out := make(map[string]SeriesStats, h.Len())
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for name, e := range sh.series {
+			st := e.st.Stats()
+			out[name] = SeriesStats{
+				RawPoints:  st.RawPoints,
+				Panes:      st.Panes,
+				Searches:   st.Searches,
+				Candidates: st.Candidates,
+				Ratio:      e.st.Ratio(),
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SeriesNames returns the live series names, sorted.
+func (h *Hub) SeriesNames() []string {
+	names := make([]string, 0, h.Len())
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for name := range sh.series {
+			names = append(names, name)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// point is one parsed ingest line: a value destined for a series.
+type point struct {
+	series string
+	value  float64
+}
+
+// maxLineBytes bounds a single ingest line; longer lines fail the whole
+// batch with bufio.ErrTooLong rather than being truncated.
+const maxLineBytes = 1 << 20
+
+// parseIngest reads the asap-server line protocol: one point per line,
+// either a bare float (routed to defaultSeries) or series=value. Blank
+// lines and lines starting with '#' are skipped. Whitespace around the
+// series name and value is trimmed; the first '=' splits, so values
+// like "cpu=1e3" work but series names cannot contain '='.
+//
+// The whole body is parsed before anything is applied: any bad line
+// makes the entire batch fail, so callers can guarantee all-or-nothing
+// ingest.
+func parseIngest(r io.Reader, defaultSeries string) ([]point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	var pts []point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series, valueStr := defaultSeries, line
+		if i := strings.IndexByte(line, '='); i >= 0 {
+			series = strings.TrimSpace(line[:i])
+			valueStr = strings.TrimSpace(line[i+1:])
+			if series == "" {
+				return nil, fmt.Errorf("line %d: empty series name", lineNo)
+			}
+			if strings.ContainsFunc(series, isSeriesControlByte) {
+				return nil, fmt.Errorf("line %d: invalid series name %q", lineNo, series)
+			}
+		}
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q", lineNo, valueStr)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("line %d: non-finite value %q", lineNo, valueStr)
+		}
+		pts = append(pts, point{series: series, value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// isSeriesControlByte rejects control characters inside series names.
+// TrimSpace only strips the ends, so an interior \r, \x00, or ESC would
+// otherwise become part of the name and leak into JSON listings and
+// dashboard links.
+func isSeriesControlByte(r rune) bool { return r < 0x20 || r == 0x7f }

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/asap-go/asap/internal/datasets"
+	"github.com/asap-go/asap/internal/plot"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// maxIngestBytes bounds one POST /ingest body.
+const maxIngestBytes = 32 << 20
+
+// shutdownTimeout bounds the graceful drain once Run's context ends.
+const shutdownTimeout = 5 * time.Second
+
+// Config configures a Server: the hub it fronts plus the optional
+// built-in simulator.
+type Config struct {
+	Hub HubConfig
+	// Simulate names a built-in dataset (e.g. "Taxi") to feed into
+	// SimulateSeries at Rate points/sec while the server runs. Empty
+	// disables the simulator.
+	Simulate string
+	// SimulateSeries is the series the simulator feeds. Empty means the
+	// hub's default series.
+	SimulateSeries string
+	// Rate is the simulation rate in points per second (default 200).
+	Rate int
+}
+
+// Server owns a Hub and serves the asap-server HTTP API.
+type Server struct {
+	cfg Config
+	hub *Hub
+	sim datasets.Spec
+}
+
+// New validates cfg and returns a Server ready to Run.
+func New(cfg Config) (*Server, error) {
+	hub, err := NewHub(cfg.Hub)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, hub: hub}
+	if cfg.Simulate != "" {
+		spec, ok := datasets.ByName(cfg.Simulate)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q", cfg.Simulate)
+		}
+		s.sim = spec
+		if s.cfg.SimulateSeries == "" {
+			s.cfg.SimulateSeries = hub.DefaultSeries()
+		}
+		if s.cfg.Rate <= 0 {
+			s.cfg.Rate = 200
+		}
+		// time.Second / Rate must stay a positive ticker interval.
+		if s.cfg.Rate > int(time.Second) {
+			return nil, fmt.Errorf("rate %d exceeds %d points/sec", s.cfg.Rate, int(time.Second))
+		}
+	}
+	return s, nil
+}
+
+// Hub exposes the underlying hub, mainly for tests and embedding.
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Handler returns the full asap-server route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/plot.svg", s.handlePlot)
+	return mux
+}
+
+// Run listens on addr and serves until ctx is cancelled, then drains
+// in-flight requests (bounded by shutdownTimeout) and stops the
+// simulator goroutine before returning.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run for a caller-provided listener (tests use :0).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if s.cfg.Simulate != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runSimulator(ctx)
+		}()
+	}
+
+	srv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer shutCancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		wg.Wait()
+		return err
+	case err := <-errc:
+		cancel()
+		wg.Wait()
+		return err
+	}
+}
+
+// runSimulator replays the configured dataset into the simulate series
+// at the configured rate until ctx ends.
+func (s *Server) runSimulator(ctx context.Context) {
+	values := s.sim.Generate(1).Values
+	tick := time.NewTicker(time.Second / time.Duration(s.cfg.Rate))
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			_ = s.hub.PushBatch(s.cfg.SimulateSeries, []float64{values[i%len(values)]})
+		}
+	}
+}
+
+// seriesParam resolves the ?series= query parameter, falling back to
+// the hub default.
+func (s *Server) seriesParam(r *http.Request) string {
+	if name := r.URL.Query().Get("series"); name != "" {
+		return name
+	}
+	return s.hub.DefaultSeries()
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		http.Error(w, method+" required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	defer r.Body.Close()
+	pts, err := parseIngest(http.MaxBytesReader(w, r.Body, maxIngestBytes), s.hub.DefaultSeries())
+	if err != nil {
+		// Nothing was applied: parse covers the whole body before Apply,
+		// so a bad line cannot leave a half-pushed batch. Oversized bodies
+		// get 413 so clients know splitting the batch (not fixing a line)
+		// is the remedy.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	npts, nseries := s.hub.Apply(pts)
+	fmt.Fprintf(w, "ingested %d points across %d series\n", npts, nseries)
+}
+
+// frameJSON mirrors asap.Frame for the wire.
+type frameJSON struct {
+	Series     string    `json:"series"`
+	Values     []float64 `json:"values"`
+	Window     int       `json:"window"`
+	Roughness  float64   `json:"roughness"`
+	Kurtosis   float64   `json:"kurtosis"`
+	SeedReused bool      `json:"seed_reused"`
+	Sequence   int       `json:"sequence"`
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	name := s.seriesParam(r)
+	f, ok := s.hub.Frame(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if f == nil {
+		// The series exists but has not produced a frame yet; "null" keeps
+		// the original single-series wire contract.
+		fmt.Fprintln(w, "null")
+		return
+	}
+	writeJSON(w, frameJSON{
+		Series: name, Values: f.Values, Window: f.Window, Roughness: f.Roughness,
+		Kurtosis: f.Kurtosis, SeedReused: f.SeedReused, Sequence: f.Sequence,
+	})
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	per := s.hub.Stats()
+	type seriesJSON struct {
+		Name      string `json:"name"`
+		RawPoints int    `json:"raw_points"`
+	}
+	names := make([]string, 0, len(per))
+	for name := range per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	list := make([]seriesJSON, 0, len(names))
+	for _, name := range names {
+		list = append(list, seriesJSON{Name: name, RawPoints: per[name].RawPoints})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]interface{}{"count": len(list), "series": list})
+}
+
+type seriesStatsJSON struct {
+	RawPoints  int `json:"raw_points"`
+	Panes      int `json:"panes"`
+	Searches   int `json:"searches"`
+	Candidates int `json:"candidates"`
+	Ratio      int `json:"ratio"`
+}
+
+func statsJSON(st SeriesStats) seriesStatsJSON {
+	return seriesStatsJSON{
+		RawPoints:  st.RawPoints,
+		Panes:      st.Panes,
+		Searches:   st.Searches,
+		Candidates: st.Candidates,
+		Ratio:      st.Ratio,
+	}
+}
+
+// handleStats serves aggregate counters plus a per-series breakdown;
+// with ?series= it narrows to that one series (404 if unknown).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	per := s.hub.Stats()
+	if name := r.URL.Query().Get("series"); name != "" {
+		st, ok := per[name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, statsJSON(st))
+		return
+	}
+	var agg SeriesStats
+	perOut := make(map[string]seriesStatsJSON, len(per))
+	for name, st := range per {
+		agg.RawPoints += st.RawPoints
+		agg.Panes += st.Panes
+		agg.Searches += st.Searches
+		agg.Candidates += st.Candidates
+		perOut[name] = statsJSON(st)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]interface{}{
+		"series_count": len(per),
+		"evictions":    s.hub.Evictions(),
+		"aggregate": map[string]int{
+			"raw_points": agg.RawPoints,
+			"panes":      agg.Panes,
+			"searches":   agg.Searches,
+			"candidates": agg.Candidates,
+		},
+		"series": perOut,
+	})
+}
+
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	name := s.seriesParam(r)
+	f, ok := s.hub.Frame(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
+		return
+	}
+	if f == nil {
+		http.Error(w, "no frame yet", http.StatusServiceUnavailable)
+		return
+	}
+	doc, err := plot.SVGSeries(
+		fmt.Sprintf("%s — frame #%d (window %d)", name, f.Sequence, f.Window),
+		880, 320,
+		map[string][]float64{"smoothed": stats.ZScores(f.Values)},
+		[]string{"smoothed"},
+	)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, doc)
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html><head><title>ASAP dashboard</title>
+<meta http-equiv="refresh" content="2">
+<style>body{font-family:sans-serif;margin:2em}</style></head>
+<body>
+<h2>ASAP streaming dashboard</h2>
+<p>Auto-smoothed view of series <b>{{.Selected}}</b>; refreshes every 2s.</p>
+<img src="/plot.svg?series={{.Selected}}" alt="waiting for data..."/>
+<p>Series:{{range .Names}} <a href="/?series={{.}}">{{.}}</a>{{else}} (none yet){{end}}</p>
+<p><a href="/frame?series={{.Selected}}">frame JSON</a> | <a href="/stats">stats JSON</a> | <a href="/series">series JSON</a></p>
+</body></html>
+`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	err := dashboardTmpl.Execute(w, struct {
+		Selected string
+		Names    []string
+	}{Selected: s.seriesParam(r), Names: s.hub.SeriesNames()})
+	if err != nil {
+		log.Printf("dashboard render: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -1,0 +1,530 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap"
+)
+
+func testConfig() Config {
+	return Config{
+		Hub: HubConfig{
+			Stream: asap.StreamConfig{
+				WindowPoints: 400,
+				Resolution:   100,
+				RefreshEvery: 100,
+			},
+		},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// sineBody builds an ingest body of n sine samples, each line prefixed
+// with "series=" when series is non-empty.
+func sineBody(series string, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if series != "" {
+			b.WriteString(series)
+			b.WriteByte('=')
+		}
+		b.WriteString(strconv.FormatFloat(math.Sin(2*math.Pi*float64(i)/40), 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestIngestAndFrameDefaultSeries(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	code, body := post(t, ts.URL+"/ingest", sineBody("", 2000))
+	if code != 200 {
+		t.Fatalf("ingest status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "2000 points across 1 series") {
+		t.Errorf("ingest reply = %q", body)
+	}
+
+	code, body = get(t, ts.URL+"/frame")
+	if code != 200 {
+		t.Fatalf("frame status %d", code)
+	}
+	var f frameJSON
+	if err := json.Unmarshal([]byte(body), &f); err != nil {
+		t.Fatalf("frame not JSON: %v", err)
+	}
+	if f.Window < 1 || len(f.Values) == 0 || f.Series != DefaultSeriesName {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestIngestMultiSeries(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	body := sineBody("cpu.load", 600) + sineBody("disk.io", 700)
+	code, reply := post(t, ts.URL+"/ingest", body)
+	if code != 200 {
+		t.Fatalf("ingest status %d: %s", code, reply)
+	}
+	if !strings.Contains(reply, "1300 points across 2 series") {
+		t.Errorf("ingest reply = %q", reply)
+	}
+
+	for _, name := range []string{"cpu.load", "disk.io"} {
+		code, body := get(t, ts.URL+"/frame?series="+name)
+		if code != 200 {
+			t.Fatalf("frame %s status %d", name, code)
+		}
+		var f frameJSON
+		if err := json.Unmarshal([]byte(body), &f); err != nil {
+			t.Fatalf("frame %s not JSON: %v", name, err)
+		}
+		if f.Series != name || len(f.Values) == 0 {
+			t.Errorf("frame %s = %+v", name, f)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/series")
+	if code != 200 {
+		t.Fatalf("series status %d", code)
+	}
+	var listing struct {
+		Count  int `json:"count"`
+		Series []struct {
+			Name      string `json:"name"`
+			RawPoints int    `json:"raw_points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("series not JSON: %v", err)
+	}
+	if listing.Count != 2 || len(listing.Series) != 2 {
+		t.Fatalf("series listing = %+v", listing)
+	}
+	// Sorted by name: cpu.load before disk.io.
+	if listing.Series[0].Name != "cpu.load" || listing.Series[0].RawPoints != 600 {
+		t.Errorf("series[0] = %+v", listing.Series[0])
+	}
+	if listing.Series[1].Name != "disk.io" || listing.Series[1].RawPoints != 700 {
+		t.Errorf("series[1] = %+v", listing.Series[1])
+	}
+}
+
+// TestIngestBadValueNoPartialApplication is the regression test for the
+// old single-series server, which 400'd on a bad line after silently
+// pushing every line before it. The hub parses the whole body first, so
+// nothing may be applied.
+func TestIngestBadValueNoPartialApplication(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	code, body := post(t, ts.URL+"/ingest", "1.5\n2.5\nnot-a-number\n3.5\n")
+	if code != 400 {
+		t.Fatalf("bad ingest status %d: %s", code, body)
+	}
+	if got := s.Hub().Len(); got != 0 {
+		t.Errorf("series created by rejected batch: %d", got)
+	}
+
+	// Same all-or-nothing contract when the bad line targets a second
+	// series mid-batch: the healthy first series must see nothing.
+	code, _ = post(t, ts.URL+"/ingest", "cpu=1\ncpu=2\ndisk=junk\n")
+	if code != 400 {
+		t.Fatalf("bad multi-series ingest status %d", code)
+	}
+	if _, ok := s.Hub().Frame("cpu"); ok {
+		t.Error("series cpu exists after rejected batch")
+	}
+	code, body = get(t, ts.URL+"/stats")
+	var st struct {
+		Aggregate map[string]int `json:"aggregate"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats not JSON: %v (status %d)", err, code)
+	}
+	if st.Aggregate["raw_points"] != 0 {
+		t.Errorf("raw_points = %d after two rejected batches, want 0", st.Aggregate["raw_points"])
+	}
+}
+
+func TestIngestSkipsBlankAndCommentLines(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	code, reply := post(t, ts.URL+"/ingest", "\n# header comment\n1\n\n  \ncpu=2\n# done\n")
+	if code != 200 {
+		t.Fatalf("ingest status %d: %s", code, reply)
+	}
+	if !strings.Contains(reply, "2 points across 2 series") {
+		t.Errorf("ingest reply = %q", reply)
+	}
+}
+
+func TestIngestRejectsNonFinite(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for _, body := range []string{"NaN\n", "cpu=+Inf\n", "cpu=-inf\n"} {
+		if code, _ := post(t, ts.URL+"/ingest", body); code != 400 {
+			t.Errorf("ingest %q status %d, want 400", body, code)
+		}
+	}
+}
+
+func TestIngestRejectsControlBytesInSeriesName(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for _, body := range []string{"a\rb=1\n", "a\x00b=1\n", "a\tb=1\n"} {
+		if code, _ := post(t, ts.URL+"/ingest", body); code != 400 {
+			t.Errorf("ingest %q status %d, want 400", body, code)
+		}
+	}
+}
+
+func TestNewRejectsExcessiveSimulationRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Simulate = "Taxi"
+	cfg.Rate = int(2 * time.Second) // interval would truncate to 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a rate whose ticker interval truncates to zero")
+	}
+}
+
+func TestMethodErrors(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	// GET on the write endpoint.
+	if code, _ := get(t, ts.URL+"/ingest"); code != 405 {
+		t.Errorf("GET /ingest status %d, want 405", code)
+	}
+	// POST on every read endpoint.
+	for _, path := range []string{"/frame", "/series", "/stats", "/plot.svg", "/"} {
+		if code, _ := post(t, ts.URL+path, ""); code != 405 {
+			t.Errorf("POST %s status %d, want 405", path, code)
+		}
+	}
+}
+
+func TestUnknownSeries(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", "cpu=1\n")
+	for _, path := range []string{"/frame?series=nope", "/plot.svg?series=nope", "/stats?series=nope"} {
+		if code, _ := get(t, ts.URL+path); code != 404 {
+			t.Errorf("GET %s status %d, want 404", path, code)
+		}
+	}
+}
+
+func TestFrameBeforeData(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	// Unknown default series (nothing ingested at all) is a 404 …
+	if code, _ := get(t, ts.URL+"/frame"); code != 404 {
+		t.Errorf("frame with no series status %d, want 404", code)
+	}
+	// … but a live series that has not refreshed yet answers null.
+	post(t, ts.URL+"/ingest", "1\n2\n3\n")
+	code, body := get(t, ts.URL+"/frame")
+	if code != 200 || strings.TrimSpace(body) != "null" {
+		t.Errorf("pre-frame = %d %q, want 200 null", code, body)
+	}
+}
+
+func TestPlotSVG(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	// Series exists but no frame yet: 503.
+	post(t, ts.URL+"/ingest", "cpu=1\n")
+	if code, _ := get(t, ts.URL+"/plot.svg?series=cpu"); code != 503 {
+		t.Errorf("plot before frame status %d, want 503", code)
+	}
+	post(t, ts.URL+"/ingest", sineBody("cpu", 2000))
+	code, body := get(t, ts.URL+"/plot.svg?series=cpu")
+	if code != 200 || !strings.Contains(body, "<svg") {
+		t.Errorf("plot status %d, body %.40q", code, body)
+	}
+}
+
+func TestStatsAggregateAndPerSeries(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 500))
+	post(t, ts.URL+"/ingest", sineBody("disk", 300))
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	var st struct {
+		SeriesCount int                        `json:"series_count"`
+		Evictions   int                        `json:"evictions"`
+		Aggregate   map[string]int             `json:"aggregate"`
+		Series      map[string]seriesStatsJSON `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if st.SeriesCount != 2 || st.Aggregate["raw_points"] != 800 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Series["cpu"].RawPoints != 500 || st.Series["disk"].RawPoints != 300 {
+		t.Errorf("per-series stats = %+v", st.Series)
+	}
+	if st.Series["cpu"].Ratio != 4 {
+		t.Errorf("ratio = %d, want 4", st.Series["cpu"].Ratio)
+	}
+
+	// Narrowed form.
+	code, body = get(t, ts.URL+"/stats?series=cpu")
+	if code != 200 {
+		t.Fatalf("stats?series status %d", code)
+	}
+	var one seriesStatsJSON
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("narrowed stats not JSON: %v", err)
+	}
+	if one.RawPoints != 500 {
+		t.Errorf("narrowed raw_points = %d, want 500", one.RawPoints)
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", "cpu=1\ndisk=2\n")
+	code, body := get(t, ts.URL+"/")
+	if code != 200 || !strings.Contains(body, "ASAP streaming dashboard") {
+		t.Errorf("dashboard = %d %.60q", code, body)
+	}
+	if !strings.Contains(body, "cpu") || !strings.Contains(body, "disk") {
+		t.Error("dashboard does not list live series")
+	}
+	// The catch-all must not swallow unknown paths.
+	if code, _ := get(t, ts.URL+"/no-such-page"); code != 404 {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hub.MaxSeries = 2
+	cfg.Hub.Shards = 4
+	s, ts := newTestServer(t, cfg)
+
+	post(t, ts.URL+"/ingest", "a=1\n")
+	post(t, ts.URL+"/ingest", "b=1\n")
+	// Touch a so b becomes the LRU victim.
+	get(t, ts.URL+"/frame?series=a")
+	post(t, ts.URL+"/ingest", "c=1\n")
+
+	names := s.Hub().SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Errorf("series after eviction = %v, want [a c]", names)
+	}
+	if got := s.Hub().Evictions(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if code, _ := get(t, ts.URL+"/frame?series=b"); code != 404 {
+		t.Errorf("evicted series status %d, want 404", code)
+	}
+}
+
+// TestConcurrentStress hammers the hub through real HTTP: writers
+// ingest into several series while readers poll frames and stats. Run
+// with -race; the per-shard locking must keep every Streamer single-
+// threaded underneath.
+func TestConcurrentStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hub.Shards = 8
+	s, ts := newTestServer(t, cfg)
+
+	const (
+		writers   = 8
+		series    = 4
+		batches   = 25
+		batchSize = 40
+	)
+	client := ts.Client()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", w%series)
+			for b := 0; b < batches; b++ {
+				var sb strings.Builder
+				for i := 0; i < batchSize; i++ {
+					fmt.Fprintf(&sb, "%s=%g\n", name, math.Sin(float64(b*batchSize+i)/17))
+				}
+				resp, err := client.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(sb.String()))
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("writer %d: status %d", w, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{
+				fmt.Sprintf("/frame?series=s%d", r%series),
+				"/stats",
+				"/series",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 && resp.StatusCode != 404 {
+					t.Errorf("reader %d: status %d", r, resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		// Writers finish first; then release the readers.
+		defer close(done)
+		wgWriters := writers * batches * batchSize
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			total := 0
+			for _, st := range s.Hub().Stats() {
+				total += st.RawPoints
+			}
+			if total == wgWriters {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	for name, st := range s.Hub().Stats() {
+		if st.RawPoints == 0 {
+			t.Errorf("series %s has no points", name)
+		}
+		total += st.RawPoints
+	}
+	if want := writers * batches * batchSize; total != want {
+		t.Errorf("total raw points = %d, want %d", total, want)
+	}
+	if got := s.Hub().Len(); got != series {
+		t.Errorf("series count = %d, want %d", got, series)
+	}
+}
+
+// TestGracefulShutdown runs the real Serve loop (with the simulator
+// goroutine) and checks that cancelling the context drains cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	cfg := testConfig()
+	cfg.Simulate = "Taxi"
+	cfg.Rate = 1000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let the simulator land at least one point before shutting down.
+	for s.Hub().Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("simulator never pushed a point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve returned %v after cancel, want nil", err)
+		}
+	case <-time.After(shutdownTimeout + 2*time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	// The simulator fed the default series while running.
+	if _, ok := s.Hub().Frame(s.Hub().DefaultSeries()); !ok {
+		t.Error("simulator never created the default series")
+	}
+}

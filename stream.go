@@ -54,6 +54,10 @@ type StreamStats struct {
 // Streamer is streaming ASAP: push points, receive refreshed smoothed
 // frames at the configured cadence. Not safe for concurrent use; wrap
 // with your own synchronization or run one Streamer per goroutine.
+// For many concurrent streams, shard Streamers behind per-shard locks
+// keyed by stream name the way cmd/asap-server's hub does — one
+// Streamer per series keeps each operator single-threaded while
+// distinct series ingest in parallel.
 type Streamer struct {
 	op *stream.Operator
 }
