@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz clean
+.PHONY: check vet build test race fuzz fuzz-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -21,5 +21,17 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzIngestParse -fuzztime=30s ./internal/server/
 
+## fuzz-check: replay every fuzz target's seed corpus as regular tests
+## (no fuzzing engine; -fuzz must be per-package).
+fuzz-check:
+	$(GO) test -run Fuzz -fuzz='^$$' ./internal/server/
+	$(GO) test -run Fuzz -fuzz='^$$' ./internal/csvio/
+	$(GO) test -run Fuzz -fuzz='^$$' ./internal/wal/
+
 clean:
 	$(GO) clean ./...
+
+## clean-data: remove WAL data directories left by local asap-server
+## runs (-data-dir data).
+clean-data:
+	rm -rf data

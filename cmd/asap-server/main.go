@@ -11,8 +11,10 @@
 //	POST /ingest                line protocol (below) — appends points
 //	GET  /frame?series=NAME     latest smoothed frame as JSON
 //	GET  /series                live series listing as JSON
-//	GET  /stats[?series=NAME]   aggregate + per-series counters as JSON
+//	GET  /stats[?series=NAME]   aggregate + per-series + WAL counters
 //	GET  /plot.svg?series=NAME  SVG of the current frame
+//	GET  /healthz               hub size, WAL flush lag, last recovery
+//	POST /snapshot              compact the WAL into a fresh checkpoint
 //	GET  /                      embedded dashboard (auto-refreshing SVG)
 //
 // The ingest line protocol is one point per line: either "series=value"
@@ -20,6 +22,13 @@
 // Blank lines and #-comments are skipped. Bodies are all-or-nothing: a
 // bad line rejects the whole batch with 400 and nothing is applied.
 // Reads default to the default series when ?series= is omitted.
+//
+// With -data-dir set, ingest is durable: every acknowledged batch is
+// appended to a per-shard write-ahead log (see docs/DURABILITY.md)
+// before it is applied, and a restarted server warm-recovers all
+// series — the next frames continue the pre-crash values and sequence
+// numbers exactly. -fsync-every batches fsyncs (0 fsyncs per append);
+// -segment-bytes tunes segment rotation.
 //
 // For demos, -simulate taxi feeds the built-in Taxi generator at a
 // fixed rate so the dashboard animates without an external producer.
@@ -33,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/server"
@@ -49,6 +59,11 @@ func main() {
 		series    = flag.String("series", server.DefaultSeriesName, "default series for bare-value ingest and reads")
 		simulate  = flag.String("simulate", "", "feed a built-in dataset (e.g. Taxi) at -rate points/sec")
 		rate      = flag.Int("rate", 200, "simulation rate, points per second")
+
+		dataDir      = flag.String("data-dir", "", "write-ahead log directory for durable ingest (empty = memory only)")
+		fsyncEvery   = flag.Duration("fsync-every", 100*time.Millisecond, "batch WAL fsyncs on this interval (0 = fsync every append)")
+		segmentBytes = flag.Int64("segment-bytes", 8<<20, "rotate WAL segments at this size")
+		maxBody      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "largest accepted POST /ingest body (413 beyond)")
 	)
 	flag.Parse()
 
@@ -63,12 +78,21 @@ func main() {
 			MaxSeries:     *maxSeries,
 			DefaultSeries: *series,
 		},
-		Simulate: *simulate,
-		Rate:     *rate,
+		Simulate:       *simulate,
+		Rate:           *rate,
+		DataDir:        *dataDir,
+		FsyncEvery:     *fsyncEvery,
+		SegmentBytes:   *segmentBytes,
+		MaxIngestBytes: *maxBody,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)
 		os.Exit(1)
+	}
+	if st, ok := srv.WALStats(); ok {
+		log.Printf("wal: %s: recovered %d series (%d points replayed, %d snapshots, %d corrupt records skipped) in %s",
+			*dataDir, st.Recovery.SeriesRecovered, st.Recovery.PointsReplayed,
+			st.Recovery.SnapshotsLoaded, st.Recovery.CorruptRecordsSkipped, st.Recovery.Duration)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -37,4 +37,11 @@
 // POST /ingest, with per-series reads on /frame, /plot.svg, /series,
 // and /stats. Ingest bodies are all-or-nothing: a bad line rejects the
 // whole batch before any point is applied.
+//
+// With -data-dir set the server is durable: acknowledged batches are
+// appended to a per-shard write-ahead log before they are applied, and
+// a restarted server warm-recovers every series via Streamer.Restore —
+// the next frames continue the pre-crash values, window, and sequence
+// numbers exactly. See docs/DURABILITY.md for the record format, fsync
+// and rotation semantics, and recovery guarantees.
 package asap

@@ -1,0 +1,20 @@
+// Package fnv provides the allocation-free FNV-1a string hash shared
+// by the hub's series sharding and the WAL's shard routing. hash/fnv
+// would force a []byte conversion on the ingest hot path; this version
+// walks the string directly.
+package fnv
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+)
+
+// Hash32a returns the 32-bit FNV-1a hash of s.
+func Hash32a(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}

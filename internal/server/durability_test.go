@@ -1,0 +1,530 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap"
+)
+
+func durableConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.DataDir = dir
+	cfg.FsyncEvery = 0 // strict: every acknowledged append is on disk
+	return cfg
+}
+
+func sineValues(n, offset int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(offset+i) / 40)
+	}
+	return xs
+}
+
+// TestRestartEquivalenceAfterCrash is the acceptance test for the WAL:
+// a hub killed without warning (no Close, no flush beyond what Append
+// acknowledged) and recovered from disk must serve exactly the frames
+// of a hub that never restarted — Values, Window, and Sequence — for
+// every series, including ones cut mid-pane and mid-refresh-interval.
+// Run under -race via `make check`.
+func TestRestartEquivalenceAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+
+	control, err := New(testConfig()) // memory-only twin
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uneven pre-crash lengths: cpu cuts cleanly, disk cuts mid-pane and
+	// mid-interval, net has too little for even one frame.
+	pre := map[string]int{"cpu": 900, "disk": 523, "net": 17}
+	for name, n := range pre {
+		vals := sineValues(n, 0)
+		if err := control.Hub().PushBatch(name, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := crashed.Hub().PushBatch(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// kill -9: drop the server on the floor. FsyncEvery 0 means every
+	// acknowledged batch is already fsynced; nothing else may be needed.
+	recovered, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer recovered.Close()
+	if got := recovered.Hub().Len(); got != len(pre) {
+		t.Fatalf("recovered %d series, want %d", got, len(pre))
+	}
+	if got := recovered.Hub().Recovered(); got != int64(len(pre)) {
+		t.Errorf("Recovered() = %d, want %d", got, len(pre))
+	}
+
+	// Post-restart traffic in small chunks; once the recovered hub has
+	// produced its first post-restart frame for a series, every frame
+	// must match the control's exactly.
+	const chunks, chunkSize = 20, 30
+	for name, n := range pre {
+		sawFrame := false
+		for c := 0; c < chunks; c++ {
+			vals := sineValues(chunkSize, n+c*chunkSize)
+			if err := control.Hub().PushBatch(name, vals); err != nil {
+				t.Fatal(err)
+			}
+			if err := recovered.Hub().PushBatch(name, vals); err != nil {
+				t.Fatal(err)
+			}
+			want, ok := control.Hub().Frame(name)
+			if !ok {
+				t.Fatalf("control lost series %s", name)
+			}
+			got, ok := recovered.Hub().Frame(name)
+			if !ok {
+				t.Fatalf("recovered hub lost series %s", name)
+			}
+			if got == nil {
+				continue // no post-restart refresh yet; Frame is nil by contract
+			}
+			sawFrame = true
+			if want == nil {
+				t.Fatalf("%s chunk %d: recovered frame #%d but control has none", name, c, got.Sequence)
+			}
+			if got.Sequence != want.Sequence || got.Window != want.Window {
+				t.Fatalf("%s chunk %d: seq/window %d/%d, want %d/%d",
+					name, c, got.Sequence, got.Window, want.Sequence, want.Window)
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("%s chunk %d: %d values, want %d", name, c, len(got.Values), len(want.Values))
+			}
+			for i := range want.Values {
+				if got.Values[i] != want.Values[i] {
+					t.Fatalf("%s chunk %d value %d: %v != %v", name, c, i, got.Values[i], want.Values[i])
+				}
+			}
+		}
+		if !sawFrame {
+			t.Fatalf("%s never produced a frame after recovery", name)
+		}
+	}
+
+	// Raw-point accounting must line up too.
+	wantStats, gotStats := control.Hub().Stats(), recovered.Hub().Stats()
+	for name := range pre {
+		if wantStats[name].RawPoints != gotStats[name].RawPoints {
+			t.Errorf("%s raw points %d, want %d", name, gotStats[name].RawPoints, wantStats[name].RawPoints)
+		}
+	}
+}
+
+// TestRecoveryAfterSnapshotEquivalence runs the same equivalence check
+// through the snapshot path: compact, crash, recover from snapshot +
+// tail segments.
+func TestRecoveryAfterSnapshotEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	control, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(s *Server, name string, n, off int) {
+		t.Helper()
+		if err := s.Hub().PushBatch(name, sineValues(n, off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(control, "cpu", 700, 0)
+	push(crashed, "cpu", 700, 0)
+	if st, ok := crashed.WALStats(); !ok || st.AppendedPoints != 700 {
+		t.Fatalf("wal stats = %+v ok=%v", st, ok)
+	}
+	if _, err := crashed.wal.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	push(control, "cpu", 241, 700) // post-snapshot tail, cut mid-everything
+	push(crashed, "cpu", 241, 700)
+
+	recovered, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if st, ok := recovered.WALStats(); !ok || st.Recovery.SnapshotsLoaded == 0 {
+		t.Fatalf("recovery did not load the snapshot: %+v", st.Recovery)
+	}
+
+	for c := 0; c < 10; c++ {
+		push(control, "cpu", 50, 941+c*50)
+		push(recovered, "cpu", 50, 941+c*50)
+	}
+	want, _ := control.Hub().Frame("cpu")
+	got, _ := recovered.Hub().Frame("cpu")
+	if want == nil || got == nil {
+		t.Fatalf("missing frames: control=%v recovered=%v", want != nil, got != nil)
+	}
+	if got.Sequence != want.Sequence || got.Window != want.Window {
+		t.Fatalf("seq/window %d/%d, want %d/%d", got.Sequence, got.Window, want.Sequence, want.Window)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("value %d: %v != %v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+// TestRestartEquivalenceAfterEviction: a series that is LRU-evicted
+// and later recreated gets a fresh Streamer (sequence restarts, panes
+// realign); the WAL tombstones the eviction so recovery reproduces the
+// fresh life instead of resurrecting the stale cumulative total.
+func TestRestartEquivalenceAfterEviction(t *testing.T) {
+	dir := t.TempDir()
+	mkCfg := func(durable bool) Config {
+		var cfg Config
+		if durable {
+			cfg = durableConfig(dir)
+		} else {
+			cfg = testConfig()
+		}
+		cfg.Hub.MaxSeries = 2
+		cfg.Hub.Shards = 4
+		return cfg
+	}
+	control, err := New(mkCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := New(mkCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical op sequence on both hubs (the LRU clock is
+	// deterministic): fill the cap, touch a, create c -> b evicted;
+	// recreate b with a full fresh life.
+	ops := func(s *Server) {
+		t.Helper()
+		for _, op := range []struct {
+			name string
+			n    int
+		}{{"a", 50}, {"b", 60}, {"a", 0}, {"c", 50}, {"b", 700}} {
+			if op.n == 0 {
+				s.Hub().Frame(op.name)
+				continue
+			}
+			if err := s.Hub().PushBatch(op.name, sineValues(op.n, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ops(control)
+	ops(crashed)
+	if control.Hub().Evictions() != crashed.Hub().Evictions() {
+		t.Fatalf("hubs diverged before the crash: %d vs %d evictions",
+			control.Hub().Evictions(), crashed.Hub().Evictions())
+	}
+
+	// kill -9, recover.
+	recovered, err := New(mkCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got, want := recovered.Hub().Len(), control.Hub().Len(); got != want {
+		t.Fatalf("recovered %d series, control has %d", got, want)
+	}
+
+	// b's recreated life must continue identically on both.
+	for c := 0; c < 10; c++ {
+		vals := sineValues(40, 700+c*40)
+		if err := control.Hub().PushBatch("b", vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := recovered.Hub().PushBatch("b", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := control.Hub().Frame("b")
+	got, _ := recovered.Hub().Frame("b")
+	if want == nil || got == nil {
+		t.Fatalf("missing frames: control=%v recovered=%v", want != nil, got != nil)
+	}
+	if got.Sequence != want.Sequence || got.Window != want.Window {
+		t.Fatalf("recreated series seq/window %d/%d, want %d/%d (stale totals resurrected?)",
+			got.Sequence, got.Window, want.Sequence, want.Window)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("recreated series value %d: %v != %v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+// TestIngestRejectsOverlongSeriesName: the parser enforces the WAL's
+// name limit so durable and memory-only servers reject identically,
+// with 400 and nothing applied.
+func TestIngestRejectsOverlongSeriesName(t *testing.T) {
+	long := strings.Repeat("n", 70000)
+	for _, durable := range []bool{false, true} {
+		cfg := testConfig()
+		if durable {
+			cfg = durableConfig(t.TempDir())
+		}
+		s, ts := newTestServer(t, cfg)
+		code, _ := post(t, ts.URL+"/ingest", "ok=1\n"+long+"=2\n")
+		if code != 400 {
+			t.Errorf("durable=%v: overlong name status %d, want 400", durable, code)
+		}
+		if s.Hub().Len() != 0 {
+			t.Errorf("durable=%v: rejected batch applied %d series", durable, s.Hub().Len())
+		}
+		s.Close()
+	}
+}
+
+// TestNewClosesWALOnConfigError: a bad simulator config after the WAL
+// opened must release it so a corrected retry starts clean.
+func TestNewClosesWALOnConfigError(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	cfg.FsyncEvery = time.Millisecond // exercises the flusher goroutine path
+	cfg.Simulate = "NoSuchDataset"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted an unknown dataset")
+	}
+	cfg.Simulate = ""
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("retry after failed New: %v", err)
+	}
+	if err := s.Hub().PushBatch("x", sineValues(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthzMemoryOnly(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Series int    `json:"series"`
+		WAL    struct {
+			Enabled bool `json:"enabled"`
+		} `json:"wal"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.WAL.Enabled {
+		t.Errorf("healthz = %+v", h)
+	}
+	if code, _ := post(t, ts.URL+"/healthz", ""); code != 405 {
+		t.Errorf("POST /healthz status %d, want 405", code)
+	}
+}
+
+func TestHealthzAndStatsWithWAL(t *testing.T) {
+	s, ts := newTestServer(t, durableConfig(t.TempDir()))
+	defer s.Close()
+	post(t, ts.URL+"/ingest", sineBody("cpu", 200))
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz status %d: %s", code, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		WAL    struct {
+			Enabled        bool  `json:"enabled"`
+			FlushLagMS     int64 `json:"flush_lag_ms"`
+			AppendedPoints int64 `json:"appended_points"`
+			LastRecovery   struct {
+				Series int `json:"series"`
+			} `json:"last_recovery"`
+		} `json:"wal"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" || !h.WAL.Enabled || h.WAL.AppendedPoints != 200 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	code, body = get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	var st struct {
+		WAL map[string]interface{} `json:"wal"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if st.WAL == nil || st.WAL["appended_points"].(float64) != 200 {
+		t.Errorf("stats wal section = %+v", st.WAL)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, durableConfig(dir))
+	defer s.Close()
+	post(t, ts.URL+"/ingest", sineBody("cpu", 300))
+
+	code, body := post(t, ts.URL+"/snapshot", "")
+	if code != 200 {
+		t.Fatalf("snapshot status %d: %s", code, body)
+	}
+	var res struct {
+		Series          int `json:"series"`
+		Points          int `json:"points"`
+		SegmentsRemoved int `json:"segments_removed"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if res.Series != 1 || res.SegmentsRemoved == 0 {
+		t.Errorf("snapshot result = %+v", res)
+	}
+	if code, _ := get(t, ts.URL+"/snapshot"); code != 405 {
+		t.Errorf("GET /snapshot status %d, want 405", code)
+	}
+
+	// Memory-only servers refuse with 409 so callers can tell "disabled"
+	// from "failed".
+	_, tsMem := newTestServer(t, testConfig())
+	if code, _ := post(t, tsMem.URL+"/snapshot", ""); code != 409 {
+		t.Errorf("snapshot without WAL status %d, want 409", code)
+	}
+}
+
+// TestIngestBodyCapConfigurable: the MaxBytesReader cap follows config
+// and still answers 413.
+func TestIngestBodyCapConfigurable(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxIngestBytes = 64
+	_, ts := newTestServer(t, cfg)
+	code, _ := post(t, ts.URL+"/ingest", sineBody("cpu", 50))
+	if code != 413 {
+		t.Fatalf("oversized body status %d, want 413", code)
+	}
+	if code, _ := post(t, ts.URL+"/ingest", "cpu=1\n"); code != 200 {
+		t.Errorf("small body status %d, want 200", code)
+	}
+}
+
+// TestRecoveryOverHTTP exercises the full loop through the API: ingest,
+// clean close, reopen, and check /frame, /healthz, and /series agree
+// with what was ingested.
+func TestRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, durableConfig(dir))
+	post(t, ts1.URL+"/ingest", sineBody("cpu", 600)+sineBody("disk", 450))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, durableConfig(dir))
+	defer s2.Close()
+	code, body := get(t, ts2.URL+"/series")
+	if code != 200 {
+		t.Fatalf("series status %d", code)
+	}
+	var listing struct {
+		Count  int `json:"count"`
+		Series []struct {
+			Name      string `json:"name"`
+			RawPoints int    `json:"raw_points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Count != 2 || listing.Series[0].RawPoints != 600 || listing.Series[1].RawPoints != 450 {
+		t.Fatalf("recovered listing = %+v", listing)
+	}
+
+	// Frames resume after fresh traffic.
+	post(t, ts2.URL+"/ingest", sineBody("cpu", 150))
+	code, body = get(t, ts2.URL+"/frame?series=cpu")
+	if code != 200 || strings.TrimSpace(body) == "null" {
+		t.Fatalf("frame after recovery = %d %.40q", code, body)
+	}
+	var f frameJSON
+	if err := json.Unmarshal([]byte(body), &f); err != nil {
+		t.Fatal(err)
+	}
+	// 750 total points at RefreshEvery 100 → sequence continues at 7.
+	if f.Sequence != 7 {
+		t.Errorf("sequence after recovery = %d, want 7", f.Sequence)
+	}
+
+	code, body = get(t, ts2.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"series":2`) {
+		t.Errorf("healthz after recovery = %d %s", code, body)
+	}
+}
+
+// TestRecoveredSeriesRespectMaxSeries: recovery of more series than the
+// cap evicts down instead of growing without bound.
+func TestRecoveredSeriesRespectMaxSeries(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s1.Hub().PushBatch(fmt.Sprintf("s%d", i), sineValues(10, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Hub.MaxSeries = 3
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Hub().Len(); got > 3 {
+		t.Errorf("recovered hub holds %d series, cap is 3", got)
+	}
+	if s2.Hub().Evictions() == 0 {
+		t.Error("no evictions recorded while shedding recovered series")
+	}
+}
+
+// TestStreamerPrefillStillWorks guards the public Prefill path the WAL
+// docs point away from: it must keep loading history without frames.
+func TestStreamerPrefillStillWorks(t *testing.T) {
+	st, err := asap.NewStreamer(asap.StreamConfig{WindowPoints: 400, Resolution: 100, RefreshEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Prefill(sineValues(500, 0))
+	if st.Frame() != nil {
+		t.Fatal("Prefill emitted a frame")
+	}
+	if st.Stats().RawPoints != 500 {
+		t.Errorf("prefill raw points = %d", st.Stats().RawPoints)
+	}
+}

@@ -7,9 +7,15 @@
 // series rarely contends. A max-series cap with approximate LRU
 // eviction bounds memory when clients create series faster than they
 // revisit them.
+//
+// With a write-ahead log configured (HubConfig.WAL), every batch is
+// appended to the log before it is applied, and NewHub replays the
+// log's recovered tails into warm Streamers so a restarted server picks
+// up every series' frames exactly where the crashed one left off.
 package server
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -17,6 +23,8 @@ import (
 	"sync/atomic"
 
 	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/fnv"
+	"github.com/asap-go/asap/internal/wal"
 )
 
 // Defaults for HubConfig fields left zero.
@@ -40,6 +48,10 @@ type HubConfig struct {
 	// by endpoints with no ?series= parameter. Empty means
 	// DefaultSeriesName.
 	DefaultSeries string
+	// WAL, when non-nil, makes ingest durable: PushBatch appends to the
+	// log before applying (so an acknowledged batch survives kill -9)
+	// and NewHub warm-restores every series the log recovers.
+	WAL *wal.Log
 }
 
 // Hub routes per-series traffic to independent Streamers behind
@@ -47,9 +59,11 @@ type HubConfig struct {
 type Hub struct {
 	cfg       HubConfig
 	shards    []shard
+	wal       *wal.Log
 	clock     atomic.Uint64 // LRU clock, ticks on every series touch
 	count     atomic.Int64  // live series across all shards
 	evictions atomic.Int64
+	recovered int64 // series warm-restored from the WAL at construction
 }
 
 type shard struct {
@@ -63,7 +77,9 @@ type entry struct {
 }
 
 // NewHub validates cfg (by constructing a throwaway Streamer) and
-// returns a ready Hub with no series.
+// returns a ready Hub. With cfg.WAL set it starts warm: every series
+// the log recovered is replayed into a restored Streamer whose next
+// frames continue the pre-crash Values/Window/Sequence exactly.
 func NewHub(cfg HubConfig) (*Hub, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -77,12 +93,39 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 	if _, err := asap.NewStreamer(cfg.Stream); err != nil {
 		return nil, err
 	}
-	h := &Hub{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	h := &Hub{cfg: cfg, shards: make([]shard, cfg.Shards), wal: cfg.WAL}
 	for i := range h.shards {
 		h.shards[i].series = make(map[string]*entry)
 	}
+	if cfg.WAL != nil {
+		rec := cfg.WAL.Recover()
+		for name, st := range rec.Series {
+			streamer, err := asap.NewStreamer(cfg.Stream)
+			if err != nil {
+				return nil, err
+			}
+			streamer.Restore(st.Tail, int(st.Total))
+			sh := h.shardFor(name)
+			sh.series[name] = &entry{st: streamer, lastUsed: h.clock.Add(1)}
+			h.count.Add(1)
+		}
+		h.recovered = int64(len(rec.Series))
+		// A shrunken cap still applies: evict down before serving (the
+		// guard breaks out if no evictable victim remains).
+		for int(h.count.Load()) > cfg.MaxSeries {
+			before := h.count.Load()
+			h.evictLRU("")
+			if h.count.Load() == before {
+				break
+			}
+		}
+	}
 	return h, nil
 }
+
+// Recovered returns how many series the hub warm-restored from the WAL
+// at construction.
+func (h *Hub) Recovered() int64 { return h.recovered }
 
 // DefaultSeries returns the resolved default series name.
 func (h *Hub) DefaultSeries() string { return h.cfg.DefaultSeries }
@@ -93,32 +136,27 @@ func (h *Hub) Len() int { return int(h.count.Load()) }
 // Evictions returns how many series the LRU cap has removed.
 func (h *Hub) Evictions() int64 { return h.evictions.Load() }
 
-const (
-	fnvOffset32 = 2166136261
-	fnvPrime32  = 16777619
-)
-
-// fnv32a is FNV-1a over the name without the []byte conversion a
-// hash.Hash32 would force on the ingest hot path.
-func fnv32a(s string) uint32 {
-	h := uint32(fnvOffset32)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= fnvPrime32
-	}
-	return h
-}
-
 func (h *Hub) shardFor(name string) *shard {
-	return &h.shards[fnv32a(name)%uint32(len(h.shards))]
+	return &h.shards[fnv.Hash32a(name)%uint32(len(h.shards))]
 }
 
 // PushBatch appends values to the named series in order, creating the
 // series on first use. Only the series' own shard is locked while
-// pushing, so batches for different series proceed in parallel.
+// pushing, so batches for different series proceed in parallel. With a
+// WAL configured the batch is logged before it is applied — an error
+// means nothing from this call reached the in-memory series.
 func (h *Hub) PushBatch(name string, values []float64) error {
 	sh := h.shardFor(name)
 	sh.mu.Lock()
+	if h.wal != nil {
+		// Append before apply, under the shard lock, so the log's
+		// per-series record order always matches the apply order and an
+		// acknowledged batch survives kill -9.
+		if err := h.wal.Append(name, values); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("wal append %q: %w", name, err)
+		}
+	}
 	e := sh.series[name]
 	created := false
 	if e == nil {
@@ -144,7 +182,12 @@ func (h *Hub) PushBatch(name string, values []float64) error {
 // points per series so each series takes its shard lock once. Call
 // only with a fully parsed batch: parse errors must be surfaced before
 // any point is applied so a bad line never leaves a partial batch.
-func (h *Hub) Apply(pts []point) (npoints, nseries int) {
+//
+// A non-nil error is a durability failure (stream-config errors were
+// ruled out by NewHub): series pushed before the failing one stay
+// applied — their WAL records landed — and the counts report what was
+// applied so the caller can say so.
+func (h *Hub) Apply(pts []point) (npoints, nseries int, err error) {
 	order := make([]string, 0, 4)
 	groups := make(map[string][]float64, 4)
 	for _, p := range pts {
@@ -154,10 +197,13 @@ func (h *Hub) Apply(pts []point) (npoints, nseries int) {
 		groups[p.series] = append(groups[p.series], p.value)
 	}
 	for _, name := range order {
-		// The error path is config validation, which NewHub already ran.
-		_ = h.PushBatch(name, groups[name])
+		if err := h.PushBatch(name, groups[name]); err != nil {
+			return npoints, nseries, err
+		}
+		npoints += len(groups[name])
+		nseries++
 	}
-	return len(pts), len(order)
+	return npoints, nseries, nil
 }
 
 // evictLRU removes the least-recently-used series other than keep. The
@@ -186,6 +232,13 @@ func (h *Hub) evictLRU(keep string) {
 		delete(victimShard.series, victimName)
 		h.count.Add(-1)
 		h.evictions.Add(1)
+		if h.wal != nil {
+			// Best-effort tombstone: without it a restart would resurrect
+			// the evicted series with its stale cumulative total, and a
+			// recreation would diverge from a never-restarted hub. A
+			// failed tombstone only costs a resurrection on recovery.
+			_ = h.wal.Tombstone(victimName)
+		}
 	}
 	victimShard.mu.Unlock()
 }

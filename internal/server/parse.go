@@ -19,6 +19,11 @@ type point struct {
 // batch with bufio.ErrTooLong rather than being truncated.
 const maxLineBytes = 1 << 20
 
+// maxSeriesNameBytes matches the WAL record format's name limit; the
+// parser enforces it so a durable and a memory-only server reject the
+// same inputs, with 400 before anything is applied.
+const maxSeriesNameBytes = 65535
+
 // parseIngest reads the asap-server line protocol: one point per line,
 // either a bare float (routed to defaultSeries) or series=value. Blank
 // lines and lines starting with '#' are skipped. Whitespace around the
@@ -45,6 +50,9 @@ func parseIngest(r io.Reader, defaultSeries string) ([]point, error) {
 			valueStr = strings.TrimSpace(line[i+1:])
 			if series == "" {
 				return nil, fmt.Errorf("line %d: empty series name", lineNo)
+			}
+			if len(series) > maxSeriesNameBytes {
+				return nil, fmt.Errorf("line %d: series name longer than %d bytes", lineNo, maxSeriesNameBytes)
 			}
 			if strings.ContainsFunc(series, isSeriesControlByte) {
 				return nil, fmt.Errorf("line %d: invalid series name %q", lineNo, series)

@@ -9,20 +9,28 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/datasets"
 	"github.com/asap-go/asap/internal/plot"
 	"github.com/asap-go/asap/internal/stats"
+	"github.com/asap-go/asap/internal/wal"
 )
 
-// maxIngestBytes bounds one POST /ingest body.
-const maxIngestBytes = 32 << 20
+// DefaultMaxIngestBytes bounds one POST /ingest body when
+// Config.MaxIngestBytes is zero.
+const DefaultMaxIngestBytes = 32 << 20
 
 // shutdownTimeout bounds the graceful drain once Run's context ends.
 const shutdownTimeout = 5 * time.Second
+
+// healthLagFloor: /healthz reports degraded once the WAL has unsynced
+// appends older than max(this floor, 10× the flush interval).
+const healthLagFloor = 5 * time.Second
 
 // Config configures a Server: the hub it fronts plus the optional
 // built-in simulator.
@@ -37,25 +45,79 @@ type Config struct {
 	SimulateSeries string
 	// Rate is the simulation rate in points per second (default 200).
 	Rate int
+	// DataDir enables the write-ahead log: every acknowledged ingest
+	// batch is appended there before it is applied, and startup recovers
+	// all series from it into warm Streamers. Empty runs memory-only.
+	DataDir string
+	// SegmentBytes rotates WAL segments at this size (default 8 MiB).
+	SegmentBytes int64
+	// FsyncEvery batches WAL fsyncs on this interval; 0 fsyncs on every
+	// append (strict durability, slower ingest).
+	FsyncEvery time.Duration
+	// MaxIngestBytes caps one POST /ingest body; larger bodies get 413.
+	// Zero means DefaultMaxIngestBytes.
+	MaxIngestBytes int64
 }
 
-// Server owns a Hub and serves the asap-server HTTP API.
+// Server owns a Hub (and optionally its write-ahead log) and serves
+// the asap-server HTTP API.
 type Server struct {
 	cfg Config
 	hub *Hub
+	wal *wal.Log
 	sim datasets.Spec
 }
 
-// New validates cfg and returns a Server ready to Run.
+// New validates cfg and returns a Server ready to Run. With DataDir
+// set it opens the WAL and warm-restores every recovered series before
+// returning, so the first request already sees pre-crash state.
 func New(cfg Config) (*Server, error) {
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = DefaultMaxIngestBytes
+	}
+	var wlog *wal.Log
+	if cfg.DataDir != "" {
+		st, err := asap.NewStreamer(cfg.Hub.Stream)
+		if err != nil {
+			return nil, err
+		}
+		// Retention must keep enough raw tail to rebuild a Streamer's
+		// aggregated ring (capacity panes of ratio points; stream.New
+		// clamps capacity to >= 4) plus the partial pane and the
+		// pane-alignment skip — capacity+2 panes covers all three.
+		ratio := st.Ratio()
+		capacity := cfg.Hub.Stream.WindowPoints / ratio
+		if capacity < 4 {
+			capacity = 4
+		}
+		shards := cfg.Hub.Shards
+		if shards <= 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		wlog, err = wal.Open(wal.Config{
+			Dir:           cfg.DataDir,
+			Shards:        shards,
+			SegmentBytes:  cfg.SegmentBytes,
+			FsyncEvery:    cfg.FsyncEvery,
+			HorizonPoints: (capacity + 2) * ratio,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Hub.WAL = wlog
+	}
 	hub, err := NewHub(cfg.Hub)
 	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, hub: hub}
+	s := &Server{cfg: cfg, hub: hub, wal: wlog}
 	if cfg.Simulate != "" {
 		spec, ok := datasets.ByName(cfg.Simulate)
 		if !ok {
+			s.Close() // release the WAL's flusher and segment files
 			return nil, fmt.Errorf("unknown dataset %q", cfg.Simulate)
 		}
 		s.sim = spec
@@ -67,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		// time.Second / Rate must stay a positive ticker interval.
 		if s.cfg.Rate > int(time.Second) {
+			s.Close()
 			return nil, fmt.Errorf("rate %d exceeds %d points/sec", s.cfg.Rate, int(time.Second))
 		}
 	}
@@ -75,6 +138,25 @@ func New(cfg Config) (*Server, error) {
 
 // Hub exposes the underlying hub, mainly for tests and embedding.
 func (s *Server) Hub() *Hub { return s.hub }
+
+// WALStats reports the write-ahead log's counters; ok is false when
+// the server runs memory-only.
+func (s *Server) WALStats() (st wal.Stats, ok bool) {
+	if s.wal == nil {
+		return wal.Stats{}, false
+	}
+	return s.wal.Stats(), true
+}
+
+// Close flushes and closes the write-ahead log (a no-op memory-only).
+// Serve calls it on the way out; call it directly when driving the
+// Handler without Serve. Idempotent.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
 
 // Handler returns the full asap-server route table.
 func (s *Server) Handler() http.Handler {
@@ -85,6 +167,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/plot.svg", s.handlePlot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	return mux
 }
 
@@ -99,10 +183,12 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
-// Serve is Run for a caller-provided listener (tests use :0).
+// Serve is Run for a caller-provided listener (tests use :0). On
+// return the write-ahead log has been flushed, fsynced, and closed.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	defer s.Close()
 
 	var wg sync.WaitGroup
 	if s.cfg.Simulate != "" {
@@ -173,7 +259,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer r.Body.Close()
-	pts, err := parseIngest(http.MaxBytesReader(w, r.Body, maxIngestBytes), s.hub.DefaultSeries())
+	pts, err := parseIngest(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes), s.hub.DefaultSeries())
 	if err != nil {
 		// Nothing was applied: parse covers the whole body before Apply,
 		// so a bad line cannot leave a half-pushed batch. Oversized bodies
@@ -187,8 +273,85 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	npts, nseries := s.hub.Apply(pts)
+	npts, nseries, err := s.hub.Apply(pts)
+	if err != nil {
+		// Durability failure: everything before the failing series was
+		// logged and applied; the remainder was dropped. 500 tells the
+		// client the batch did not fully land.
+		http.Error(w, fmt.Sprintf("ingest failed after %d points: %v", npts, err), http.StatusInternalServerError)
+		return
+	}
 	fmt.Fprintf(w, "ingested %d points across %d series\n", npts, nseries)
+}
+
+// handleHealthz (GET) is the load-balancer check: hub size, WAL flush
+// lag, and last-recovery status. It answers 200 "ok" normally and 503
+// "degraded" when acknowledged WAL appends have waited too long for
+// their fsync (a stalled or failing disk).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	status, code := "ok", http.StatusOK
+	body := map[string]interface{}{
+		"series":    s.hub.Len(),
+		"evictions": s.hub.Evictions(),
+	}
+	if s.wal == nil {
+		body["wal"] = map[string]interface{}{"enabled": false}
+	} else {
+		st := s.wal.Stats()
+		threshold := healthLagFloor
+		if t := 10 * s.cfg.FsyncEvery; t > threshold {
+			threshold = t
+		}
+		if st.FlushLag > threshold {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		body["wal"] = map[string]interface{}{
+			"enabled":         true,
+			"flush_lag_ms":    st.FlushLag.Milliseconds(),
+			"appended_points": st.AppendedPoints,
+			"syncs":           st.Syncs,
+			"sync_errors":     st.SyncErrors,
+			"last_recovery": map[string]interface{}{
+				"series":                  st.Recovery.SeriesRecovered,
+				"snapshots_loaded":        st.Recovery.SnapshotsLoaded,
+				"segments_replayed":       st.Recovery.SegmentsReplayed,
+				"records_replayed":        st.Recovery.RecordsReplayed,
+				"points_replayed":         st.Recovery.PointsReplayed,
+				"corrupt_records_skipped": st.Recovery.CorruptRecordsSkipped,
+				"duration_ms":             st.Recovery.Duration.Milliseconds(),
+			},
+		}
+	}
+	body["status"] = status
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, body)
+}
+
+// handleSnapshot (POST) compacts the WAL into a fresh checkpoint so
+// the next restart replays a minimal tail instead of every segment.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.wal == nil {
+		http.Error(w, "durability disabled (no data dir configured)", http.StatusConflict)
+		return
+	}
+	res, err := s.wal.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]interface{}{
+		"series":           res.Series,
+		"points":           res.Points,
+		"segments_removed": res.SegmentsRemoved,
+	})
 }
 
 // frameJSON mirrors asap.Frame for the wire.
@@ -291,8 +454,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		agg.Candidates += st.Candidates
 		perOut[name] = statsJSON(st)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]interface{}{
+	out := map[string]interface{}{
 		"series_count": len(per),
 		"evictions":    s.hub.Evictions(),
 		"aggregate": map[string]int{
@@ -302,7 +464,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"candidates": agg.Candidates,
 		},
 		"series": perOut,
-	})
+	}
+	if s.wal != nil {
+		wst := s.wal.Stats()
+		out["wal"] = map[string]interface{}{
+			"appended_records":        wst.AppendedRecords,
+			"appended_points":         wst.AppendedPoints,
+			"syncs":                   wst.Syncs,
+			"sync_errors":             wst.SyncErrors,
+			"rotations":               wst.Rotations,
+			"segments_dropped":        wst.SegmentsDropped,
+			"snapshots":               wst.Snapshots,
+			"flush_lag_ms":            wst.FlushLag.Milliseconds(),
+			"recovered_series":        wst.Recovery.SeriesRecovered,
+			"replayed_points":         wst.Recovery.PointsReplayed,
+			"corrupt_records_skipped": wst.Recovery.CorruptRecordsSkipped,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
 }
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {

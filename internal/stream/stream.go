@@ -193,6 +193,68 @@ func (o *Operator) Prefill(xs []float64) {
 	o.rawSinceRefresh = 0
 }
 
+// Restore rebuilds the operator as if total raw points had been pushed
+// since the beginning of the stream, of which tail holds the most
+// recent len(tail) (tail may be shorter than the visualization window
+// after data loss, never meaningfully longer than total). Like Prefill
+// it emits no frames, but Restore additionally re-aligns preaggregation
+// pane boundaries to the original stream offset and reconstructs the
+// refresh phase and frame sequence, so after a crash the operator's
+// next frames exactly match those of an operator that never went away.
+// Candidate counters cannot be reconstructed and restart at zero, and
+// Frame() stays nil until the first post-restore refresh.
+func (o *Operator) Restore(tail []float64, total int) {
+	if total < len(tail) {
+		total = len(tail)
+	}
+	o.paneSum, o.paneCount = 0, 0
+	o.head, o.count = 0, 0
+	o.rawSinceRefresh = 0
+	o.lastWindow = 1
+	o.frame = nil
+	o.stats = Stats{}
+
+	// Pane boundaries in the original stream sit at multiples of the
+	// ratio; start feeding at the first boundary at or after the tail's
+	// stream offset so restored panes average the same point groups.
+	start := total - len(tail)
+	if rem := start % o.ratio; rem != 0 {
+		skip := o.ratio - rem
+		if skip > len(tail) {
+			skip = len(tail)
+		}
+		tail = tail[skip:]
+	}
+	for _, x := range tail {
+		o.paneSum += x
+		o.paneCount++
+		if o.paneCount == o.ratio {
+			o.appendAgg(o.paneSum / float64(o.ratio))
+			o.paneSum, o.paneCount = 0, 0
+		}
+	}
+	o.stats.RawPoints = total
+	o.stats.Panes = total / o.ratio
+
+	// Push fires its first refresh at the first point where the refresh
+	// interval has elapsed AND four aggregated points exist — raw index
+	// max(refreshEveryRaw, 4*ratio) — then once per interval. Every such
+	// fire succeeds (core.Search only fails below 4 points), each is one
+	// search, and Frame.Sequence == stats.Searches, so the closed form
+	// below restores both the sequence and the refresh phase exactly.
+	first := o.refreshEveryRaw
+	if m := 4 * o.ratio; m > first {
+		first = m
+	}
+	if total >= first {
+		frames := 1 + (total-first)/o.refreshEveryRaw
+		o.stats.Searches = frames
+		o.rawSinceRefresh = total - first - (frames-1)*o.refreshEveryRaw
+	} else {
+		o.rawSinceRefresh = total
+	}
+}
+
 // appendAgg adds one aggregated point to the ring, evicting the oldest
 // when the visualization window is full (data "transits" the window).
 func (o *Operator) appendAgg(v float64) {

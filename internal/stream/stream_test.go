@@ -294,3 +294,115 @@ func TestPrefillNoRefresh(t *testing.T) {
 		t.Error("first Push after Prefill should refresh (RefreshEvery=1)")
 	}
 }
+
+// TestRestoreMatchesNeverRestarted is the operator-level half of the
+// crash-recovery contract: an operator Restore'd from the raw tail of
+// an interrupted stream must, from then on, produce frames identical in
+// values, window, and sequence to an operator that never stopped —
+// across preaggregation ratios, refresh cadences, and cut points that
+// land mid-pane and mid-refresh-interval.
+func TestRestoreMatchesNeverRestarted(t *testing.T) {
+	configs := []Config{
+		{WindowPoints: 400, Resolution: 100, RefreshEvery: 100}, // ratio 4
+		{WindowPoints: 400, Resolution: 100, RefreshEvery: 37},  // interval not a pane multiple
+		{WindowPoints: 97, Resolution: 40},                      // ratio 2, default refresh
+		{WindowPoints: 64, Resolution: 64, RefreshEvery: 5},     // ratio 1
+		{WindowPoints: 300, Resolution: 100, RefreshEvery: 1},   // refresh every point
+	}
+	cuts := []int{0, 1, 3, 150, 399, 401, 777}
+	const extra = 600
+
+	for ci, cfg := range configs {
+		for _, cut := range cuts {
+			input := periodicStream(cut+extra, 60, 0.2, int64(1000*ci+cut))
+
+			cont, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var contFrames []*Frame
+			for i, x := range input {
+				f := cont.Push(x)
+				if f != nil && i >= cut {
+					contFrames = append(contFrames, f)
+				}
+			}
+
+			rest, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The recovered tail is what WAL retention would keep: the
+			// last (capacity+2)*ratio points, or everything if shorter.
+			horizon := (rest.capacity + 2) * rest.ratio
+			tail := input[:cut]
+			if len(tail) > horizon {
+				tail = tail[len(tail)-horizon:]
+			}
+			rest.Restore(tail, cut)
+			if rest.Frame() != nil {
+				t.Fatalf("cfg %d cut %d: Restore emitted a frame", ci, cut)
+			}
+			var restFrames []*Frame
+			for _, x := range input[cut:] {
+				if f := rest.Push(x); f != nil {
+					restFrames = append(restFrames, f)
+				}
+			}
+
+			if len(restFrames) != len(contFrames) {
+				t.Fatalf("cfg %d cut %d: %d frames after restore, want %d",
+					ci, cut, len(restFrames), len(contFrames))
+			}
+			for i := range contFrames {
+				a, b := contFrames[i], restFrames[i]
+				if a.Sequence != b.Sequence {
+					t.Fatalf("cfg %d cut %d frame %d: sequence %d != %d", ci, cut, i, b.Sequence, a.Sequence)
+				}
+				if a.Window != b.Window {
+					t.Fatalf("cfg %d cut %d frame %d: window %d != %d", ci, cut, i, b.Window, a.Window)
+				}
+				if len(a.Smoothed) != len(b.Smoothed) {
+					t.Fatalf("cfg %d cut %d frame %d: %d values != %d", ci, cut, i, len(b.Smoothed), len(a.Smoothed))
+				}
+				for j := range a.Smoothed {
+					if a.Smoothed[j] != b.Smoothed[j] {
+						t.Fatalf("cfg %d cut %d frame %d value %d: %v != %v",
+							ci, cut, i, j, b.Smoothed[j], a.Smoothed[j])
+					}
+				}
+			}
+
+			// Work counters the restore contract promises to preserve.
+			cs, rs := cont.Stats(), rest.Stats()
+			if cs.RawPoints != rs.RawPoints || cs.Panes != rs.Panes || cs.Searches != rs.Searches {
+				t.Errorf("cfg %d cut %d: stats raw/panes/searches = %d/%d/%d, want %d/%d/%d",
+					ci, cut, rs.RawPoints, rs.Panes, rs.Searches, cs.RawPoints, cs.Panes, cs.Searches)
+			}
+		}
+	}
+}
+
+// TestRestoreShortTailStillServes checks the data-loss path: a tail
+// shorter than the alignment would like must not panic and must leave
+// the operator able to produce frames.
+func TestRestoreShortTailStillServes(t *testing.T) {
+	op, err := New(Config{WindowPoints: 400, Resolution: 100, RefreshEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Restore([]float64{1, 2, 3}, 100000) // almost everything lost
+	xs := periodicStream(400, 40, 0.1, 7)
+	var got *Frame
+	for _, x := range xs {
+		if f := op.Push(x); f != nil {
+			got = f
+		}
+	}
+	if got == nil {
+		t.Fatal("no frame after pushing a full window post-restore")
+	}
+	if got.Sequence <= 1 {
+		t.Errorf("sequence %d did not continue from the restored total", got.Sequence)
+	}
+}

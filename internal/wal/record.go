@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Framing shared by segment and snapshot files: each record is
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC-32 (IEEE) of the payload
+//	payload
+//
+// A reader that hits a frame whose length is implausible, whose payload
+// extends past the end of the file, or whose CRC does not match treats
+// everything from that frame on as a torn tail: the intact prefix
+// replays, the rest is skipped and counted.
+const (
+	frameHeader    = 8
+	maxRecordBytes = 16 << 20
+)
+
+// maxPointsPerRecord caps one record's value count; Log.Append and the
+// snapshot writer chunk larger batches so a framed record always stays
+// far below maxRecordBytes.
+const maxPointsPerRecord = 1 << 16
+
+// ErrCorrupt reports a record whose frame was intact but whose payload
+// is malformed.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// scanFrames walks the framed records in buf, invoking fn on each
+// payload whose frame is intact. It returns the count of intact frames
+// consumed and whether a torn or corrupt trailer stopped the walk
+// before the end of buf (fn returning an error counts as corrupt).
+func scanFrames(buf []byte, fn func(payload []byte) error) (intact int, torn bool) {
+	for len(buf) > 0 {
+		if len(buf) < frameHeader {
+			return intact, true
+		}
+		n := binary.LittleEndian.Uint32(buf[0:4])
+		sum := binary.LittleEndian.Uint32(buf[4:8])
+		if n > maxRecordBytes || int(n) > len(buf)-frameHeader {
+			return intact, true
+		}
+		payload := buf[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return intact, true
+		}
+		if err := fn(payload); err != nil {
+			return intact, true
+		}
+		intact++
+		buf = buf[frameHeader+int(n):]
+	}
+	return intact, false
+}
+
+// Record payload, shared by WAL appends and snapshot checkpoints:
+//
+//	uint16 LE  series name length (1..65535)
+//	           name bytes
+//	uint64 LE  cumulative point total for the series after this record
+//	uint32 LE  value count in this record
+//	count × uint64 LE  IEEE-754 float bits
+//
+// Carrying the cumulative total in every record (rather than deriving
+// it by summing) keeps totals exact even after retention drops whole
+// segments: recovery takes the maximum total it sees.
+//
+// A record with total 0 and no values is a tombstone: the series was
+// dropped by the consumer (LRU eviction), replay discards everything
+// accumulated for it so far, and its cumulative total restarts at zero
+// — a later recreation replays exactly like a brand-new series.
+func appendRecordPayload(dst []byte, series string, total int64, values []float64) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(series)))
+	dst = append(dst, series...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(total))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(values)))
+	for _, v := range values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func decodeRecordPayload(p []byte) (series string, total int64, values []float64, err error) {
+	if len(p) < 2 {
+		return "", 0, nil, fmt.Errorf("%w: short name length", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if n == 0 || n > len(p) {
+		return "", 0, nil, fmt.Errorf("%w: name length %d", ErrCorrupt, n)
+	}
+	series = string(p[:n])
+	p = p[n:]
+	if len(p) < 12 {
+		return "", 0, nil, fmt.Errorf("%w: short body", ErrCorrupt)
+	}
+	total = int64(binary.LittleEndian.Uint64(p))
+	count := int(binary.LittleEndian.Uint32(p[8:]))
+	p = p[12:]
+	if count > len(p)/8 || len(p) != count*8 {
+		return "", 0, nil, fmt.Errorf("%w: value count %d for %d bytes", ErrCorrupt, count, len(p))
+	}
+	if total < int64(count) {
+		return "", 0, nil, fmt.Errorf("%w: total %d below record count %d", ErrCorrupt, total, count)
+	}
+	values = make([]float64, count)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return series, total, values, nil
+}

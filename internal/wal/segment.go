@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Segment files are named seg-<seq>.wal with a zero-padded decimal
+// sequence number; snapshot files are snap-<seq>.snap where seq is the
+// last segment sequence the snapshot covers. Both begin with an 8-byte
+// magic so a mis-routed file is rejected whole instead of replayed.
+const (
+	segmentMagic   = "ASAPWAL1"
+	snapshotMagic  = "ASAPSNP1"
+	segmentPrefix  = "seg-"
+	segmentSuffix  = ".wal"
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".snap"
+)
+
+func segmentFile(seq uint64) string  { return fmt.Sprintf("seg-%016d.wal", seq) }
+func snapshotFile(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name; ok is false for any other directory entry.
+func parseSeq(name, prefix, suffix string) (seq uint64, ok bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return n, err == nil
+}
+
+// segmentInfo is the manager-side metadata for one segment: sequence,
+// path, size, per-series point counts, and the series tombstoned in it
+// — the inputs to point-count retention.
+type segmentInfo struct {
+	seq    uint64
+	path   string
+	size   int64
+	counts map[string]int64
+	tombs  map[string]bool
+}
+
+// replaySegment reads one segment file and feeds every intact record to
+// fn in append order. It returns the intact-record count and how many
+// torn or corrupt tails were skipped: 0 or 1, since replay of a file
+// stops at the first bad frame (a bad magic rejects the whole file).
+func replaySegment(path string, fn func(series string, total int64, values []float64)) (records, skipped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		return 0, 1, nil
+	}
+	intact, torn := scanFrames(data[len(segmentMagic):], func(p []byte) error {
+		series, total, values, err := decodeRecordPayload(p)
+		if err != nil {
+			return err
+		}
+		fn(series, total, values)
+		return nil
+	})
+	if torn {
+		skipped = 1
+	}
+	return intact, skipped, nil
+}

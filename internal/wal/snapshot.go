@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SeriesState is one recovered series: the retained raw tail (the most
+// recent points, capped at the retention horizon) and the cumulative
+// point total ever appended. The total lets the consumer re-align
+// preaggregation pane boundaries and frame sequence numbers to the
+// original stream offset, not just refill a buffer.
+type SeriesState struct {
+	Tail  []float64
+	Total int64
+}
+
+// readSnapshot loads a snapshot file's records into dst. Chunked
+// records for the same series append in order; totals take the maximum
+// seen. Returns intact records read and torn/corrupt tails skipped
+// (0 or 1 — reading stops at the first bad frame).
+func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	hdr := len(snapshotMagic) + 8
+	if len(data) < hdr || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, 1, nil
+	}
+	intact, torn := scanFrames(data[hdr:], func(p []byte) error {
+		series, total, values, err := decodeRecordPayload(p)
+		if err != nil {
+			return err
+		}
+		st := dst[series]
+		if st == nil {
+			st = &SeriesState{}
+			dst[series] = st
+		}
+		st.Tail = append(st.Tail, values...)
+		if total > st.Total {
+			st.Total = total
+		}
+		return nil
+	})
+	if torn {
+		skipped = 1
+	}
+	return intact, skipped, nil
+}
+
+// writeSnapshot atomically writes state as snap-<coveredSeq>.snap in
+// dir: records stream through a buffered writer into a temp file that
+// is fsynced, then renamed into place and the directory fsynced, so a
+// crash leaves either the old snapshot or the new one, never a partial
+// — and the file image is never materialized in memory on top of the
+// state map. Long tails are chunked into multiple records, each framed
+// and CRC'd like a WAL append.
+func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState) (path string, err error) {
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	path = filepath.Join(dir, snapshotFile(coveredSeq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], coveredSeq)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fail(err)
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	var payload, frame []byte
+	writeRecord := func(name string, total int64, tail []float64) error {
+		payload = appendRecordPayload(payload[:0], name, total, tail)
+		frame = appendFrame(frame[:0], payload)
+		_, err := bw.Write(frame)
+		return err
+	}
+	for _, name := range names {
+		st := state[name]
+		total := st.Total
+		if total < int64(len(st.Tail)) {
+			total = int64(len(st.Tail))
+		}
+		tail := st.Tail
+		for len(tail) > 0 {
+			n := len(tail)
+			if n > maxPointsPerRecord {
+				n = maxPointsPerRecord
+			}
+			if err := writeRecord(name, total, tail[:n]); err != nil {
+				return fail(err)
+			}
+			tail = tail[n:]
+		}
+		if len(st.Tail) == 0 {
+			// A series whose tail was fully retained away still records its
+			// total, so sequence alignment survives compaction.
+			if err := writeRecord(name, total, nil); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

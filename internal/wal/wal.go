@@ -1,0 +1,889 @@
+// Package wal implements durable ingest for the streaming hub: a
+// per-shard, segmented, append-only write-ahead log with CRC-framed
+// binary records, batched fsync, size-based segment rotation,
+// point-count retention, and snapshot/replay crash recovery.
+//
+// Layout under the data directory:
+//
+//	wal.meta                 shard count, fixed at first open
+//	shard-0000/seg-*.wal     append-only segments, rotated by size
+//	shard-0000/snap-*.snap   newest checkpoint, covers older segments
+//
+// Series are hashed (FNV-1a) onto a fixed set of shard logs, each with
+// its own mutex, active segment, and write buffer, so appends into
+// distinct series rarely contend — mirroring the hub's sharding. The
+// shard count is persisted in wal.meta at first open and reused on
+// every later open, so a series' records never migrate between shard
+// directories when the server's CPU count changes.
+//
+// Durability contract: with FsyncEvery == 0 every Append returns only
+// after its records are flushed and fsynced (strict: an acknowledged
+// batch survives kill -9); with FsyncEvery > 0 fsyncs are batched on
+// that interval and a crash loses at most the last interval's appends.
+// Recovery replays the newest snapshot plus all later segments in
+// order; a torn or CRC-corrupt record ends replay of its file, so
+// everything acknowledged before the corruption still recovers.
+//
+// Retention is point-count based: once every series stored in a sealed
+// segment has at least HorizonPoints newer points in later segments,
+// the segment is deleted whole. Snapshot() additionally compacts all
+// sealed segments plus the previous checkpoint into a fresh one, so
+// restart replay cost stays proportional to the horizon, not uptime.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asap-go/asap/internal/fnv"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultShards       = 8
+	DefaultSegmentBytes = 8 << 20
+)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Config configures a Log.
+type Config struct {
+	// Dir is the data directory. Required; created if missing.
+	Dir string
+	// Shards is the number of shard logs. Zero means DefaultShards. The
+	// value is persisted at first open; later opens reuse the stored
+	// count and ignore this field (with a log notice on mismatch).
+	Shards int
+	// SegmentBytes rotates the active segment once it would exceed this
+	// size. Zero means DefaultSegmentBytes. A segment always holds at
+	// least one record, so values smaller than a record still work.
+	SegmentBytes int64
+	// FsyncEvery batches fsyncs on this interval; 0 fsyncs every append.
+	FsyncEvery time.Duration
+	// HorizonPoints is the per-series retention horizon in raw points:
+	// a sealed segment is deleted once every series in it has at least
+	// this many newer points. 0 disables retention (segments are only
+	// reclaimed by Snapshot).
+	HorizonPoints int
+	// Logf receives operational messages (torn tails, dropped
+	// segments). Nil means log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// RecoveryStats describes what the last Open rebuilt.
+type RecoveryStats struct {
+	SeriesRecovered       int
+	SnapshotsLoaded       int
+	SegmentsReplayed      int
+	RecordsReplayed       int
+	PointsReplayed        int
+	CorruptRecordsSkipped int
+	Duration              time.Duration
+}
+
+// Recovery is the state rebuilt by Open, handed to the consumer once
+// via Recover.
+type Recovery struct {
+	Series map[string]*SeriesState
+	Stats  RecoveryStats
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	AppendedRecords int64
+	AppendedPoints  int64
+	Syncs           int64
+	SyncErrors      int64
+	Rotations       int64
+	SegmentsDropped int64
+	Snapshots       int64
+	// FlushLag is the age of the oldest append not yet fsynced (zero
+	// when everything acknowledged is on disk).
+	FlushLag time.Duration
+	Recovery RecoveryStats
+}
+
+// SnapshotResult summarizes one Snapshot call.
+type SnapshotResult struct {
+	Series          int
+	Points          int64
+	SegmentsRemoved int
+}
+
+// Log is a sharded write-ahead log. All methods are safe for
+// concurrent use.
+type Log struct {
+	cfg    Config
+	logf   func(format string, args ...interface{})
+	shards []*shardLog
+
+	mu        sync.Mutex // guards the one-shot recovery handoff
+	recovered *Recovery
+	recStats  RecoveryStats
+
+	appendedRecords atomic.Int64
+	appendedPoints  atomic.Int64
+	syncs           atomic.Int64
+	syncErrors      atomic.Int64
+	rotations       atomic.Int64
+	segmentsDropped atomic.Int64
+	snapshots       atomic.Int64
+
+	closed    atomic.Bool
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// shardLog is one shard's append state. Its mutex covers everything
+// below it; the embedded *Log is only touched through atomics and cfg.
+type shardLog struct {
+	id  int
+	dir string
+	lg  *Log
+
+	mu         sync.Mutex
+	failed     error // first unrecoverable write error; wedges the shard
+	active     *os.File
+	bw         *bufio.Writer
+	info       segmentInfo
+	sealed     []segmentInfo // oldest first, all newer than snapSeq
+	snapSeq    uint64
+	snapPath   string
+	snapSeries map[string]bool // series present in the current snapshot
+	nextSeq    uint64
+	totals     map[string]int64 // cumulative per-series point totals
+	needsSync  bool             // bytes were written since the last fsync
+	dirtySince time.Time        // zero when every append is fsynced
+	payload    []byte           // encode scratch
+	frame      []byte           // frame scratch
+}
+
+// Open opens (creating if necessary) the log in cfg.Dir, replaying the
+// newest snapshot and all later segments into a Recovery that the first
+// Recover call hands over. The directory must not be open in another
+// live Log.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: Dir required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if cfg.HorizonPoints < 0 {
+		cfg.HorizonPoints = 0
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	shards, err := loadOrInitMeta(cfg.Dir, cfg.Shards, logf)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = shards
+
+	l := &Log{cfg: cfg, logf: logf}
+	rec := &Recovery{Series: make(map[string]*SeriesState)}
+	start := time.Now()
+	for i := 0; i < shards; i++ {
+		sh, err := l.openShard(i, rec)
+		if err != nil {
+			l.closeShards()
+			return nil, fmt.Errorf("wal: open shard %d: %w", i, err)
+		}
+		l.shards = append(l.shards, sh)
+	}
+	// Seed each shard's cumulative totals and trim tails to the horizon
+	// (the horizon may have shrunk since the files were written).
+	for name, st := range rec.Series {
+		if h := cfg.HorizonPoints; h > 0 {
+			st.Tail = trimTail(st.Tail, h)
+		}
+		l.shardFor(name).totals[name] = st.Total
+	}
+	rec.Stats.SeriesRecovered = len(rec.Series)
+	rec.Stats.Duration = time.Since(start)
+	l.recStats = rec.Stats
+	l.recovered = rec
+
+	if cfg.FsyncEvery > 0 {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// Recover hands over the state rebuilt when the log was opened and
+// releases it; a second call returns an empty Recovery. Call it once,
+// right after Open, before serving traffic.
+func (l *Log) Recover() Recovery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.recovered == nil {
+		return Recovery{Series: map[string]*SeriesState{}, Stats: l.recStats}
+	}
+	r := *l.recovered
+	l.recovered = nil
+	return r
+}
+
+// Append durably logs one batch for series, chunking large batches
+// into multiple records. With FsyncEvery == 0 the batch is on disk
+// when Append returns; otherwise the background flusher fsyncs within
+// the configured interval. Once a shard hits an unrecoverable write
+// error it stays wedged (every Append fails) until the process
+// restarts and recovery reseals its segments.
+func (l *Log) Append(series string, values []float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if series == "" || len(series) > 65535 {
+		return fmt.Errorf("wal: invalid series name length %d", len(series))
+	}
+	sh := l.shardFor(series)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.failed != nil {
+		return sh.failed
+	}
+	for off := 0; off < len(values); off += maxPointsPerRecord {
+		end := off + maxPointsPerRecord
+		if end > len(values) {
+			end = len(values)
+		}
+		total := sh.totals[series] + int64(end-off)
+		if err := sh.appendLocked(series, total, values[off:end]); err != nil {
+			sh.failed = err
+			return err
+		}
+		sh.totals[series] = total
+	}
+	if l.cfg.FsyncEvery == 0 {
+		if err := sh.flushSyncLocked(); err != nil {
+			sh.failed = err
+			return err
+		}
+		return nil
+	}
+	if sh.dirtySince.IsZero() {
+		sh.dirtySince = time.Now()
+	}
+	return nil
+}
+
+// Tombstone logs that the consumer dropped series (e.g. LRU eviction):
+// recovery discards everything accumulated for it and its cumulative
+// total restarts at zero, so a later recreation replays exactly like a
+// brand-new series instead of resurrecting stale totals and sequence
+// numbers. Durability follows the same FsyncEvery rules as Append.
+func (l *Log) Tombstone(series string) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if series == "" || len(series) > 65535 {
+		return fmt.Errorf("wal: invalid series name length %d", len(series))
+	}
+	sh := l.shardFor(series)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.failed != nil {
+		return sh.failed
+	}
+	if err := sh.appendLocked(series, 0, nil); err != nil {
+		sh.failed = err
+		return err
+	}
+	delete(sh.totals, series)
+	if l.cfg.FsyncEvery == 0 {
+		if err := sh.flushSyncLocked(); err != nil {
+			sh.failed = err
+			return err
+		}
+		return nil
+	}
+	if sh.dirtySince.IsZero() {
+		sh.dirtySince = time.Now()
+	}
+	return nil
+}
+
+// Sync forces every shard's buffered records to disk. A shard whose
+// fsync fails is wedged (see Append) — its acknowledged-but-unsynced
+// window can no longer be trusted.
+func (l *Log) Sync() error {
+	var first error
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		err := sh.flushSyncLocked()
+		if err != nil && sh.failed == nil {
+			sh.failed = err
+		}
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Snapshot compacts each shard: the active segment is sealed, all
+// sealed segments plus the previous checkpoint fold into a new one
+// (per-series tails capped at the horizon), and the covered files are
+// deleted. Shards compact one at a time, so appends to the others
+// proceed while each compacts.
+func (l *Log) Snapshot() (SnapshotResult, error) {
+	if l.closed.Load() {
+		return SnapshotResult{}, ErrClosed
+	}
+	var res SnapshotResult
+	for _, sh := range l.shards {
+		r, err := sh.snapshot()
+		if err != nil {
+			return res, fmt.Errorf("wal: snapshot shard %d: %w", sh.id, err)
+		}
+		res.Series += r.Series
+		res.Points += r.Points
+		res.SegmentsRemoved += r.SegmentsRemoved
+	}
+	l.snapshots.Add(1)
+	return res, nil
+}
+
+// Stats returns a point-in-time snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	st := Stats{
+		AppendedRecords: l.appendedRecords.Load(),
+		AppendedPoints:  l.appendedPoints.Load(),
+		Syncs:           l.syncs.Load(),
+		SyncErrors:      l.syncErrors.Load(),
+		Rotations:       l.rotations.Load(),
+		SegmentsDropped: l.segmentsDropped.Load(),
+		Snapshots:       l.snapshots.Load(),
+		Recovery:        l.recStats,
+	}
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if !sh.dirtySince.IsZero() {
+			if lag := time.Since(sh.dirtySince); lag > st.FlushLag {
+				st.FlushLag = lag
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Close flushes, fsyncs, and closes every shard. Idempotent. Each
+// shard is wedged with ErrClosed under its own lock, so an Append that
+// raced past the closed flag still fails instead of buffering records
+// nothing will ever flush — a false ack would be silent data loss.
+func (l *Log) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	var first error
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if err := sh.flushSyncLocked(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		if sh.failed == nil {
+			sh.failed = ErrClosed
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// shardFor routes by the same FNV-1a the hub shards with, so spread
+// stays uniform for the same workloads; the mapping itself is
+// independent of the hub's (recovery merges every shard regardless).
+func (l *Log) shardFor(series string) *shardLog {
+	return l.shards[fnv.Hash32a(series)%uint32(len(l.shards))]
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			for _, sh := range l.shards {
+				sh.mu.Lock()
+				if !sh.dirtySince.IsZero() && sh.failed == nil {
+					if err := sh.flushSyncLocked(); err != nil {
+						// A failed fsync may have dropped the dirty pages
+						// (Linux EIO semantics): the acknowledged-but-unsynced
+						// window is already suspect, and a later "successful"
+						// fsync would hide that. Wedge the shard so further
+						// ingest fails loudly instead of acknowledging into
+						// a log that silently lost data.
+						sh.failed = err
+						l.logf("wal: shard %d: flush failed, shard wedged: %v", sh.id, err)
+					}
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (l *Log) closeShards() {
+	for _, sh := range l.shards {
+		if sh.active != nil {
+			sh.active.Close()
+		}
+	}
+}
+
+// metaFile pins the shard count so a series' records never move between
+// shard directories across restarts (e.g. when GOMAXPROCS changes).
+const metaFile = "wal.meta"
+
+func loadOrInitMeta(dir string, shards int, logf func(string, ...interface{})) (int, error) {
+	path := filepath.Join(dir, metaFile)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var n int
+		if _, serr := fmt.Sscanf(string(data), "asap-wal v1 shards %d", &n); serr != nil || n <= 0 || n > 4096 {
+			return 0, fmt.Errorf("wal: bad meta file %s: %q", path, data)
+		}
+		if n != shards {
+			logf("wal: using %d shards recorded in %s (config asked for %d)", n, path, shards)
+		}
+		return n, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, err
+	}
+	// Same write→fsync→rename→dirsync dance as snapshots: the rename
+	// must never become durable ahead of the contents, or a power loss
+	// leaves a truncated meta file that blocks every later Open.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fmt.Fprintf(f, "asap-wal v1 shards %d\n", shards); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return shards, nil
+}
+
+// openShard opens one shard directory: loads the newest snapshot and
+// replays every later segment into rec, deletes files the snapshot
+// covers (leftovers of a crash mid-compaction), and starts a fresh
+// active segment after the highest sequence seen — recovery never
+// appends to a possibly-torn file.
+func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
+	dir := filepath.Join(l.cfg.Dir, fmt.Sprintf("shard-%04d", id))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sh := &shardLog{id: id, dir: dir, lg: l, totals: make(map[string]int64)}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segSeqs, snapSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseSeq(name, segmentPrefix, segmentSuffix); ok {
+			segSeqs = append(segSeqs, seq)
+		} else if seq, ok := parseSeq(name, snapshotPrefix, snapshotSuffix); ok {
+			snapSeqs = append(snapSeqs, seq)
+		} else if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // crashed atomic write
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+
+	var maxSeq uint64
+	if len(snapSeqs) > 0 {
+		snapSeq := snapSeqs[len(snapSeqs)-1]
+		for _, s := range snapSeqs[:len(snapSeqs)-1] {
+			os.Remove(filepath.Join(dir, snapshotFile(s)))
+		}
+		path := filepath.Join(dir, snapshotFile(snapSeq))
+		fromSnap := make(map[string]*SeriesState)
+		records, skipped, err := readSnapshot(path, fromSnap)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			l.logf("wal: shard %d: snapshot %s: corrupt tail skipped after %d records", id, path, records)
+		}
+		// Remember which series the checkpoint holds: retention must not
+		// drop a later tombstone while its series still sits in the
+		// snapshot, or a restart would resurrect it.
+		sh.snapSeries = make(map[string]bool, len(fromSnap))
+		for name, st := range fromSnap {
+			rec.Series[name] = st
+			sh.snapSeries[name] = true
+		}
+		rec.Stats.RecordsReplayed += records
+		rec.Stats.CorruptRecordsSkipped += skipped
+		rec.Stats.SnapshotsLoaded++
+		sh.snapSeq, sh.snapPath = snapSeq, path
+		maxSeq = snapSeq
+	}
+
+	for _, seq := range segSeqs {
+		path := filepath.Join(dir, segmentFile(seq))
+		if sh.snapPath != "" && seq <= sh.snapSeq {
+			os.Remove(path) // covered by the snapshot
+			continue
+		}
+		info := segmentInfo{seq: seq, path: path, counts: make(map[string]int64)}
+		records, skipped, err := replaySegment(path, func(series string, total int64, values []float64) {
+			if total == 0 && len(values) == 0 { // tombstone: series was dropped
+				delete(rec.Series, series)
+				if info.tombs == nil {
+					info.tombs = make(map[string]bool)
+				}
+				info.tombs[series] = true
+				return
+			}
+			info.counts[series] += int64(len(values))
+			delete(info.tombs, series) // same last-event invariant as appendLocked
+			st := rec.Series[series]
+			if st == nil {
+				st = &SeriesState{}
+				rec.Series[series] = st
+			}
+			st.Tail = append(st.Tail, values...)
+			if total > st.Total {
+				st.Total = total
+			}
+			if h := l.cfg.HorizonPoints; h > 0 {
+				st.Tail = trimTail(st.Tail, h)
+			}
+			rec.Stats.PointsReplayed += len(values)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			l.logf("wal: shard %d: segment %s: torn or corrupt tail skipped after %d records", id, path, records)
+		}
+		if fi, err := os.Stat(path); err == nil {
+			info.size = fi.Size()
+		}
+		rec.Stats.SegmentsReplayed++
+		rec.Stats.RecordsReplayed += records
+		rec.Stats.CorruptRecordsSkipped += skipped
+		sh.sealed = append(sh.sealed, info)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+
+	sh.nextSeq = maxSeq + 1
+	if err := sh.openActiveLocked(); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+func (sh *shardLog) openActiveLocked() error {
+	seq := sh.nextSeq
+	sh.nextSeq++
+	path := filepath.Join(sh.dir, segmentFile(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	if _, err := bw.WriteString(segmentMagic); err != nil {
+		f.Close()
+		return err
+	}
+	sh.active, sh.bw = f, bw
+	sh.needsSync = true // the magic header is buffered
+	sh.info = segmentInfo{seq: seq, path: path, size: int64(len(segmentMagic)), counts: make(map[string]int64)}
+	return nil
+}
+
+func (sh *shardLog) appendLocked(series string, total int64, values []float64) error {
+	sh.payload = appendRecordPayload(sh.payload[:0], series, total, values)
+	sh.frame = appendFrame(sh.frame[:0], sh.payload)
+	rec := sh.frame
+	if sh.info.size > int64(len(segmentMagic)) && sh.info.size+int64(len(rec)) > sh.lg.cfg.SegmentBytes {
+		if err := sh.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := sh.bw.Write(rec); err != nil {
+		return err
+	}
+	sh.needsSync = true
+	sh.info.size += int64(len(rec))
+	if len(values) > 0 {
+		sh.info.counts[series] += int64(len(values))
+		// A recreation after an in-segment tombstone: the tombstone no
+		// longer ends the series' life in this segment.
+		delete(sh.info.tombs, series)
+	} else {
+		// A tombstone: tracked so retention knows the series' life (in
+		// this segment and every older one) is dead — it must neither
+		// pin segments on a series that will never see newer points nor
+		// count as points itself. The invariant, maintained with the
+		// delete above, is "series ∈ tombs ⇔ its last event in this
+		// segment is a tombstone".
+		if sh.info.tombs == nil {
+			sh.info.tombs = make(map[string]bool)
+		}
+		sh.info.tombs[series] = true
+	}
+	sh.lg.appendedRecords.Add(1)
+	sh.lg.appendedPoints.Add(int64(len(values)))
+	return nil
+}
+
+func (sh *shardLog) flushSyncLocked() error {
+	// needsSync, not bw.Buffered(), decides: bufio writes records larger
+	// than its buffer straight through, so an empty buffer does not mean
+	// the file is synced.
+	if !sh.needsSync {
+		return nil
+	}
+	if err := sh.bw.Flush(); err != nil {
+		sh.lg.syncErrors.Add(1)
+		return err
+	}
+	if err := sh.active.Sync(); err != nil {
+		sh.lg.syncErrors.Add(1)
+		return err
+	}
+	sh.lg.syncs.Add(1)
+	sh.needsSync = false
+	sh.dirtySince = time.Time{}
+	return nil
+}
+
+func (sh *shardLog) rotateLocked() error {
+	if err := sh.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := sh.active.Close(); err != nil {
+		return err
+	}
+	sh.sealed = append(sh.sealed, sh.info)
+	sh.lg.rotations.Add(1)
+	// Open the fresh segment before running retention: retainLocked
+	// seeds its "newer points" count from sh.info, which must be the
+	// new empty active, not the segment just sealed — otherwise a
+	// segment's own points would count as newer than themselves and a
+	// big segment could drop while still inside the horizon.
+	if err := sh.openActiveLocked(); err != nil {
+		return err
+	}
+	sh.retainLocked()
+	return nil
+}
+
+// retainLocked drops the longest prefix of sealed segments in which
+// every series already has at least HorizonPoints newer points (in
+// later sealed segments or the active one) or is tombstoned in a newer
+// segment — an evicted series' old points are dead and must not pin
+// segments forever. A segment holding any series still inside its
+// horizon survives whole — retention is all-or-nothing per segment, so
+// replay never loses mid-horizon points.
+func (sh *shardLog) retainLocked() {
+	h := int64(sh.lg.cfg.HorizonPoints)
+	if h <= 0 || len(sh.sealed) == 0 {
+		return
+	}
+	newer := make(map[string]int64, len(sh.info.counts))
+	for s, c := range sh.info.counts {
+		newer[s] = c
+	}
+	dead := make(map[string]bool, len(sh.info.tombs))
+	for s := range sh.info.tombs {
+		dead[s] = true
+	}
+	droppable := make([]bool, len(sh.sealed))
+	for i := len(sh.sealed) - 1; i >= 0; i-- {
+		ok := true
+		for s := range sh.sealed[i].counts {
+			// A segment's own tombstone entry means the series' last event
+			// here is a tombstone, so its points in this segment (and all
+			// older ones) are dead — safe to honor for the segment itself.
+			if !dead[s] && !sh.sealed[i].tombs[s] && newer[s] < h {
+				ok = false
+				break
+			}
+		}
+		// A tombstone masking a series still present in the snapshot is
+		// load-bearing: dropping it would resurrect the series (with its
+		// stale total) from the checkpoint on restart. Keep the segment
+		// until a compaction folds the tombstone into a new snapshot.
+		if ok {
+			for s := range sh.sealed[i].tombs {
+				if sh.snapSeries[s] {
+					ok = false
+					break
+				}
+			}
+		}
+		droppable[i] = ok
+		for s, c := range sh.sealed[i].counts {
+			newer[s] += c
+		}
+		for s := range sh.sealed[i].tombs {
+			dead[s] = true
+		}
+	}
+	drop := 0
+	for drop < len(sh.sealed) && droppable[drop] {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	for i := 0; i < drop; i++ {
+		if err := os.Remove(sh.sealed[i].path); err != nil {
+			sh.lg.logf("wal: drop segment %s: %v", sh.sealed[i].path, err)
+		}
+	}
+	sh.sealed = append(sh.sealed[:0:0], sh.sealed[drop:]...)
+	sh.lg.segmentsDropped.Add(int64(drop))
+}
+
+func (sh *shardLog) snapshot() (SnapshotResult, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.failed != nil {
+		return SnapshotResult{}, sh.failed
+	}
+	if sh.info.size > int64(len(segmentMagic)) {
+		if err := sh.rotateLocked(); err != nil {
+			sh.failed = err
+			return SnapshotResult{}, err
+		}
+	}
+	if len(sh.sealed) == 0 {
+		return SnapshotResult{}, nil // nothing new since the last checkpoint
+	}
+
+	state := make(map[string]*SeriesState)
+	if sh.snapPath != "" {
+		if _, skipped, err := readSnapshot(sh.snapPath, state); err != nil {
+			return SnapshotResult{}, err
+		} else if skipped > 0 {
+			sh.lg.logf("wal: shard %d: snapshot %s: corrupt tail skipped during compaction", sh.id, sh.snapPath)
+		}
+	}
+	h := sh.lg.cfg.HorizonPoints
+	for _, seg := range sh.sealed {
+		_, skipped, err := replaySegment(seg.path, func(series string, total int64, values []float64) {
+			if total == 0 && len(values) == 0 { // tombstone: drop from the checkpoint
+				delete(state, series)
+				return
+			}
+			st := state[series]
+			if st == nil {
+				st = &SeriesState{}
+				state[series] = st
+			}
+			st.Tail = append(st.Tail, values...)
+			if total > st.Total {
+				st.Total = total
+			}
+			if h > 0 {
+				st.Tail = trimTail(st.Tail, h)
+			}
+		})
+		if err != nil {
+			return SnapshotResult{}, err
+		}
+		if skipped > 0 {
+			sh.lg.logf("wal: shard %d: segment %s: torn or corrupt tail skipped during compaction", sh.id, seg.path)
+		}
+	}
+
+	covered := sh.sealed[len(sh.sealed)-1].seq
+	path, err := writeSnapshot(sh.dir, covered, state)
+	if err != nil {
+		return SnapshotResult{}, err
+	}
+	// The new checkpoint is durable; everything it covers goes.
+	if sh.snapPath != "" && sh.snapPath != path {
+		os.Remove(sh.snapPath)
+	}
+	removed := len(sh.sealed)
+	for _, seg := range sh.sealed {
+		os.Remove(seg.path)
+	}
+	sh.sealed = sh.sealed[:0]
+	sh.snapSeq, sh.snapPath = covered, path
+	sh.snapSeries = make(map[string]bool, len(state))
+	for name := range state {
+		sh.snapSeries[name] = true
+	}
+
+	var pts int64
+	for _, st := range state {
+		pts += int64(len(st.Tail))
+	}
+	return SnapshotResult{Series: len(state), Points: pts, SegmentsRemoved: removed}, nil
+}
+
+// trimTail keeps the last h points of t in place.
+func trimTail(t []float64, h int) []float64 {
+	if len(t) <= h {
+		return t
+	}
+	n := copy(t, t[len(t)-h:])
+	return t[:n]
+}

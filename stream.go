@@ -93,8 +93,21 @@ func (s *Streamer) PushBatch(xs []float64) *Frame {
 }
 
 // Prefill loads historical points without triggering refreshes — a warm
-// start when attaching to a stream with existing history.
+// start when attaching to a stream with existing history. When the
+// history is a recovered suffix of an interrupted stream (e.g. replayed
+// from a write-ahead log), use Restore instead so pane alignment and
+// frame numbering continue where the interrupted stream left off.
 func (s *Streamer) Prefill(xs []float64) { s.op.Prefill(xs) }
+
+// Restore rebuilds the Streamer as if total points had been pushed, of
+// which tail holds the most recent — the crash-recovery warm start.
+// Like Prefill it emits no frames, but it additionally re-aligns
+// preaggregation pane boundaries to the original stream offset and
+// reconstructs the refresh phase and frame sequence, so the next frames
+// exactly match (Values, Window, Sequence) those of a Streamer that was
+// never interrupted. Frame() stays nil until the first post-restore
+// refresh; Candidates counters restart at zero.
+func (s *Streamer) Restore(tail []float64, total int) { s.op.Restore(tail, total) }
 
 // Frame returns the most recent frame, or nil before the first refresh.
 func (s *Streamer) Frame() *Frame { return convertFrame(s.op.Frame()) }
