@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-check clean clean-data
+# Packages carrying the refresh-engine benchmark suite.
+BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream
+BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan)$$
+
+.PHONY: check vet build test race alloc-check bench bench-smoke fuzz fuzz-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -16,6 +20,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## alloc-check: the refresh-engine allocation-regression tests, run
+## without the race detector so the counts reflect production builds.
+alloc-check:
+	$(GO) test -run 'Alloc' -v $(BENCH_PKGS)
+
+## bench: run the refresh-engine benchmark suite and (re)write the
+## committed baseline BENCH_refresh.json.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson | tee BENCH_refresh.json
+
+## bench-smoke: one-iteration pass over the same benchmarks so the bench
+## code cannot rot (used by CI; measures nothing).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x $(BENCH_PKGS)
 
 ## fuzz: run the ingest line-protocol fuzzer for a short burst.
 fuzz:

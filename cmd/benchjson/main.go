@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a stable JSON document on stdout, so benchmark baselines can
+// be committed and diffed across PRs (BENCH_refresh.json). It understands
+// the standard benchmark result line
+//
+//	BenchmarkName/sub-8   1234   5678 ns/op   90 B/op   12 allocs/op
+//
+// plus the goos/goarch/cpu/pkg context lines, and ignores everything else.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type document struct {
+	GeneratedBy string   `json:"generated_by"`
+	GOOS        string   `json:"goos,omitempty"`
+	GOARCH      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Benchmarks  []result `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{GeneratedBy: "make bench", Benchmarks: []result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one benchmark result line. Fields appear as value
+// followed by unit ("ns/op", "B/op", "allocs/op"); unknown units are
+// skipped so custom b.ReportMetric output does not break parsing.
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix goparallel benchmarks append.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}

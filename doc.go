@@ -44,4 +44,11 @@
 // the next frames continue the pre-crash values, window, and sequence
 // numbers exactly. See docs/DURABILITY.md for the record format, fsync
 // and rotation semantics, and recovery guarantees.
+//
+// The streaming refresh path is allocation-free at steady state: each
+// per-series operator owns a planned real-input FFT, a reusable ACF
+// analyzer, and search/smoothing buffers, and skips the search outright
+// when no new aggregated pane has arrived since the last refresh. See
+// docs/PERFORMANCE.md for the engine's design, its allocation contract,
+// and the measured baseline in BENCH_refresh.json.
 package asap

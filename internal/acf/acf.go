@@ -16,7 +16,6 @@ import (
 	"errors"
 	"math"
 
-	"github.com/asap-go/asap/internal/fft"
 	"github.com/asap-go/asap/internal/stats"
 )
 
@@ -48,59 +47,25 @@ type Result struct {
 // Compute returns the ACF of xs for lags 1..maxLag using FFT-based
 // estimation, along with detected peaks. maxLag is clamped to len(xs)-1.
 //
+// Compute is the one-shot form of Analyzer: it builds the FFT plan and
+// scratch buffers, uses them once, and lets them go. Callers that compute
+// ACFs repeatedly (the streaming refresh path) should hold an Analyzer
+// instead, which reuses all of that state and allocates nothing at steady
+// state while producing identical results.
+//
 // Constant series (zero variance) have an undefined ACF; Compute returns a
 // Result with all correlations zero and no peaks, which makes ASAP fall
 // back to binary search — the correct behaviour, since a constant series
 // has no periodicity to exploit.
 func Compute(xs []float64, maxLag int) (*Result, error) {
-	n := len(xs)
-	if n < 2 || maxLag < 1 {
-		return nil, ErrTooShort
-	}
-	if maxLag > n-1 {
-		maxLag = n - 1
-	}
-
-	corr := make([]float64, maxLag+1)
-	variance := stats.Variance(xs) * float64(n) // sum of squared deviations
-	if variance == 0 {
-		return &Result{Correlations: corr}, nil
-	}
-
-	// Wiener–Khinchin: autocovariance = IFFT(|FFT(x - mean)|^2). Zero-pad
-	// to at least 2n to make the circular convolution linear.
-	mean := stats.Mean(xs)
-	m := fft.NextPow2(2 * n)
-	buf := make([]complex128, m)
-	for i, x := range xs {
-		buf[i] = complex(x-mean, 0)
-	}
-	f, err := fft.Forward(buf)
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range f {
-		re, im := real(c), imag(c)
-		f[i] = complex(re*re+im*im, 0)
-	}
-	inv, err := fft.Inverse(f)
-	if err != nil {
-		return nil, err
-	}
-
-	corr[0] = 1
-	for tau := 1; tau <= maxLag; tau++ {
-		corr[tau] = real(inv[tau]) / variance
-	}
-
-	res := &Result{Correlations: corr}
-	res.Peaks, res.MaxACF = FindPeaks(corr)
-	return res, nil
+	return NewAnalyzer().Compute(xs, maxLag)
 }
 
 // ComputeBruteForce is the O(n*maxLag) reference estimator, retained for
 // differential testing and for the ablation benchmarks that quantify the
-// FFT speedup.
+// FFT speedup. It shares Compute's single-pass moment estimates for the
+// mean and the normalizing sum of squared deviations, so the two
+// estimators differ only by the transform.
 func ComputeBruteForce(xs []float64, maxLag int) (*Result, error) {
 	n := len(xs)
 	if n < 2 || maxLag < 1 {
@@ -110,12 +75,8 @@ func ComputeBruteForce(xs []float64, maxLag int) (*Result, error) {
 		maxLag = n - 1
 	}
 	corr := make([]float64, maxLag+1)
-	mean := stats.Mean(xs)
-	var denom float64
-	for _, x := range xs {
-		d := x - mean
-		denom += d * d
-	}
+	mom := stats.ComputeMoments(xs)
+	mean, denom := mom.Mean, mom.M2
 	if denom == 0 {
 		return &Result{Correlations: corr}, nil
 	}
@@ -138,6 +99,13 @@ func ComputeBruteForce(xs []float64, maxLag int) (*Result, error) {
 // least as large as the other, which tolerates the flat-topped peaks that
 // preaggregated series produce.
 func FindPeaks(corr []float64) (peaks []int, maxACF float64) {
+	return appendPeaks(nil, corr)
+}
+
+// appendPeaks appends detected peaks to dst (the allocation-free core of
+// FindPeaks; the Analyzer passes a reused buffer).
+func appendPeaks(dst []int, corr []float64) (peaks []int, maxACF float64) {
+	peaks = dst
 	for tau := 1; tau < len(corr)-1; tau++ {
 		c := corr[tau]
 		if c < CorrelationThreshold {

@@ -1,0 +1,121 @@
+package acf
+
+import (
+	"github.com/asap-go/asap/internal/fft"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// Analyzer computes autocorrelations repeatedly — one series window after
+// another, as the streaming refresh path does — without per-call
+// allocation. It owns a real-input FFT plan and every scratch buffer the
+// Wiener–Khinchin round trip needs, and returns a Result whose slices it
+// also owns and reuses.
+//
+// An Analyzer produces results identical to the package-level Compute
+// (Compute is a one-shot Analyzer). It sizes itself lazily to the series
+// it is given: the first call, and any call that changes the series
+// length beyond what the current tables cover, rebuilds the plan and
+// buffers; calls at a steady length allocate nothing. That matches the
+// stream operator's life cycle — the window grows while the ring fills,
+// then stays at capacity forever.
+//
+// The returned Result (including Correlations and Peaks) is overwritten
+// by the next Compute call. An Analyzer is not safe for concurrent use;
+// it is designed to be owned by a single stream operator.
+type Analyzer struct {
+	n    int           // series length the buffers are currently sized for
+	m    int           // FFT length, NextPow2(2n)
+	plan *fft.RealPlan // real transform of length m
+	rbuf []float64     // demeaned, zero-padded input (length m)
+	spec []complex128  // half spectrum / power spectrum (length m/2+1)
+	cov  []float64     // autocovariance by lag (length m)
+
+	corr  []float64 // Result.Correlations backing store
+	peaks []int     // Result.Peaks backing store
+	res   Result
+}
+
+// NewAnalyzer returns an empty Analyzer; buffers are built on first use.
+func NewAnalyzer() *Analyzer { return &Analyzer{} }
+
+// Compute returns the ACF of xs for lags 1..maxLag exactly as the
+// package-level Compute does, reusing the Analyzer's plan and buffers.
+// The result is valid until the next call.
+func (a *Analyzer) Compute(xs []float64, maxLag int) (*Result, error) {
+	n := len(xs)
+	if n < 2 || maxLag < 1 {
+		return nil, ErrTooShort
+	}
+	if maxLag > n-1 {
+		maxLag = n - 1
+	}
+	if err := a.resize(n, maxLag); err != nil {
+		return nil, err
+	}
+	corr := a.corr[:maxLag+1]
+
+	// Single pass for mean and the sum of squared deviations (the ACF
+	// denominator), shared with ComputeBruteForce.
+	mom := stats.ComputeMoments(xs)
+	if mom.M2 == 0 {
+		// Constant series: undefined ACF, reported as all-zero, no peaks.
+		for i := range corr {
+			corr[i] = 0
+		}
+		a.res = Result{Correlations: corr}
+		return &a.res, nil
+	}
+
+	// Wiener–Khinchin: autocovariance = IFFT(|FFT(x - mean)|^2), zero-
+	// padded to at least 2n so the circular correlation is linear. The
+	// series is real, so the whole round trip runs at half size through
+	// the RealPlan.
+	for i, x := range xs {
+		a.rbuf[i] = x - mom.Mean
+	}
+	for i := n; i < a.m; i++ {
+		a.rbuf[i] = 0
+	}
+	a.plan.Forward(a.spec, a.rbuf)
+	for i, c := range a.spec {
+		re, im := real(c), imag(c)
+		a.spec[i] = complex(re*re+im*im, 0)
+	}
+	a.plan.Inverse(a.cov, a.spec)
+
+	corr[0] = 1
+	inv := 1 / mom.M2
+	for tau := 1; tau <= maxLag; tau++ {
+		corr[tau] = a.cov[tau] * inv
+	}
+
+	peaks, maxACF := appendPeaks(a.peaks[:0], corr)
+	a.peaks = peaks
+	a.res = Result{Correlations: corr, Peaks: peaks, MaxACF: maxACF}
+	return &a.res, nil
+}
+
+// resize (re)builds the plan and scratch buffers when the series length
+// changes, and grows the correlation store to cover maxLag. Steady-state
+// calls (same n, maxLag within capacity) do nothing.
+func (a *Analyzer) resize(n, maxLag int) error {
+	if n != a.n {
+		m := fft.NextPow2(2 * n)
+		if m != a.m {
+			plan, err := fft.NewRealPlan(m)
+			if err != nil {
+				return err
+			}
+			a.plan = plan
+			a.m = m
+			a.rbuf = make([]float64, m)
+			a.spec = make([]complex128, plan.SpectrumLen())
+			a.cov = make([]float64, m)
+		}
+		a.n = n
+	}
+	if cap(a.corr) < maxLag+1 {
+		a.corr = make([]float64, maxLag+1)
+	}
+	return nil
+}

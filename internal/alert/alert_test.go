@@ -183,7 +183,7 @@ func TestEndToEndSubThresholdDrift(t *testing.T) {
 	}
 	var fired []Alert
 	for _, x := range raw {
-		if f := op.Push(x); f != nil {
+		if f, ok := op.Push(x); ok {
 			if a := det.Observe(f.Smoothed, f.Sequence); a != nil {
 				fired = append(fired, *a)
 			}

@@ -159,11 +159,12 @@ func defaultMaxWindow(n int) int {
 // searchState carries the incumbent solution plus pruning state through
 // Algorithms 1 and 2.
 type searchState struct {
-	window       int
-	minRoughness float64
-	origKurtosis float64
-	lb           int
-	candidates   int
+	window        int
+	minRoughness  float64
+	origRoughness float64 // roughness of the unsmoothed series, computed once
+	origKurtosis  float64
+	lb            int
+	candidates    int
 }
 
 // feasible records a candidate evaluation, updating the incumbent when it
@@ -184,9 +185,21 @@ func (s *searchState) observe(w int, m Metrics) bool {
 // Search runs the requested strategy over xs (assumed already
 // preaggregated if desired) and returns the chosen window and metrics.
 func Search(strategy Strategy, xs []float64, opts SearchOptions) (*Result, error) {
+	res := new(Result)
+	if err := SearchInto(res, strategy, xs, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchInto is Search writing into a caller-owned Result, the entry point
+// for refresh paths that must not allocate at steady state: every piece of
+// search state lives on the stack or in res. On error res is left
+// unspecified.
+func SearchInto(res *Result, strategy Strategy, xs []float64, opts SearchOptions) error {
 	n := len(xs)
 	if n < 4 {
-		return nil, fmt.Errorf("%w: need at least 4 points, have %d", ErrInput, n)
+		return fmt.Errorf("%w: need at least 4 points, have %d", ErrInput, n)
 	}
 	maxWindow := opts.MaxWindow
 	if maxWindow <= 0 {
@@ -200,51 +213,48 @@ func Search(strategy Strategy, xs []float64, opts SearchOptions) (*Result, error
 	}
 
 	origMoments := stats.ComputeMoments(xs)
-	st := &searchState{
-		window:       1,
-		minRoughness: stats.Roughness(xs),
-		origKurtosis: origMoments.Kurtosis(),
-		lb:           1,
+	origRoughness := stats.Roughness(xs)
+	st := searchState{
+		window:        1,
+		minRoughness:  origRoughness,
+		origRoughness: origRoughness,
+		origKurtosis:  origMoments.Kurtosis(),
+		lb:            1,
 	}
 
 	var err error
 	switch strategy {
 	case StrategyASAP:
-		err = searchASAP(xs, maxWindow, opts, st)
+		err = searchASAP(xs, maxWindow, opts, &st)
 	case StrategyExhaustive:
-		err = searchGrid(xs, maxWindow, 1, st)
+		err = searchGrid(xs, maxWindow, 1, &st)
 	case StrategyGrid2:
-		err = searchGrid(xs, maxWindow, 2, st)
+		err = searchGrid(xs, maxWindow, 2, &st)
 	case StrategyGrid10:
-		err = searchGrid(xs, maxWindow, 10, st)
+		err = searchGrid(xs, maxWindow, 10, &st)
 	case StrategyBinary:
-		err = searchBinary(xs, 2, maxWindow, st)
+		err = searchBinary(xs, 2, maxWindow, &st)
 	default:
 		err = fmt.Errorf("%w: unknown strategy %d", ErrInput, int(strategy))
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	final, err := Evaluate(xs, st.window)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Result{
+	*res = Result{
 		Window:            st.window,
 		Roughness:         final.Roughness,
 		Kurtosis:          final.Kurtosis,
-		OriginalRoughness: st.minRoughness0(xs),
+		OriginalRoughness: st.origRoughness,
 		OriginalKurtosis:  st.origKurtosis,
 		Candidates:        st.candidates,
 		MaxWindow:         maxWindow,
-	}, nil
-}
-
-// minRoughness0 returns the roughness of the unsmoothed series. The
-// incumbent starts there, but may have been improved; recompute cheaply.
-func (s *searchState) minRoughness0(xs []float64) float64 {
-	return stats.Roughness(xs)
+	}
+	return nil
 }
 
 // searchGrid evaluates windows 2, 2+step, ... <= maxWindow (step 1 is

@@ -68,51 +68,20 @@ func ForwardReal(xs []float64) ([]complex128, error) {
 }
 
 // transform runs an in-place DFT (or inverse DFT without normalization when
-// inverse is true) on xs of any length.
+// inverse is true) on xs of any length. Power-of-two sizes go through the
+// cached Plan for that size, so one-shot calls share precomputed
+// bit-reversal and twiddle tables instead of rebuilding twiddles by
+// repeated complex multiplication on every call.
 func transform(xs []complex128, inverse bool) {
 	n := len(xs)
 	if n <= 1 {
 		return
 	}
 	if n&(n-1) == 0 {
-		radix2(xs, inverse)
+		planFor(n).transform(xs, inverse)
 		return
 	}
 	bluestein(xs, inverse)
-}
-
-// radix2 is an iterative, in-place Cooley–Tukey FFT for power-of-two sizes.
-func radix2(xs []complex128, inverse bool) {
-	n := len(xs)
-	logN := bits.TrailingZeros(uint(n))
-
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
-		if j > i {
-			xs[i], xs[j] = xs[j], xs[i]
-		}
-	}
-
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		angle := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, angle))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := xs[start+k]
-				b := xs[start+k+half] * w
-				xs[start+k] = a + b
-				xs[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
 }
 
 // bluestein computes an arbitrary-size DFT as a convolution, which is then
@@ -135,6 +104,7 @@ func bluestein(xs []complex128, inverse bool) {
 	}
 
 	m := nextPow2(2*n - 1)
+	p := planFor(m)
 	a := make([]complex128, m)
 	b := make([]complex128, m)
 	for j := 0; j < n; j++ {
@@ -146,12 +116,12 @@ func bluestein(xs []complex128, inverse bool) {
 		b[m-j] = b[j]
 	}
 
-	radix2(a, false)
-	radix2(b, false)
+	p.transform(a, false)
+	p.transform(b, false)
 	for j := range a {
 		a[j] *= b[j]
 	}
-	radix2(a, true)
+	p.transform(a, true)
 	scale := complex(1/float64(m), 0)
 	for j := 0; j < n; j++ {
 		xs[j] = a[j] * scale * chirp[j]
@@ -177,6 +147,7 @@ func Convolve(a, b []float64) ([]float64, error) {
 	}
 	n := len(a) + len(b) - 1
 	m := nextPow2(n)
+	p := planFor(m)
 	ca := make([]complex128, m)
 	cb := make([]complex128, m)
 	for i, x := range a {
@@ -185,12 +156,12 @@ func Convolve(a, b []float64) ([]float64, error) {
 	for i, x := range b {
 		cb[i] = complex(x, 0)
 	}
-	radix2(ca, false)
-	radix2(cb, false)
+	p.transform(ca, false)
+	p.transform(cb, false)
 	for i := range ca {
 		ca[i] *= cb[i]
 	}
-	radix2(ca, true)
+	p.transform(ca, true)
 	out := make([]float64, n)
 	scale := 1 / float64(m)
 	for i := 0; i < n; i++ {

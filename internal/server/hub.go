@@ -264,7 +264,10 @@ type SeriesStats struct {
 	Panes      int
 	Searches   int
 	Candidates int
-	Ratio      int
+	// Skipped counts refreshes the operator served from its cached
+	// search result (no new pane since the previous search).
+	Skipped int
+	Ratio   int
 }
 
 // Stats snapshots every live series' counters. Shards are locked one
@@ -282,6 +285,7 @@ func (h *Hub) Stats() map[string]SeriesStats {
 				Panes:      st.Panes,
 				Searches:   st.Searches,
 				Candidates: st.Candidates,
+				Skipped:    st.SearchesSkipped,
 				Ratio:      e.st.Ratio(),
 			}
 		}

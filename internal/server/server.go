@@ -415,6 +415,7 @@ type seriesStatsJSON struct {
 	Panes      int `json:"panes"`
 	Searches   int `json:"searches"`
 	Candidates int `json:"candidates"`
+	Skipped    int `json:"searches_skipped"`
 	Ratio      int `json:"ratio"`
 }
 
@@ -424,6 +425,7 @@ func statsJSON(st SeriesStats) seriesStatsJSON {
 		Panes:      st.Panes,
 		Searches:   st.Searches,
 		Candidates: st.Candidates,
+		Skipped:    st.Skipped,
 		Ratio:      st.Ratio,
 	}
 }
@@ -452,16 +454,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		agg.Panes += st.Panes
 		agg.Searches += st.Searches
 		agg.Candidates += st.Candidates
+		agg.Skipped += st.Skipped
 		perOut[name] = statsJSON(st)
 	}
 	out := map[string]interface{}{
 		"series_count": len(per),
 		"evictions":    s.hub.Evictions(),
 		"aggregate": map[string]int{
-			"raw_points": agg.RawPoints,
-			"panes":      agg.Panes,
-			"searches":   agg.Searches,
-			"candidates": agg.Candidates,
+			"raw_points":       agg.RawPoints,
+			"panes":            agg.Panes,
+			"searches":         agg.Searches,
+			"candidates":       agg.Candidates,
+			"searches_skipped": agg.Skipped,
 		},
 		"series": perOut,
 	}

@@ -1,0 +1,456 @@
+package stream
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-go/asap/internal/acf"
+	"github.com/asap-go/asap/internal/core"
+	"github.com/asap-go/asap/internal/fft"
+	"github.com/asap-go/asap/internal/stats"
+)
+
+// legacyACF reproduces the pre-rework ACF estimator end to end: the
+// iterated-twiddle full-complex FFT kernel, freshly allocated
+// NextPow2(2n) complex buffers, and the separate two-pass
+// stats.Variance/stats.Mean denominators — not today's acf.Compute,
+// which delegates to the plan-based Analyzer. Routing the legacy
+// operator through it means the differential test really compares the
+// new engine against the previous implementation's numerics.
+func legacyACF(xs []float64, maxLag int) (*acf.Result, error) {
+	n := len(xs)
+	if n < 2 || maxLag < 1 {
+		return nil, acf.ErrTooShort
+	}
+	if maxLag > n-1 {
+		maxLag = n - 1
+	}
+	corr := make([]float64, maxLag+1)
+	variance := stats.Variance(xs) * float64(n)
+	if variance == 0 {
+		return &acf.Result{Correlations: corr}, nil
+	}
+	mean := stats.Mean(xs)
+	m := fft.NextPow2(2 * n)
+	buf := make([]complex128, m)
+	for i, x := range xs {
+		buf[i] = complex(x-mean, 0)
+	}
+	legacyRadix2(buf, false)
+	for i, c := range buf {
+		re, im := real(c), imag(c)
+		buf[i] = complex(re*re+im*im, 0)
+	}
+	legacyRadix2(buf, true)
+	scale := 1 / float64(m)
+	corr[0] = 1
+	for tau := 1; tau <= maxLag; tau++ {
+		corr[tau] = real(buf[tau]) * scale / variance
+	}
+	res := &acf.Result{Correlations: corr}
+	res.Peaks, res.MaxACF = acf.FindPeaks(corr)
+	return res, nil
+}
+
+// legacyRadix2 is the pre-plan FFT kernel (twiddles rebuilt by repeated
+// complex multiplication), copied verbatim from the original package.
+func legacyRadix2(xs []complex128, inverse bool) {
+	n := len(xs)
+	logN := bits.TrailingZeros(uint(n))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := xs[start+k]
+				b := xs[start+k+half] * w
+				xs[start+k] = a + b
+				xs[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// legacyOperator is the refresh engine as it existed before the
+// zero-allocation rework, kept for differential testing: it re-runs the
+// full search on every refresh (no memoization), copies the ring with a
+// modulo per element, computes the ACF through the legacy full-complex
+// estimator above, and allocates the search result and smoothed series
+// fresh each time. Frames produced by the new engine must match its
+// frames bit for bit.
+type legacyOperator struct {
+	cfg      Config
+	ratio    int
+	capacity int
+
+	paneSum   float64
+	paneCount int
+
+	ring  []float64
+	head  int
+	count int
+
+	refreshEveryRaw int
+	rawSinceRefresh int
+
+	lastWindow int
+	searches   int
+	scratch    []float64
+}
+
+func newLegacy(cfg Config) (*legacyOperator, error) {
+	op, err := New(cfg) // share validation and sizing
+	if err != nil {
+		return nil, err
+	}
+	return &legacyOperator{
+		cfg:             cfg,
+		ratio:           op.ratio,
+		capacity:        op.capacity,
+		ring:            make([]float64, op.capacity),
+		refreshEveryRaw: op.refreshEveryRaw,
+		lastWindow:      1,
+		scratch:         make([]float64, op.capacity),
+	}, nil
+}
+
+func (o *legacyOperator) push(x float64) *Frame {
+	o.paneSum += x
+	o.paneCount++
+	if o.paneCount == o.ratio {
+		v := o.paneSum / float64(o.ratio)
+		o.paneSum, o.paneCount = 0, 0
+		if o.count < o.capacity {
+			o.ring[(o.head+o.count)%o.capacity] = v
+			o.count++
+		} else {
+			o.ring[o.head] = v
+			o.head = (o.head + 1) % o.capacity
+		}
+	}
+	o.rawSinceRefresh++
+	if o.rawSinceRefresh >= o.refreshEveryRaw && o.count >= 4 {
+		o.rawSinceRefresh = 0
+		return o.refresh()
+	}
+	return nil
+}
+
+func (o *legacyOperator) refresh() *Frame {
+	data := o.scratch[:o.count]
+	for i := 0; i < o.count; i++ {
+		data[i] = o.ring[(o.head+i)%o.capacity]
+	}
+	o.searches++
+
+	opts := core.SearchOptions{
+		MaxWindow:  o.cfg.MaxWindow,
+		SeedWindow: o.lastWindow,
+	}
+	if o.cfg.Strategy == core.StrategyASAP {
+		maxWindow := opts.MaxWindow
+		if maxWindow <= 0 {
+			maxWindow = int(float64(len(data)) * core.DefaultMaxWindowFraction)
+		}
+		maxLag := maxWindow + 2
+		if maxLag > len(data)-1 {
+			maxLag = len(data) - 1
+		}
+		if maxLag >= 1 {
+			if r, err := legacyACF(data, maxLag); err == nil {
+				opts.ACF = r
+			}
+		}
+	}
+	res, err := core.Search(o.cfg.Strategy, data, opts)
+	if err != nil {
+		o.searches--
+		return nil
+	}
+
+	smoothed := make([]float64, len(data)-res.Window+1)
+	inv := 1 / float64(res.Window)
+	var sum float64
+	for i := 0; i < res.Window; i++ {
+		sum += data[i]
+	}
+	smoothed[0] = sum * inv
+	for i := 1; i < len(smoothed); i++ {
+		sum += data[i+res.Window-1] - data[i-1]
+		smoothed[i] = sum * inv
+	}
+	seedReused := o.lastWindow > 1 && res.Window == o.lastWindow
+	o.lastWindow = res.Window
+	return &Frame{
+		Smoothed:   smoothed,
+		Window:     res.Window,
+		Roughness:  res.Roughness,
+		Kurtosis:   res.Kurtosis,
+		SeedReused: seedReused,
+		Sequence:   o.searches,
+	}
+}
+
+func driftStream(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	v := 0.0
+	for i := range xs {
+		v += 0.02*rng.NormFloat64() + 0.001
+		xs[i] = v
+	}
+	return xs
+}
+
+// TestRefreshMatchesLegacyEngine is the tentpole differential test: for
+// every refresh — including the memoized no-new-pane refreshes of
+// sub-pane cadences — the new engine's frames must equal the
+// search-every-time engine's frames in every field, bit for bit.
+func TestRefreshMatchesLegacyEngine(t *testing.T) {
+	configs := []Config{
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 1000},                                 // refresh per 100 panes
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 1},                                    // sub-pane cadence: memoized refreshes
+		{WindowPoints: 2000, Resolution: 200, RefreshEvery: 7},                                    // interval not a pane multiple
+		{WindowPoints: 500, Resolution: 500, RefreshEvery: 3},                                     // ratio 1: every refresh sees a new pane
+		{WindowPoints: 3000, Resolution: 300, RefreshEvery: 2, Strategy: core.StrategyBinary},     // non-ASAP strategy, sub-pane
+		{WindowPoints: 2000, Resolution: 100, RefreshEvery: 1, Strategy: core.StrategyExhaustive}, // lesion engine, sub-pane
+		{WindowPoints: 1000, Resolution: 100, RefreshEvery: 250, MaxWindow: 20},                   // bounded search
+	}
+	streams := map[string][]float64{
+		"periodic": periodicStream(20000, 200, 0.3, 21),
+		"drift":    driftStream(20000, 22),
+	}
+
+	for ci, cfg := range configs {
+		for name, data := range streams {
+			op, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leg, err := newLegacy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := 0
+			for i, x := range data {
+				f, ok := op.Push(x)
+				lf := leg.push(x)
+				if ok != (lf != nil) {
+					t.Fatalf("cfg %d %s point %d: new fired=%v legacy fired=%v", ci, name, i, ok, lf != nil)
+				}
+				if !ok {
+					continue
+				}
+				frames++
+				if f.Sequence != lf.Sequence || f.Window != lf.Window || f.SeedReused != lf.SeedReused {
+					t.Fatalf("cfg %d %s frame %d: (seq %d win %d seed %v) != legacy (seq %d win %d seed %v)",
+						ci, name, frames, f.Sequence, f.Window, f.SeedReused, lf.Sequence, lf.Window, lf.SeedReused)
+				}
+				if f.Roughness != lf.Roughness || f.Kurtosis != lf.Kurtosis {
+					t.Fatalf("cfg %d %s frame %d: metrics (%v, %v) != legacy (%v, %v)",
+						ci, name, frames, f.Roughness, f.Kurtosis, lf.Roughness, lf.Kurtosis)
+				}
+				if len(f.Smoothed) != len(lf.Smoothed) {
+					t.Fatalf("cfg %d %s frame %d: %d values != legacy %d", ci, name, frames, len(f.Smoothed), len(lf.Smoothed))
+				}
+				for j := range f.Smoothed {
+					if f.Smoothed[j] != lf.Smoothed[j] {
+						t.Fatalf("cfg %d %s frame %d value %d: %v != legacy %v",
+							ci, name, frames, j, f.Smoothed[j], lf.Smoothed[j])
+					}
+				}
+			}
+			if frames == 0 {
+				t.Fatalf("cfg %d %s: no frames compared", ci, name)
+			}
+			// The sub-pane configs must actually exercise the memoized
+			// path, or this test proves nothing about it.
+			if cfg.RefreshEvery > 0 && cfg.RefreshEvery < op.ratio {
+				if op.Stats().Skipped == 0 {
+					t.Errorf("cfg %d %s: sub-pane cadence never memoized a refresh", ci, name)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoizationAccounting checks the Skipped counter and that memoized
+// frames keep Sequence == Searches (the invariant Restore's closed-form
+// reconstruction depends on).
+func TestMemoizationAccounting(t *testing.T) {
+	op, err := New(Config{WindowPoints: 10000, Resolution: 100, RefreshEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Frame
+	for _, x := range periodicStream(50000, 1000, 0.2, 30) {
+		if f, ok := op.Push(x); ok {
+			last = f
+		}
+	}
+	st := op.Stats()
+	if st.Skipped == 0 {
+		t.Fatal("sub-pane cadence produced no memoized refreshes")
+	}
+	if st.Skipped >= st.Searches {
+		t.Fatalf("Skipped %d >= Searches %d", st.Skipped, st.Searches)
+	}
+	if last.Sequence != st.Searches {
+		t.Errorf("last frame sequence %d != searches %d", last.Sequence, st.Searches)
+	}
+}
+
+// warmOperator builds an operator, fills its window, and runs it to a
+// steady state (buffers sized, search fixpoint reached).
+func warmOperator(t testing.TB, cfg Config, data []float64) *Operator {
+	t.Helper()
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Prefill(data[:cfg.WindowPoints])
+	i := 0
+	for pushed := 0; pushed < 4*cfg.WindowPoints; pushed++ {
+		op.Push(data[i])
+		i++
+		if i == len(data) {
+			i = 0
+		}
+	}
+	return op
+}
+
+// TestRefreshSteadyStateAllocations enforces the refresh path's
+// allocation contract: a warmed operator performs zero steady-state heap
+// allocations per refresh beyond the emitted frame's values.
+func TestRefreshSteadyStateAllocations(t *testing.T) {
+	data := periodicStream(8000, 400, 0.3, 40)
+	cfg := Config{WindowPoints: 8000, Resolution: 800} // ratio 10, refresh per pane
+	op := warmOperator(t, cfg, data)
+	ratio := op.Ratio()
+	i := 0
+	next := func() float64 {
+		x := data[i]
+		i++
+		if i == len(data) {
+			i = 0
+		}
+		return x
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fired := false
+		for k := 0; k < ratio; k++ {
+			if _, ok := op.Push(next()); ok {
+				fired = true
+			}
+		}
+		if !fired {
+			t.Fatal("pane-sized push burst did not refresh")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("full-search refresh allocated %.2f objects/op, want <= 1 (the emitted frame values)", allocs)
+	}
+}
+
+// TestMemoizedRefreshZeroAllocations: a refresh that re-emits the cached
+// result (no new pane since the last search) must not allocate at all.
+func TestMemoizedRefreshZeroAllocations(t *testing.T) {
+	data := periodicStream(10000, 1000, 0.2, 41)
+	cfg := Config{WindowPoints: 10000, Resolution: 100, RefreshEvery: 1} // ratio 100
+	op := warmOperator(t, cfg, data)
+	// Land just past a pane boundary with a fixpoint search cached, so
+	// the next 60 pushes all hit the memoized path.
+	i := 0
+	for op.paneCount != 0 || !op.searchFixpoint {
+		op.Push(data[i%len(data)])
+		i++
+		if i > 3*len(data) {
+			t.Fatal("operator never reached a fixpoint at a pane boundary")
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, ok := op.Push(data[i%len(data)]); !ok {
+			t.Fatal("push did not refresh")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("memoized refresh allocated %.2f objects/op, want 0", allocs)
+	}
+	if op.Stats().Skipped == 0 {
+		t.Fatal("memoized path never taken")
+	}
+}
+
+// BenchmarkRefresh measures one steady-state refresh per iteration:
+// "search" runs the full zero-allocation engine once per completed pane,
+// "memoized" the cached re-emission of sub-pane cadences, and "legacy"
+// the pre-rework engine on the "search" schedule for the before/after
+// record.
+func BenchmarkRefresh(b *testing.B) {
+	data := periodicStream(8000, 400, 0.3, 50)
+	cfg := Config{WindowPoints: 8000, Resolution: 800} // ratio 10
+
+	b.Run("search", func(b *testing.B) {
+		op := warmOperator(b, cfg, data)
+		ratio := op.Ratio()
+		b.ReportAllocs()
+		b.ResetTimer()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			for k := 0; k < ratio; k++ {
+				op.Push(data[i%len(data)])
+				i++
+			}
+		}
+	})
+
+	b.Run("memoized", func(b *testing.B) {
+		mcfg := Config{WindowPoints: 8000, Resolution: 80, RefreshEvery: 1} // ratio 100
+		op := warmOperator(b, mcfg, data)
+		b.ReportAllocs()
+		b.ResetTimer()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			op.Push(data[i%len(data)])
+			i++
+		}
+	})
+
+	b.Run("legacy", func(b *testing.B) {
+		op, err := newLegacy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, x := range data {
+			op.push(x)
+		}
+		ratio := op.ratio
+		b.ReportAllocs()
+		b.ResetTimer()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			for k := 0; k < ratio; k++ {
+				op.push(data[i%len(data)])
+				i++
+			}
+		}
+	})
+}

@@ -63,12 +63,12 @@ func TestFramesProduced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if op.Frame() != nil {
-		t.Error("frame before any data should be nil")
+	if _, ok := op.Frame(); ok {
+		t.Error("frame before any data should not exist")
 	}
 	data := periodicStream(20000, 200, 0.3, 1)
-	frame := op.PushBatch(data)
-	if frame == nil {
+	frame, ok := op.PushBatch(data)
+	if !ok {
 		t.Fatal("no frame produced after 20k points")
 	}
 	st := op.Stats()
@@ -94,8 +94,8 @@ func TestSmoothingReducesRoughnessOnPeriodicStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Period 400 raw points = 40 aggregated points: clearly periodic.
-	frame := op.PushBatch(periodicStream(8000, 400, 0.5, 2))
-	if frame == nil {
+	frame, ok := op.PushBatch(periodicStream(8000, 400, 0.5, 2))
+	if !ok {
 		t.Fatal("no frame")
 	}
 	if frame.Window < 2 {
@@ -113,7 +113,7 @@ func TestSeedReuseAcrossRefreshes(t *testing.T) {
 	data := periodicStream(30000, 300, 0.3, 3)
 	var reused, total int
 	for _, x := range data {
-		if f := op.Push(x); f != nil {
+		if f, ok := op.Push(x); ok {
 			total++
 			if f.SeedReused {
 				reused++
@@ -150,13 +150,14 @@ func TestEvictionContentIsMostRecent(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 500
-	var lastFrame *Frame
+	var lastFrame Frame
+	var got bool
 	for i := 0; i < n; i++ {
-		if f := op.Push(float64(i)); f != nil {
-			lastFrame = f
+		if f, ok := op.Push(float64(i)); ok {
+			lastFrame, got = f, true
 		}
 	}
-	if lastFrame == nil {
+	if !got {
 		t.Fatal("no frame")
 	}
 	// Ratio 1, capacity 100: the window is [400..499]. Any smoothed value
@@ -192,19 +193,19 @@ func TestLazyRefreshReducesSearches(t *testing.T) {
 func TestExhaustiveStrategyLesion(t *testing.T) {
 	// "no AC" lesion: exhaustive search produces the same or smoother
 	// output but evaluates far more candidates.
-	mk := func(s core.Strategy) (Stats, *Frame) {
+	mk := func(s core.Strategy) (Stats, Frame) {
 		op, err := New(Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 4000, Strategy: s})
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := op.PushBatch(periodicStream(16000, 400, 0.3, 6))
+		f, ok := op.PushBatch(periodicStream(16000, 400, 0.3, 6))
+		if !ok {
+			t.Fatal("missing frames")
+		}
 		return op.Stats(), f
 	}
 	asapStats, asapFrame := mk(core.StrategyASAP)
 	exStats, exFrame := mk(core.StrategyExhaustive)
-	if asapFrame == nil || exFrame == nil {
-		t.Fatal("missing frames")
-	}
 	if asapStats.Candidates >= exStats.Candidates {
 		t.Errorf("ASAP candidates %d >= exhaustive %d", asapStats.Candidates, exStats.Candidates)
 	}
@@ -219,8 +220,7 @@ func TestNoPreaggLesion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := op.PushBatch(periodicStream(4000, 100, 0.2, 7))
-	if f == nil {
+	if _, ok := op.PushBatch(periodicStream(4000, 100, 0.2, 7)); !ok {
 		t.Fatal("no frame")
 	}
 	_, capacity := op.WindowFill()
@@ -248,7 +248,7 @@ func TestFrameSequenceMonotonic(t *testing.T) {
 	}
 	prev := 0
 	for _, x := range periodicStream(5000, 50, 0.2, 9) {
-		if f := op.Push(x); f != nil {
+		if f, ok := op.Push(x); ok {
 			if f.Sequence != prev+1 {
 				t.Fatalf("sequence jumped from %d to %d", prev, f.Sequence)
 			}
@@ -290,7 +290,7 @@ func TestPrefillNoRefresh(t *testing.T) {
 		t.Errorf("window not filled: %d/%d", have, capacity)
 	}
 	// Regular pushes resume refreshes.
-	if f := op.Push(1.0); f == nil {
+	if _, ok := op.Push(1.0); !ok {
 		t.Error("first Push after Prefill should refresh (RefreshEvery=1)")
 	}
 }
@@ -320,10 +320,10 @@ func TestRestoreMatchesNeverRestarted(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var contFrames []*Frame
+			var contFrames []Frame
 			for i, x := range input {
-				f := cont.Push(x)
-				if f != nil && i >= cut {
+				f, ok := cont.Push(x)
+				if ok && i >= cut {
 					contFrames = append(contFrames, f)
 				}
 			}
@@ -340,12 +340,12 @@ func TestRestoreMatchesNeverRestarted(t *testing.T) {
 				tail = tail[len(tail)-horizon:]
 			}
 			rest.Restore(tail, cut)
-			if rest.Frame() != nil {
+			if _, ok := rest.Frame(); ok {
 				t.Fatalf("cfg %d cut %d: Restore emitted a frame", ci, cut)
 			}
-			var restFrames []*Frame
+			var restFrames []Frame
 			for _, x := range input[cut:] {
-				if f := rest.Push(x); f != nil {
+				if f, ok := rest.Push(x); ok {
 					restFrames = append(restFrames, f)
 				}
 			}
@@ -393,13 +393,14 @@ func TestRestoreShortTailStillServes(t *testing.T) {
 	}
 	op.Restore([]float64{1, 2, 3}, 100000) // almost everything lost
 	xs := periodicStream(400, 40, 0.1, 7)
-	var got *Frame
+	var got Frame
+	var ok bool
 	for _, x := range xs {
-		if f := op.Push(x); f != nil {
-			got = f
+		if f, fired := op.Push(x); fired {
+			got, ok = f, true
 		}
 	}
-	if got == nil {
+	if !ok {
 		t.Fatal("no frame after pushing a full window post-restore")
 	}
 	if got.Sequence <= 1 {

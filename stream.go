@@ -49,6 +49,10 @@ type StreamStats struct {
 	Panes      int
 	Searches   int
 	Candidates int
+	// SearchesSkipped counts refreshes served from the cached search
+	// result because no aggregated pane had completed since the previous
+	// search (they still emit frames and count in Searches).
+	SearchesSkipped int
 }
 
 // Streamer is streaming ASAP: push points, receive refreshed smoothed
@@ -116,18 +120,22 @@ func (s *Streamer) Frame() *Frame { return convertFrame(s.op.Frame()) }
 func (s *Streamer) Stats() StreamStats {
 	st := s.op.Stats()
 	return StreamStats{
-		RawPoints:  st.RawPoints,
-		Panes:      st.Panes,
-		Searches:   st.Searches,
-		Candidates: st.Candidates,
+		RawPoints:       st.RawPoints,
+		Panes:           st.Panes,
+		Searches:        st.Searches,
+		Candidates:      st.Candidates,
+		SearchesSkipped: st.Skipped,
 	}
 }
 
 // Ratio returns the pixel-aware preaggregation ratio in effect.
 func (s *Streamer) Ratio() int { return s.op.Ratio() }
 
-func convertFrame(f *stream.Frame) *Frame {
-	if f == nil {
+// convertFrame lifts the operator's by-value frame into the public
+// pointer-or-nil shape. The values slice is shared, not copied: the
+// operator never writes an emitted frame's values again.
+func convertFrame(f stream.Frame, ok bool) *Frame {
+	if !ok {
 		return nil
 	}
 	return &Frame{
