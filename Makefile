@@ -4,7 +4,7 @@ GO ?= go
 BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream
 BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan)$$
 
-.PHONY: check vet build test race alloc-check bench bench-smoke fuzz fuzz-check clean clean-data
+.PHONY: check vet build test race alloc-check bench bench-smoke fuzz fuzz-check failover-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -36,6 +36,13 @@ bench:
 ## code cannot rot (used by CI; measures nothing).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x $(BENCH_PKGS)
+
+## failover-check: the replication acceptance suite under -race —
+## primary → follower tailing → kill → promote, frames bit-identical —
+## plus the WAL group-commit and segment-reader edge-case tests.
+failover-check:
+	$(GO) test -race -run 'Failover|Follower|DataDirLocking|BackgroundSnapshot' -v ./internal/server/
+	$(GO) test -race -run 'GroupCommit|Manifest|LoadState|Cursor|RecordScanner|LockDir|MetaShards|ChainGap' ./internal/wal/
 
 ## fuzz: run the ingest line-protocol fuzzer for a short burst.
 fuzz:

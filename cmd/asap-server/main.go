@@ -11,10 +11,15 @@
 //	POST /ingest                line protocol (below) — appends points
 //	GET  /frame?series=NAME     latest smoothed frame as JSON
 //	GET  /series                live series listing as JSON
-//	GET  /stats[?series=NAME]   aggregate + per-series + WAL counters
+//	GET  /stats[?series=NAME]   aggregate + per-series + WAL +
+//	                            replication counters
 //	GET  /plot.svg?series=NAME  SVG of the current frame
-//	GET  /healthz               hub size, WAL flush lag, last recovery
+//	GET  /healthz               hub size, WAL flush lag, last recovery,
+//	                            replication health
 //	POST /snapshot              compact the WAL into a fresh checkpoint
+//	GET  /replica/segments      replication manifest (WAL shipping)
+//	GET  /replica/segment       ranged segment/snapshot bytes
+//	POST /promote               turn a follower into the primary
 //	GET  /                      embedded dashboard (auto-refreshing SVG)
 //
 // The ingest line protocol is one point per line: either "series=value"
@@ -28,7 +33,19 @@
 // before it is applied, and a restarted server warm-recovers all
 // series — the next frames continue the pre-crash values and sequence
 // numbers exactly. -fsync-every batches fsyncs (0 fsyncs per append);
-// -segment-bytes tunes segment rotation.
+// -segment-bytes tunes segment rotation. The directory is exclusively
+// locked (flock) so two servers can never share one log. Background
+// compaction runs on -snapshot-interval and/or once any shard holds
+// -snapshot-segments sealed segments.
+//
+// With -follow URL the server is a read-only replica of that primary:
+// it mirrors the primary's WAL into -data-dir (polling every
+// -poll-every), serves /frame, /plot.svg, /series, and /stats locally
+// with replication lag reported, and rejects writes with 503 naming
+// the primary. POST /promote seals the mirrored tail, reopens it as a
+// writable WAL, and starts accepting ingest — failover. Frames served
+// by a follower are bit-identical (Values, Window, Sequence) to the
+// primary's for every replicated point; see docs/DURABILITY.md.
 //
 // For demos, -simulate taxi feeds the built-in Taxi generator at a
 // fixed rate so the dashboard animates without an external producer.
@@ -61,9 +78,14 @@ func main() {
 		rate      = flag.Int("rate", 200, "simulation rate, points per second")
 
 		dataDir      = flag.String("data-dir", "", "write-ahead log directory for durable ingest (empty = memory only)")
-		fsyncEvery   = flag.Duration("fsync-every", 100*time.Millisecond, "batch WAL fsyncs on this interval (0 = fsync every append)")
+		fsyncEvery   = flag.Duration("fsync-every", 100*time.Millisecond, "batch WAL fsyncs on this interval (0 = fsync every append, group-committed)")
 		segmentBytes = flag.Int64("segment-bytes", 8<<20, "rotate WAL segments at this size")
 		maxBody      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "largest accepted POST /ingest body (413 beyond)")
+
+		follow       = flag.String("follow", "", "replicate this primary's WAL and serve read-only (requires -data-dir)")
+		pollEvery    = flag.Duration("poll-every", 500*time.Millisecond, "follower manifest poll interval")
+		snapInterval = flag.Duration("snapshot-interval", 0, "compact the WAL on this interval (0 = only on demand)")
+		snapSegments = flag.Int("snapshot-segments", 0, "compact once any shard holds this many sealed segments (0 = off)")
 	)
 	flag.Parse()
 
@@ -78,12 +100,16 @@ func main() {
 			MaxSeries:     *maxSeries,
 			DefaultSeries: *series,
 		},
-		Simulate:       *simulate,
-		Rate:           *rate,
-		DataDir:        *dataDir,
-		FsyncEvery:     *fsyncEvery,
-		SegmentBytes:   *segmentBytes,
-		MaxIngestBytes: *maxBody,
+		Simulate:         *simulate,
+		Rate:             *rate,
+		DataDir:          *dataDir,
+		FsyncEvery:       *fsyncEvery,
+		SegmentBytes:     *segmentBytes,
+		MaxIngestBytes:   *maxBody,
+		Follow:           *follow,
+		FollowPoll:       *pollEvery,
+		SnapshotInterval: *snapInterval,
+		SnapshotSegments: *snapSegments,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)
@@ -100,6 +126,9 @@ func main() {
 
 	if *simulate != "" {
 		log.Printf("simulating %s at %d pts/sec", *simulate, *rate)
+	}
+	if *follow != "" {
+		log.Printf("following %s as a read-only replica (poll %s); POST /promote to take over", *follow, *pollEvery)
 	}
 	log.Printf("asap-server listening on %s (window %d pts, %d px)", *addr, *window, *res)
 	if err := srv.Run(ctx, *addr); err != nil {

@@ -42,8 +42,18 @@
 // appended to a per-shard write-ahead log before they are applied, and
 // a restarted server warm-recovers every series via Streamer.Restore —
 // the next frames continue the pre-crash values, window, and sequence
-// numbers exactly. See docs/DURABILITY.md for the record format, fsync
-// and rotation semantics, and recovery guarantees.
+// numbers exactly. The data directory is exclusively locked, strict
+// fsync mode group-commits concurrent appenders, and snapshots can run
+// on a background schedule (-snapshot-interval / -snapshot-segments).
+// See docs/DURABILITY.md for the record format, fsync and rotation
+// semantics, and recovery guarantees.
+//
+// The log also ships: a second server started with -follow (its own
+// -data-dir) mirrors the primary's segments over HTTP, serves every
+// read endpoint with frames bit-identical to the primary's, reports
+// replication lag in /stats, and takes over ingest on POST /promote —
+// kill-the-primary failover without losing restart equivalence. See
+// the Replication section of docs/DURABILITY.md.
 //
 // The streaming refresh path is allocation-free at steady state: each
 // per-series operator owns a planned real-input FFT, a reusable ACF

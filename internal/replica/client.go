@@ -1,0 +1,144 @@
+// Package replica implements the follower side of WAL-shipping
+// replication: an HTTP client for a primary asap-server's replication
+// endpoints and a Follower that mirrors the primary's write-ahead log
+// into a local data directory, applies the records to a local hub so
+// every read endpoint serves live (slightly lagged) frames, and leaves
+// the mirror ready to be promoted into a writable WAL.
+//
+// Because the primary's segments carry CRC-framed records with
+// cumulative per-series totals, and Streamer.Restore reconstructs pane
+// phase and frame sequence in closed form, a follower's frames are
+// bit-identical — Values, Window, Sequence — to the primary's for
+// every fully replicated point.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/asap-go/asap/internal/wal"
+)
+
+// ErrGone reports a file the manifest listed but the primary no longer
+// has — compaction or retention reclaimed it. The follower re-lists
+// and, if it lost records, resyncs from the newest snapshot.
+var ErrGone = errors.New("replica: file gone on primary")
+
+// StreamSpec is the primary's streaming configuration, carried in the
+// manifest so a follower builds byte-identical operators without
+// trusting its own flags to match.
+type StreamSpec struct {
+	WindowPoints          int  `json:"window_points"`
+	Resolution            int  `json:"resolution"`
+	RefreshEvery          int  `json:"refresh_every"`
+	MaxWindow             int  `json:"max_window,omitempty"`
+	DisablePreaggregation bool `json:"disable_preaggregation,omitempty"`
+}
+
+// PrimaryManifest is the primary's replication listing: the WAL
+// manifest plus the stream configuration a follower must mirror.
+type PrimaryManifest struct {
+	Shards         int                 `json:"shards"`
+	DefaultSeries  string              `json:"default_series"`
+	Stream         StreamSpec          `json:"stream"`
+	ShardManifests []wal.ShardManifest `json:"shard_manifests"`
+}
+
+// Client speaks the primary's replication protocol.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient validates the primary base URL (e.g. "http://host:8347")
+// and returns a ready client.
+func NewClient(primary string) (*Client, error) {
+	u, err := url.Parse(primary)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bad primary URL %q: %w", primary, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replica: primary URL %q must be http(s)", primary)
+	}
+	base := u.String()
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}, nil
+}
+
+// Primary returns the base URL the client replicates from.
+func (c *Client) Primary() string { return c.base }
+
+// Manifest fetches the primary's replication listing.
+func (c *Client) Manifest(ctx context.Context) (*PrimaryManifest, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/replica/segments", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("replica: manifest: %s: %.200s", resp.Status, body)
+	}
+	var m PrimaryManifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("replica: manifest decode: %w", err)
+	}
+	if m.Shards <= 0 || m.Shards > 4096 || len(m.ShardManifests) != m.Shards {
+		return nil, fmt.Errorf("replica: manifest shape: shards=%d listed=%d", m.Shards, len(m.ShardManifests))
+	}
+	return &m, nil
+}
+
+// FetchRange fetches up to length bytes of shard's file starting at
+// off. It returns fewer bytes than asked when the primary's durable
+// size ends earlier (including zero bytes at or past the end), and
+// ErrGone when the file no longer exists.
+func (c *Client) FetchRange(ctx context.Context, shard int, name string, off, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	u := fmt.Sprintf("%s/replica/segment?shard=%d&name=%s", c.base, shard, url.QueryEscape(name))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", "bytes="+strconv.FormatInt(off, 10)+"-"+strconv.FormatInt(off+length-1, 10))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetch %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		return io.ReadAll(io.LimitReader(resp.Body, length))
+	case http.StatusOK:
+		// The primary ignored the range (whole file); discard the prefix.
+		if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
+			if err == io.EOF {
+				return nil, nil // file shorter than off: nothing in range
+			}
+			return nil, err
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, length))
+	case http.StatusRequestedRangeNotSatisfiable:
+		return nil, nil // nothing durable in the requested range yet
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s shard %d", ErrGone, name, shard)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("replica: fetch %s: %s: %.200s", name, resp.Status, body)
+	}
+}

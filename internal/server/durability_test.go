@@ -18,6 +18,17 @@ func durableConfig(dir string) Config {
 	return cfg
 }
 
+// kill9 simulates losing the process without a clean shutdown: the WAL
+// is dropped on the floor (no Close, no flush beyond what Append
+// acknowledged), but the data-dir lock is released the way the kernel
+// releases a dead process's flock.
+func kill9(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.lock.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func sineValues(n, offset int) []float64 {
 	xs := make([]float64, n)
 	for i := range xs {
@@ -59,6 +70,8 @@ func TestRestartEquivalenceAfterCrash(t *testing.T) {
 
 	// kill -9: drop the server on the floor. FsyncEvery 0 means every
 	// acknowledged batch is already fsynced; nothing else may be needed.
+	// The kernel releases a dead process's flock; simulate that part.
+	kill9(t, crashed)
 	recovered, err := New(durableConfig(dir))
 	if err != nil {
 		t.Fatalf("recovery open: %v", err)
@@ -151,12 +164,13 @@ func TestRecoveryAfterSnapshotEquivalence(t *testing.T) {
 	if st, ok := crashed.WALStats(); !ok || st.AppendedPoints != 700 {
 		t.Fatalf("wal stats = %+v ok=%v", st, ok)
 	}
-	if _, err := crashed.wal.Snapshot(); err != nil {
+	if _, err := crashed.curWAL().Snapshot(); err != nil {
 		t.Fatal(err)
 	}
 	push(control, "cpu", 241, 700) // post-snapshot tail, cut mid-everything
 	push(crashed, "cpu", 241, 700)
 
+	kill9(t, crashed)
 	recovered, err := New(durableConfig(dir))
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +250,7 @@ func TestRestartEquivalenceAfterEviction(t *testing.T) {
 	}
 
 	// kill -9, recover.
+	kill9(t, crashed)
 	recovered, err := New(mkCfg(true))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,596 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap"
+)
+
+// followerConfig builds a follower of primaryURL mirroring into dir.
+// FollowPoll is huge: tests drive PollOnce deterministically.
+func followerConfig(dir, primaryURL string) Config {
+	return Config{
+		DataDir:    dir,
+		Follow:     primaryURL,
+		FollowPoll: time.Hour,
+	}
+}
+
+func pollOnce(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Follower().PollOnce(context.Background()); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+}
+
+// requireFramesEqual asserts got is bit-identical to want (Values,
+// Window, Sequence — the restart/replication equivalence contract).
+func requireFramesEqual(t *testing.T, label string, want, got *asap.Frame) {
+	t.Helper()
+	if (want == nil) != (got == nil) {
+		t.Fatalf("%s: frame presence differs: want %v, got %v", label, want != nil, got != nil)
+	}
+	if want == nil {
+		return
+	}
+	if got.Sequence != want.Sequence || got.Window != want.Window {
+		t.Fatalf("%s: seq/window %d/%d, want %d/%d", label, got.Sequence, got.Window, want.Sequence, want.Window)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: %d values, want %d", label, len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("%s: value %d: %v != %v", label, i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+// TestFailoverBitIdentical is the acceptance test for WAL-shipping
+// replication: ingest to a primary, let a follower tail it, kill the
+// primary without warning, promote the follower, keep ingesting — and
+// every frame the follower serves, before and after promotion, must be
+// bit-identical (Values, Window, Sequence) to a server that was never
+// interrupted. Run under -race via make failover-check.
+func TestFailoverBitIdentical(t *testing.T) {
+	control, err := New(testConfig()) // the uninterrupted twin
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := New(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsP := httptest.NewServer(primary.Handler())
+
+	pushBoth := func(name string, n, off int) {
+		t.Helper()
+		vals := sineValues(n, off)
+		if err := control.Hub().PushBatch(name, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Hub().PushBatch(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uneven pre-replication history: cpu cuts cleanly, disk mid-pane
+	// and mid-refresh-interval.
+	pre := map[string]int{"cpu": 900, "disk": 523}
+	for name, n := range pre {
+		pushBoth(name, n, 0)
+	}
+
+	fol, err := New(followerConfig(t.TempDir(), tsP.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsF := httptest.NewServer(fol.Handler())
+	defer tsF.Close()
+	if fol.Role() != "follower" {
+		t.Fatalf("role = %q, want follower", fol.Role())
+	}
+	pollOnce(t, fol) // bootstrap from the primary's WAL
+
+	// Writes are fenced with 503 + the primary's address.
+	resp, err := http.Post(tsF.URL+"/ingest", "text/plain", strings.NewReader("cpu=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower ingest status %d, want 503", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != tsP.URL {
+		t.Errorf("fencing Location = %q, want %q", loc, tsP.URL)
+	}
+	if code, _ := post(t, tsF.URL+"/snapshot", ""); code != http.StatusServiceUnavailable {
+		t.Errorf("follower snapshot not fenced")
+	}
+
+	// Live tailing: every post-bootstrap frame must match the control's
+	// exactly once the follower's operators refresh.
+	sawFrame := map[string]bool{}
+	off := map[string]int{"cpu": 900, "disk": 523}
+	for c := 0; c < 20; c++ {
+		for name := range pre {
+			pushBoth(name, 30, off[name])
+			off[name] += 30
+		}
+		pollOnce(t, fol)
+		for name := range pre {
+			want, _ := control.Hub().Frame(name)
+			got, ok := fol.Hub().Frame(name)
+			if !ok {
+				t.Fatalf("follower lost series %s", name)
+			}
+			if got == nil {
+				continue // no post-bootstrap refresh yet
+			}
+			sawFrame[name] = true
+			requireFramesEqual(t, fmt.Sprintf("tailing %s chunk %d", name, c), want, got)
+		}
+	}
+	for name := range pre {
+		if !sawFrame[name] {
+			t.Fatalf("%s never produced a frame while tailing", name)
+		}
+	}
+
+	// Replication status: caught up, zero lag.
+	var st struct {
+		Role        string `json:"role"`
+		Replication struct {
+			Synced         bool  `json:"synced"`
+			RecordsBehind  int64 `json:"records_behind"`
+			SegmentsBehind int64 `json:"segments_behind"`
+		} `json:"replication"`
+	}
+	_, body := get(t, tsF.URL+"/stats")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "follower" || !st.Replication.Synced || st.Replication.RecordsBehind != 0 {
+		t.Fatalf("follower stats = %+v", st)
+	}
+
+	// Kill the primary without warning: listener gone, WAL abandoned,
+	// flock released the way a dead process releases it.
+	tsP.Close()
+	kill9(t, primary)
+
+	// Reads still serve from the mirror while the primary is dead.
+	if code, _ := get(t, tsF.URL+"/frame?series=cpu"); code != 200 {
+		t.Fatalf("follower frame unavailable with primary dead: %d", code)
+	}
+
+	// Promote. The follower seals its tail and reopens the mirror as a
+	// writable WAL.
+	code, body := post(t, tsF.URL+"/promote", "")
+	if code != 200 || !strings.Contains(body, `"promoted":true`) {
+		t.Fatalf("promote = %d %s", code, body)
+	}
+	if fol.Role() != "primary" {
+		t.Fatalf("post-promote role = %q", fol.Role())
+	}
+	if code, _ := post(t, tsF.URL+"/promote", ""); code != http.StatusConflict {
+		t.Errorf("second promote status %d, want 409", code)
+	}
+
+	// Continued ingest on the promoted node, over HTTP, stays
+	// bit-identical to the uninterrupted control.
+	promoted := false
+	for c := 0; c < 20; c++ {
+		vals := sineValues(30, off["cpu"])
+		off["cpu"] += 30
+		if err := control.Hub().PushBatch("cpu", vals); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteString("cpu=")
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+		if code, body := post(t, tsF.URL+"/ingest", b.String()); code != 200 {
+			t.Fatalf("promoted ingest = %d %s", code, body)
+		}
+		want, _ := control.Hub().Frame("cpu")
+		got, _ := fol.Hub().Frame("cpu")
+		if got != nil {
+			promoted = true
+			requireFramesEqual(t, fmt.Sprintf("promoted chunk %d", c), want, got)
+		}
+	}
+	if !promoted {
+		t.Fatal("promoted node never produced a frame")
+	}
+
+	// The promoted node is durable again: its WAL ships to the next
+	// follower generation — and its stats no longer claim to be a
+	// replica (the frozen gauges would misread as a healthy follower).
+	if _, ok := fol.WALStats(); !ok {
+		t.Error("promoted node has no WAL")
+	}
+	_, body = get(t, tsF.URL+"/stats")
+	if strings.Contains(body, `"replication"`) {
+		t.Error("promoted node still emits the replication gauges")
+	}
+	if !strings.Contains(body, `"role":"primary"`) {
+		t.Errorf("promoted node stats role: %.120s", body)
+	}
+	if code, _ := get(t, tsF.URL+"/replica/segments"); code != 200 {
+		t.Error("promoted node does not serve the replication manifest")
+	}
+	if err := fol.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerMirrorsTombstones: an LRU eviction on the primary
+// arrives at the follower as a tombstone during tailing — the evicted
+// series disappears there too, and its recreated fresh life replays
+// bit-identically.
+func TestFollowerMirrorsTombstones(t *testing.T) {
+	mkCfg := func(dir string) Config {
+		cfg := testConfig()
+		if dir != "" {
+			cfg.DataDir = dir
+			cfg.FsyncEvery = 0
+		}
+		cfg.Hub.MaxSeries = 2
+		cfg.Hub.Shards = 4
+		return cfg
+	}
+	control, err := New(mkCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := New(mkCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	tsP := httptest.NewServer(primary.Handler())
+	defer tsP.Close()
+
+	fol, err := New(followerConfig(t.TempDir(), tsP.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	both := func(f func(s *Server)) { f(control); f(primary) }
+	// Fill the cap and sync the follower while b is alive.
+	both(func(s *Server) {
+		s.Hub().PushBatch("a", sineValues(50, 0))
+		s.Hub().PushBatch("b", sineValues(60, 0))
+	})
+	pollOnce(t, fol)
+	if _, ok := fol.Hub().Frame("b"); !ok {
+		t.Fatal("follower missing b before eviction")
+	}
+
+	// Touch a, create c -> b is evicted (tombstoned) mid-tail.
+	both(func(s *Server) {
+		s.Hub().Frame("a")
+		s.Hub().PushBatch("c", sineValues(50, 0))
+	})
+	pollOnce(t, fol)
+	if _, ok := fol.Hub().Frame("b"); ok {
+		t.Fatal("follower still serves evicted series b")
+	}
+	if fol.Hub().Len() != control.Hub().Len() {
+		t.Fatalf("series count %d, control %d", fol.Hub().Len(), control.Hub().Len())
+	}
+
+	// Recreate b: the fresh life must replicate bit-identically.
+	for c := 0; c < 12; c++ {
+		both(func(s *Server) { s.Hub().PushBatch("b", sineValues(40, c*40)) })
+		pollOnce(t, fol)
+		want, _ := control.Hub().Frame("b")
+		got, ok := fol.Hub().Frame("b")
+		if !ok {
+			t.Fatal("follower missing recreated b")
+		}
+		if got != nil {
+			requireFramesEqual(t, fmt.Sprintf("recreated b chunk %d", c), want, got)
+		}
+	}
+}
+
+// TestFollowerRestartResumesMidSegment: a follower killed mid-tail
+// restarts from its durable cursor — restoring the hub from the local
+// mirror, truncating any torn tail, resuming the fetch mid-segment —
+// and continues serving bit-identical frames.
+func TestFollowerRestartResumesMidSegment(t *testing.T) {
+	control, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := New(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	tsP := httptest.NewServer(primary.Handler())
+	defer tsP.Close()
+
+	pushBoth := func(n, off int) {
+		t.Helper()
+		vals := sineValues(n, off)
+		control.Hub().PushBatch("cpu", vals)
+		primary.Hub().PushBatch("cpu", vals)
+	}
+	pushBoth(317, 0) // mid-pane, mid-interval, mid-segment
+
+	dirF := t.TempDir()
+	fol1, err := New(followerConfig(dirF, tsP.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollOnce(t, fol1)
+	if err := fol1.Close(); err != nil { // clean stop: fsync + final cursor
+		t.Fatal(err)
+	}
+
+	// More primary traffic lands while the follower is down, extending
+	// the same active segment.
+	pushBoth(240, 317)
+
+	fol2, err := New(followerConfig(dirF, tsP.URL))
+	if err != nil {
+		t.Fatalf("follower restart: %v", err)
+	}
+	defer fol2.Close()
+	if fol2.Hub().Len() != 1 {
+		t.Fatalf("restarted follower restored %d series, want 1", fol2.Hub().Len())
+	}
+	pollOnce(t, fol2)
+
+	saw := false
+	for c := 0; c < 10; c++ {
+		pushBoth(40, 557+c*40)
+		pollOnce(t, fol2)
+		want, _ := control.Hub().Frame("cpu")
+		got, ok := fol2.Hub().Frame("cpu")
+		if !ok {
+			t.Fatal("restarted follower lost cpu")
+		}
+		if got != nil {
+			saw = true
+			requireFramesEqual(t, fmt.Sprintf("restart chunk %d", c), want, got)
+		}
+	}
+	if !saw {
+		t.Fatal("restarted follower never produced a frame")
+	}
+}
+
+// TestFollowerReportsLag: when segment fetches fail the lag gauges
+// report what the primary holds that the follower has not applied, and
+// recovery clears them.
+func TestFollowerReportsLag(t *testing.T) {
+	primary, err := New(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	var blocked atomic.Bool
+	inner := primary.Handler()
+	tsP := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if blocked.Load() && r.URL.Path == "/replica/segment" {
+			http.Error(w, "injected outage", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer tsP.Close()
+	if err := primary.Hub().PushBatch("cpu", sineValues(400, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	fol, err := New(followerConfig(t.TempDir(), tsP.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	tsF := httptest.NewServer(fol.Handler())
+	defer tsF.Close()
+
+	blocked.Store(true)
+	if err := fol.Follower().PollOnce(context.Background()); err == nil {
+		t.Fatal("poll succeeded with segment fetches blocked")
+	}
+	st := fol.Follower().Status()
+	if st.Synced || st.RecordsBehind == 0 || st.SegmentsBehind == 0 {
+		t.Fatalf("blocked status = %+v, want nonzero lag", st)
+	}
+	_, body := get(t, tsF.URL+"/stats")
+	if !strings.Contains(body, `"records_behind"`) || !strings.Contains(body, `"segments_behind"`) {
+		t.Fatalf("stats missing lag fields: %s", body)
+	}
+
+	blocked.Store(false)
+	pollOnce(t, fol)
+	st = fol.Follower().Status()
+	if !st.Synced || st.RecordsBehind != 0 {
+		t.Fatalf("post-recovery status = %+v", st)
+	}
+	if _, ok := fol.Hub().Frame("cpu"); !ok {
+		t.Fatal("follower missing cpu after recovery")
+	}
+}
+
+// TestDataDirLocking: two servers must never share one WAL directory —
+// the second open fails naming the holder, in both primary and
+// follower modes.
+func TestDataDirLocking(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(durableConfig(dir)); err == nil || !strings.Contains(err.Error(), "locked by pid") {
+		t.Fatalf("second server on one data dir: err = %v", err)
+	}
+	tsP := httptest.NewServer(s1.Handler())
+	defer tsP.Close()
+	if _, err := New(followerConfig(dir, tsP.URL)); err == nil || !strings.Contains(err.Error(), "locked by pid") {
+		t.Fatalf("follower sharing the primary's data dir: err = %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestBackgroundSnapshotScheduling: -snapshot-interval compacts the
+// WAL without an operator POST, and /stats surfaces the last-snapshot
+// age and auto-snapshot count.
+func TestBackgroundSnapshotScheduling(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	cfg.SnapshotInterval = 30 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hub().PushBatch("cpu", sineValues(500, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := s.WALStats(); ok && st.Snapshots > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshot never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, body := get(t, base+"/stats")
+	var st struct {
+		WAL struct {
+			AutoSnapshots     int64 `json:"auto_snapshots"`
+			LastSnapshotAgeMS int64 `json:"last_snapshot_age_ms"`
+			Snapshots         int64 `json:"snapshots"`
+		} `json:"wal"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL.AutoSnapshots < 1 || st.WAL.Snapshots < 1 {
+		t.Fatalf("stats wal = %+v", st.WAL)
+	}
+	if st.WAL.LastSnapshotAgeMS < 0 || st.WAL.LastSnapshotAgeMS > 10_000 {
+		t.Fatalf("last_snapshot_age_ms = %d", st.WAL.LastSnapshotAgeMS)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailoverEndToEndServe runs the whole story through Serve with
+// the follower's real poll loop under -race: concurrent ingest, live
+// tailing, kill, promote over HTTP, continued ingest.
+func TestFailoverEndToEndServe(t *testing.T) {
+	control, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := New(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsP := httptest.NewServer(primary.Handler())
+
+	vals := sineValues(700, 0)
+	control.Hub().PushBatch("cpu", vals)
+	primary.Hub().PushBatch("cpu", vals)
+
+	fcfg := followerConfig(t.TempDir(), tsP.URL)
+	fcfg.FollowPoll = 20 * time.Millisecond
+	fol, err := New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnF, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	fdone := make(chan error, 1)
+	go func() { fdone <- fol.Serve(fctx, lnF) }()
+	baseF := "http://" + lnF.Addr().String()
+
+	// Concurrent ingest while the loop tails.
+	for c := 0; c < 10; c++ {
+		vals := sineValues(30, 700+c*30)
+		control.Hub().PushBatch("cpu", vals)
+		primary.Hub().PushBatch("cpu", vals)
+	}
+	// Wait on the applied points themselves (the Synced gauge could be a
+	// stale pre-ingest poll's view).
+	deadline := time.Now().Add(5 * time.Second)
+	for fol.Hub().Stats()["cpu"].RawPoints != 1000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v (raw=%d)",
+				fol.Follower().Status(), fol.Hub().Stats()["cpu"].RawPoints)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tsP.Close()
+	kill9(t, primary)
+
+	code, body := post(t, baseF+"/promote", "")
+	if code != 200 {
+		t.Fatalf("promote = %d %s", code, body)
+	}
+	for c := 0; c < 10; c++ {
+		vals := sineValues(30, 1000+c*30)
+		control.Hub().PushBatch("cpu", vals)
+		var b strings.Builder
+		for _, v := range vals {
+			fmt.Fprintf(&b, "cpu=%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if code, reply := post(t, baseF+"/ingest", b.String()); code != 200 {
+			t.Fatalf("promoted ingest = %d %s", code, reply)
+		}
+	}
+	want, _ := control.Hub().Frame("cpu")
+	got, _ := fol.Hub().Frame("cpu")
+	if want == nil || got == nil {
+		t.Fatalf("missing frames: control=%v follower=%v", want != nil, got != nil)
+	}
+	requireFramesEqual(t, "end-to-end", want, got)
+
+	fcancel()
+	if err := <-fdone; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,10 +56,14 @@ type HubConfig struct {
 
 // Hub routes per-series traffic to independent Streamers behind
 // per-shard locks. All methods are safe for concurrent use.
+//
+// The write-ahead log is held behind an atomic pointer because a
+// follower hub starts without one and gains it at promotion (SetWAL)
+// while reads and replicated applies are still in flight.
 type Hub struct {
 	cfg       HubConfig
 	shards    []shard
-	wal       *wal.Log
+	wal       atomic.Pointer[wal.Log]
 	clock     atomic.Uint64 // LRU clock, ticks on every series touch
 	count     atomic.Int64  // live series across all shards
 	evictions atomic.Int64
@@ -93,21 +97,17 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 	if _, err := asap.NewStreamer(cfg.Stream); err != nil {
 		return nil, err
 	}
-	h := &Hub{cfg: cfg, shards: make([]shard, cfg.Shards), wal: cfg.WAL}
+	h := &Hub{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	h.wal.Store(cfg.WAL)
 	for i := range h.shards {
 		h.shards[i].series = make(map[string]*entry)
 	}
 	if cfg.WAL != nil {
 		rec := cfg.WAL.Recover()
 		for name, st := range rec.Series {
-			streamer, err := asap.NewStreamer(cfg.Stream)
-			if err != nil {
+			if err := h.Restore(name, st.Tail, st.Total); err != nil {
 				return nil, err
 			}
-			streamer.Restore(st.Tail, int(st.Total))
-			sh := h.shardFor(name)
-			sh.series[name] = &entry{st: streamer, lastUsed: h.clock.Add(1)}
-			h.count.Add(1)
 		}
 		h.recovered = int64(len(rec.Series))
 		// A shrunken cap still applies: evict down before serving (the
@@ -146,13 +146,26 @@ func (h *Hub) shardFor(name string) *shard {
 // WAL configured the batch is logged before it is applied — an error
 // means nothing from this call reached the in-memory series.
 func (h *Hub) PushBatch(name string, values []float64) error {
+	return h.push(name, values, true)
+}
+
+// Replicate applies a batch that is already durable on a primary — the
+// follower side of WAL shipping. It skips the local WAL (the mirror IS
+// the log) and never runs local LRU eviction: the primary's eviction
+// choices arrive as tombstones (Drop), and an independent local choice
+// would diverge from the primary's bit-identical frame stream.
+func (h *Hub) Replicate(name string, values []float64) error {
+	return h.push(name, values, false)
+}
+
+func (h *Hub) push(name string, values []float64, primary bool) error {
 	sh := h.shardFor(name)
 	sh.mu.Lock()
-	if h.wal != nil {
+	if w := h.wal.Load(); primary && w != nil {
 		// Append before apply, under the shard lock, so the log's
 		// per-series record order always matches the apply order and an
 		// acknowledged batch survives kill -9.
-		if err := h.wal.Append(name, values); err != nil {
+		if err := w.Append(name, values); err != nil {
 			sh.mu.Unlock()
 			return fmt.Errorf("wal append %q: %w", name, err)
 		}
@@ -172,11 +185,54 @@ func (h *Hub) PushBatch(name string, values []float64) error {
 	e.lastUsed = h.clock.Add(1)
 	e.st.PushBatch(values)
 	sh.mu.Unlock()
-	if created && int(h.count.Add(1)) > h.cfg.MaxSeries {
+	if created && int(h.count.Add(1)) > h.cfg.MaxSeries && primary {
 		h.evictLRU(name)
 	}
 	return nil
 }
+
+// Restore creates (or wholesale replaces) the named series as if total
+// points had been pushed, of which tail holds the most recent — the
+// warm-start path for WAL recovery and replica bootstrap. No WAL write,
+// no eviction.
+func (h *Hub) Restore(name string, tail []float64, total int64) error {
+	st, err := asap.NewStreamer(h.cfg.Stream)
+	if err != nil {
+		return err
+	}
+	st.Restore(tail, int(total))
+	sh := h.shardFor(name)
+	sh.mu.Lock()
+	_, existed := sh.series[name]
+	sh.series[name] = &entry{st: st, lastUsed: h.clock.Add(1)}
+	sh.mu.Unlock()
+	if !existed {
+		h.count.Add(1)
+	}
+	return nil
+}
+
+// Drop removes the named series without logging a tombstone — the
+// follower applying a primary's tombstone record (the primary already
+// logged it). Reports whether the series existed.
+func (h *Hub) Drop(name string) bool {
+	sh := h.shardFor(name)
+	sh.mu.Lock()
+	_, existed := sh.series[name]
+	if existed {
+		delete(sh.series, name)
+	}
+	sh.mu.Unlock()
+	if existed {
+		h.count.Add(-1)
+	}
+	return existed
+}
+
+// SetWAL attaches a write-ahead log to a hub that started without one —
+// promotion: the follower's mirror directory reopened for writes. From
+// the next PushBatch on, ingest is logged before it is applied.
+func (h *Hub) SetWAL(l *wal.Log) { h.wal.Store(l) }
 
 // Apply pushes an already-parsed ingest batch, grouping consecutive
 // points per series so each series takes its shard lock once. Call
@@ -232,12 +288,12 @@ func (h *Hub) evictLRU(keep string) {
 		delete(victimShard.series, victimName)
 		h.count.Add(-1)
 		h.evictions.Add(1)
-		if h.wal != nil {
+		if w := h.wal.Load(); w != nil {
 			// Best-effort tombstone: without it a restart would resurrect
 			// the evicted series with its stale cumulative total, and a
 			// recreation would diverge from a never-restarted hub. A
 			// failed tombstone only costs a resurrection on recovery.
-			_ = h.wal.Tombstone(victimName)
+			_ = w.Tombstone(victimName)
 		}
 	}
 	victimShard.mu.Unlock()

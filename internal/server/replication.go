@@ -1,0 +1,283 @@
+package server
+
+// WAL-shipping replication, server side. A primary exposes its
+// write-ahead log over two endpoints — GET /replica/segments (the
+// manifest: every shard's snapshot and segments with durable sizes,
+// plus the stream configuration a follower must mirror) and a ranged
+// GET /replica/segment (raw file bytes, capped at the durable
+// watermark). A server started with Config.Follow runs the
+// internal/replica follower against those endpoints: it mirrors the
+// log into its own data dir, applies records through the hub so every
+// read endpoint serves live frames, fences writes with 503 + the
+// primary's URL, and promotes on POST /promote by sealing the tail and
+// reopening the mirror as a writable WAL.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/replica"
+	"github.com/asap-go/asap/internal/wal"
+)
+
+// newFollower builds a Server in follower mode: learn the primary's
+// shape (or reuse the persisted local copy when the primary is dead),
+// build a hub with the primary's exact stream configuration, restore
+// everything the local mirror holds, and hand the poll loop to Serve.
+func newFollower(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("follower mode (-follow) requires a data dir")
+	}
+	if cfg.Simulate != "" {
+		return nil, errors.New("the simulator cannot run on a read-only follower")
+	}
+	if cfg.FollowPoll <= 0 {
+		cfg.FollowPoll = replica.DefaultPoll
+	}
+	lock, err := wal.LockDir(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := replica.New(replica.Config{
+		Dir:     cfg.DataDir,
+		Primary: cfg.Follow,
+		Poll:    cfg.FollowPoll,
+	})
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	spec := f.Spec()
+	// The manifest's stream configuration is authoritative: frames are
+	// only bit-identical to the primary's if the operators match, so the
+	// follower's own -window/-resolution/-refresh flags are overridden.
+	cfg.Hub.Stream = asap.StreamConfig{
+		WindowPoints:          spec.Stream.WindowPoints,
+		Resolution:            spec.Stream.Resolution,
+		RefreshEvery:          spec.Stream.RefreshEvery,
+		MaxWindow:             spec.Stream.MaxWindow,
+		DisablePreaggregation: spec.Stream.DisablePreaggregation,
+	}
+	cfg.Hub.DefaultSeries = spec.DefaultSeries
+	cfg.Hub.WAL = nil
+	hub, err := NewHub(cfg.Hub)
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	horizon, err := walHorizon(cfg.Hub.Stream)
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	restored, err := f.WarmUp(hub, horizon)
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	if restored > 0 {
+		log.Printf("replica: restored %d series from the local mirror %s", restored, cfg.DataDir)
+	}
+	s := &Server{cfg: cfg, hub: hub, lock: lock, follower: f}
+	s.role.Store(roleFollower)
+	s.lastSnapshotNano.Store(time.Now().UnixNano())
+	return s, nil
+}
+
+// rejectWriteOnFollower fences write endpoints while this server is
+// not the primary: 503 with the primary's URL in both the Location
+// header and the body, so clients and proxies can fail over.
+func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
+	if s.role.Load() == rolePrimary {
+		return false
+	}
+	primary := s.cfg.Follow
+	if s.follower != nil {
+		primary = s.follower.Status().Primary
+	}
+	w.Header().Set("Location", primary)
+	w.Header().Set("X-ASAP-Primary", primary)
+	http.Error(w, fmt.Sprintf("read-only follower; write to the primary at %s (or POST /promote here)", primary),
+		http.StatusServiceUnavailable)
+	return true
+}
+
+// handleReplicaSegments (GET) serves the replication manifest. 409
+// when this server has no write-ahead log to ship (memory-only, or a
+// follower that has not been promoted — chained followers are not
+// supported).
+func (s *Server) handleReplicaSegments(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	wl := s.curWAL()
+	if wl == nil {
+		http.Error(w, "no write-ahead log to replicate (memory-only server or unpromoted follower)", http.StatusConflict)
+		return
+	}
+	m := wl.Manifest()
+	st := s.cfg.Hub.Stream
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, replica.PrimaryManifest{
+		Shards:        m.Shards,
+		DefaultSeries: s.hub.DefaultSeries(),
+		Stream: replica.StreamSpec{
+			WindowPoints:          st.WindowPoints,
+			Resolution:            st.Resolution,
+			RefreshEvery:          st.RefreshEvery,
+			MaxWindow:             st.MaxWindow,
+			DisablePreaggregation: st.DisablePreaggregation,
+		},
+		ShardManifests: m.ShardManifests,
+	})
+}
+
+// handleReplicaSegment (GET) serves one shard file's bytes, honoring
+// Range requests and never exposing bytes past the durable watermark.
+func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	wl := s.curWAL()
+	if wl == nil {
+		http.Error(w, "no write-ahead log to replicate", http.StatusConflict)
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "shard parameter required", http.StatusBadRequest)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	f, limit, err := wl.OpenReplicaFile(shard, name)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		http.Error(w, fmt.Sprintf("%s not present on shard %d (re-list)", name, shard), http.StatusNotFound)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// ServeContent handles Range headers against the durable prefix; a
+	// zero modtime disables time-based conditional requests.
+	http.ServeContent(w, r, "", time.Time{}, io.NewSectionReader(f, 0, limit))
+}
+
+// handlePromote (POST) turns a follower into a primary: stop the
+// tailer (fsyncing the mirror and writing the final cursor), reopen
+// the mirrored directory as a writable WAL, attach it to the hub, and
+// start accepting ingest. The promoted log continues the primary's
+// segment sequence, so a future follower can replicate from this node
+// in turn. 409 unless this server is currently a follower.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.role.CompareAndSwap(roleFollower, rolePromoting) {
+		switch s.role.Load() {
+		case rolePromoting:
+			http.Error(w, "promotion already in progress", http.StatusConflict)
+		default:
+			http.Error(w, "already a primary", http.StatusConflict)
+		}
+		return
+	}
+	s.follower.Stop()
+	horizon, err := walHorizon(s.cfg.Hub.Stream)
+	if err != nil {
+		// Cannot happen for a config that built the hub; stay fenced.
+		s.role.Store(roleFollower)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	wlog, err := wal.Open(wal.Config{
+		Dir:           s.cfg.DataDir,
+		Shards:        s.follower.Spec().Shards,
+		SegmentBytes:  s.cfg.SegmentBytes,
+		FsyncEvery:    s.cfg.FsyncEvery,
+		HorizonPoints: horizon,
+	})
+	if err != nil {
+		// The mirror is intact and the tailer is stopped: stay a fenced,
+		// stale read replica and let the operator retry the promotion.
+		s.role.Store(roleFollower)
+		http.Error(w, fmt.Sprintf("promote: reopen WAL: %v", err), http.StatusInternalServerError)
+		return
+	}
+	rec := wlog.Recover() // the hub already holds this state, applied live
+	if got, have := len(rec.Series), s.hub.Len(); got != have {
+		log.Printf("promote: WAL recovery found %d series, hub serves %d (tombstone/torn-tail drift)", got, have)
+	}
+	s.wal.Store(wlog)
+	s.hub.SetWAL(wlog)
+	s.role.Store(rolePrimary)
+	s.lastSnapshotNano.Store(time.Now().UnixNano())
+	log.Printf("promoted: now primary over %s (%d series, %d records replayed in %s)",
+		s.cfg.DataDir, s.hub.Len(), rec.Stats.RecordsReplayed, rec.Stats.Duration)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]interface{}{
+		"promoted":         true,
+		"series":           s.hub.Len(),
+		"records_replayed": rec.Stats.RecordsReplayed,
+		"former_primary":   s.cfg.Follow,
+	})
+}
+
+// snapshotLoop is background snapshot scheduling: compact the WAL when
+// the configured interval elapses or any shard accumulates enough
+// sealed segments. It watches curWAL each tick, so it starts working
+// on a follower the moment promotion attaches a log.
+func (s *Server) snapshotLoop(ctx context.Context) {
+	check := time.Second
+	if s.cfg.SnapshotInterval > 0 && s.cfg.SnapshotInterval < check {
+		check = s.cfg.SnapshotInterval
+	}
+	t := time.NewTicker(check)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		wl := s.curWAL()
+		if wl == nil {
+			continue
+		}
+		trigger := false
+		if iv := s.cfg.SnapshotInterval; iv > 0 {
+			if time.Since(time.Unix(0, s.lastSnapshotNano.Load())) >= iv {
+				trigger = true
+			}
+		}
+		if n := s.cfg.SnapshotSegments; n > 0 && !trigger {
+			for _, sm := range wl.Manifest().ShardManifests {
+				if sealed := len(sm.Segments) - 1; sealed >= n {
+					trigger = true
+					break
+				}
+			}
+		}
+		if !trigger {
+			continue
+		}
+		if _, err := wl.Snapshot(); err != nil {
+			s.autoSnapshotErrs.Add(1)
+			log.Printf("background snapshot: %v", err)
+			continue
+		}
+		s.autoSnapshots.Add(1)
+		s.lastSnapshotNano.Store(time.Now().UnixNano())
+	}
+}

@@ -12,11 +12,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/datasets"
 	"github.com/asap-go/asap/internal/plot"
+	"github.com/asap-go/asap/internal/replica"
 	"github.com/asap-go/asap/internal/stats"
 	"github.com/asap-go/asap/internal/wal"
 )
@@ -57,51 +59,102 @@ type Config struct {
 	// MaxIngestBytes caps one POST /ingest body; larger bodies get 413.
 	// Zero means DefaultMaxIngestBytes.
 	MaxIngestBytes int64
+	// Follow makes this server a read-only follower replicating the
+	// given primary base URL's write-ahead log into DataDir (which is
+	// then required). Reads serve locally with replication lag; writes
+	// answer 503 pointing at the primary until POST /promote.
+	Follow string
+	// FollowPoll is the follower's manifest poll interval (default
+	// 500ms).
+	FollowPoll time.Duration
+	// SnapshotInterval, when positive, compacts the WAL into a fresh
+	// checkpoint on this interval — background snapshot scheduling
+	// instead of operator-driven POST /snapshot only.
+	SnapshotInterval time.Duration
+	// SnapshotSegments, when positive, triggers a compaction as soon as
+	// any shard holds at least this many sealed segments.
+	SnapshotSegments int
 }
 
-// Server owns a Hub (and optionally its write-ahead log) and serves
-// the asap-server HTTP API.
+// Server roles. A memory-only server still counts as primary: it
+// accepts writes, it just has no log to ship.
+const (
+	rolePrimary int32 = iota
+	roleFollower
+	rolePromoting
+)
+
+// Server owns a Hub (and optionally its write-ahead log or a
+// replication follower) and serves the asap-server HTTP API.
 type Server struct {
-	cfg Config
-	hub *Hub
-	wal *wal.Log
-	sim datasets.Spec
+	cfg      Config
+	hub      *Hub
+	sim      datasets.Spec
+	lock     *wal.DirLock
+	follower *replica.Follower
+
+	// wal is atomic because promotion attaches a log to a running
+	// follower while readers (stats, healthz) are in flight.
+	wal  atomic.Pointer[wal.Log]
+	role atomic.Int32
+
+	lastSnapshotNano atomic.Int64
+	autoSnapshots    atomic.Int64
+	autoSnapshotErrs atomic.Int64
+}
+
+// walHorizon sizes WAL retention for a stream config: enough raw tail
+// to rebuild a Streamer's aggregated ring (capacity panes of ratio
+// points; stream.New clamps capacity to >= 4) plus the partial pane and
+// the pane-alignment skip — capacity+2 panes covers all three.
+func walHorizon(stream asap.StreamConfig) (int, error) {
+	st, err := asap.NewStreamer(stream)
+	if err != nil {
+		return 0, err
+	}
+	ratio := st.Ratio()
+	capacity := stream.WindowPoints / ratio
+	if capacity < 4 {
+		capacity = 4
+	}
+	return (capacity + 2) * ratio, nil
 }
 
 // New validates cfg and returns a Server ready to Run. With DataDir
-// set it opens the WAL and warm-restores every recovered series before
-// returning, so the first request already sees pre-crash state.
+// set it locks the directory and opens the WAL, warm-restoring every
+// recovered series before returning, so the first request already sees
+// pre-crash state. With Follow set it instead becomes a read-only
+// follower of that primary (see newFollower).
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxIngestBytes <= 0 {
 		cfg.MaxIngestBytes = DefaultMaxIngestBytes
 	}
+	if cfg.Follow != "" {
+		return newFollower(cfg)
+	}
 	var wlog *wal.Log
+	var lock *wal.DirLock
 	if cfg.DataDir != "" {
-		st, err := asap.NewStreamer(cfg.Hub.Stream)
+		horizon, err := walHorizon(cfg.Hub.Stream)
 		if err != nil {
 			return nil, err
-		}
-		// Retention must keep enough raw tail to rebuild a Streamer's
-		// aggregated ring (capacity panes of ratio points; stream.New
-		// clamps capacity to >= 4) plus the partial pane and the
-		// pane-alignment skip — capacity+2 panes covers all three.
-		ratio := st.Ratio()
-		capacity := cfg.Hub.Stream.WindowPoints / ratio
-		if capacity < 4 {
-			capacity = 4
 		}
 		shards := cfg.Hub.Shards
 		if shards <= 0 {
 			shards = runtime.GOMAXPROCS(0)
+		}
+		if lock, err = wal.LockDir(cfg.DataDir); err != nil {
+			return nil, err
 		}
 		wlog, err = wal.Open(wal.Config{
 			Dir:           cfg.DataDir,
 			Shards:        shards,
 			SegmentBytes:  cfg.SegmentBytes,
 			FsyncEvery:    cfg.FsyncEvery,
-			HorizonPoints: (capacity + 2) * ratio,
+			HorizonPoints: horizon,
 		})
 		if err != nil {
+			lock.Release()
 			return nil, err
 		}
 		cfg.Hub.WAL = wlog
@@ -111,9 +164,13 @@ func New(cfg Config) (*Server, error) {
 		if wlog != nil {
 			wlog.Close()
 		}
+		lock.Release()
 		return nil, err
 	}
-	s := &Server{cfg: cfg, hub: hub, wal: wlog}
+	s := &Server{cfg: cfg, hub: hub, lock: lock}
+	s.wal.Store(wlog)
+	s.role.Store(rolePrimary)
+	s.lastSnapshotNano.Store(time.Now().UnixNano())
 	if cfg.Simulate != "" {
 		spec, ok := datasets.ByName(cfg.Simulate)
 		if !ok {
@@ -139,23 +196,52 @@ func New(cfg Config) (*Server, error) {
 // Hub exposes the underlying hub, mainly for tests and embedding.
 func (s *Server) Hub() *Hub { return s.hub }
 
-// WALStats reports the write-ahead log's counters; ok is false when
-// the server runs memory-only.
-func (s *Server) WALStats() (st wal.Stats, ok bool) {
-	if s.wal == nil {
-		return wal.Stats{}, false
+// curWAL returns the write-ahead log, nil when none is attached (a
+// memory-only server, or a follower before promotion).
+func (s *Server) curWAL() *wal.Log { return s.wal.Load() }
+
+// Follower exposes the replication follower (nil unless Follow mode),
+// mainly for tests.
+func (s *Server) Follower() *replica.Follower { return s.follower }
+
+// Role returns "primary", "follower", or "promoting".
+func (s *Server) Role() string {
+	switch s.role.Load() {
+	case roleFollower:
+		return "follower"
+	case rolePromoting:
+		return "promoting"
+	default:
+		return "primary"
 	}
-	return s.wal.Stats(), true
 }
 
-// Close flushes and closes the write-ahead log (a no-op memory-only).
+// WALStats reports the write-ahead log's counters; ok is false when
+// the server runs memory-only (or as an unpromoted follower).
+func (s *Server) WALStats() (st wal.Stats, ok bool) {
+	w := s.curWAL()
+	if w == nil {
+		return wal.Stats{}, false
+	}
+	return w.Stats(), true
+}
+
+// Close stops the replication follower (fsyncing its mirror), flushes
+// and closes the write-ahead log, and releases the data-dir lock.
 // Serve calls it on the way out; call it directly when driving the
 // Handler without Serve. Idempotent.
 func (s *Server) Close() error {
-	if s.wal == nil {
-		return nil
+	if s.follower != nil {
+		s.follower.Stop()
 	}
-	return s.wal.Close()
+	var err error
+	if w := s.curWAL(); w != nil {
+		err = w.Close()
+	}
+	if rerr := s.lock.Release(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
 }
 
 // Handler returns the full asap-server route table.
@@ -169,6 +255,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/plot.svg", s.handlePlot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/replica/segments", s.handleReplicaSegments)
+	mux.HandleFunc("/replica/segment", s.handleReplicaSegment)
+	mux.HandleFunc("/promote", s.handlePromote)
 	return mux
 }
 
@@ -196,6 +285,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		go func() {
 			defer wg.Done()
 			s.runSimulator(ctx)
+		}()
+	}
+	if s.follower != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.follower.Run(ctx)
+		}()
+	}
+	if s.cfg.SnapshotInterval > 0 || s.cfg.SnapshotSegments > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.snapshotLoop(ctx)
 		}()
 	}
 
@@ -258,6 +361,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	if s.rejectWriteOnFollower(w) {
+		return
+	}
 	defer r.Body.Close()
 	pts, err := parseIngest(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes), s.hub.DefaultSeries())
 	if err != nil {
@@ -287,7 +393,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // handleHealthz (GET) is the load-balancer check: hub size, WAL flush
 // lag, and last-recovery status. It answers 200 "ok" normally and 503
 // "degraded" when acknowledged WAL appends have waited too long for
-// their fsync (a stalled or failing disk).
+// their fsync (a stalled or failing disk), or — on a follower — when
+// replication has not completed a successful poll recently.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -296,11 +403,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]interface{}{
 		"series":    s.hub.Len(),
 		"evictions": s.hub.Evictions(),
+		"role":      s.Role(),
 	}
-	if s.wal == nil {
+	if s.follower != nil && s.role.Load() != rolePrimary {
+		fst := s.follower.Status()
+		stale := healthLagFloor
+		if t := 10 * s.cfg.FollowPoll; t > stale {
+			stale = t
+		}
+		if !fst.Bootstrapped || fst.LastPoll.IsZero() || time.Since(fst.LastPoll) > stale {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		body["replication"] = map[string]interface{}{
+			"primary":         fst.Primary,
+			"synced":          fst.Synced,
+			"records_behind":  fst.RecordsBehind,
+			"segments_behind": fst.SegmentsBehind,
+			"last_error":      fst.LastError,
+		}
+	}
+	if wl := s.curWAL(); wl == nil {
 		body["wal"] = map[string]interface{}{"enabled": false}
 	} else {
-		st := s.wal.Stats()
+		st := wl.Stats()
 		threshold := healthLagFloor
 		if t := 10 * s.cfg.FsyncEvery; t > threshold {
 			threshold = t
@@ -337,15 +462,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.wal == nil {
+	if s.rejectWriteOnFollower(w) {
+		return
+	}
+	wl := s.curWAL()
+	if wl == nil {
 		http.Error(w, "durability disabled (no data dir configured)", http.StatusConflict)
 		return
 	}
-	res, err := s.wal.Snapshot()
+	res, err := wl.Snapshot()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.lastSnapshotNano.Store(time.Now().UnixNano())
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, map[string]interface{}{
 		"series":           res.Series,
@@ -460,6 +590,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := map[string]interface{}{
 		"series_count": len(per),
 		"evictions":    s.hub.Evictions(),
+		"role":         s.Role(),
 		"aggregate": map[string]int{
 			"raw_points":       agg.RawPoints,
 			"panes":            agg.Panes,
@@ -469,8 +600,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"series": perOut,
 	}
-	if s.wal != nil {
-		wst := s.wal.Stats()
+	if wl := s.curWAL(); wl != nil {
+		wst := wl.Stats()
 		out["wal"] = map[string]interface{}{
 			"appended_records":        wst.AppendedRecords,
 			"appended_points":         wst.AppendedPoints,
@@ -483,7 +614,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"recovered_series":        wst.Recovery.SeriesRecovered,
 			"replayed_points":         wst.Recovery.PointsReplayed,
 			"corrupt_records_skipped": wst.Recovery.CorruptRecordsSkipped,
+			"last_snapshot_age_ms":    time.Since(time.Unix(0, s.lastSnapshotNano.Load())).Milliseconds(),
+			"auto_snapshots":          s.autoSnapshots.Load(),
+			"auto_snapshot_errors":    s.autoSnapshotErrs.Load(),
 		}
+	}
+	// After promotion the gauges freeze at their pre-promote values;
+	// emitting them would misread the new primary as a healthy replica.
+	if s.follower != nil && s.role.Load() != rolePrimary {
+		fst := s.follower.Status()
+		repl := map[string]interface{}{
+			"primary":         fst.Primary,
+			"bootstrapped":    fst.Bootstrapped,
+			"synced":          fst.Synced,
+			"segments_behind": fst.SegmentsBehind,
+			"records_behind":  fst.RecordsBehind,
+			"bytes_behind":    fst.BytesBehind,
+			"records_applied": fst.RecordsApplied,
+			"points_applied":  fst.PointsApplied,
+			"bytes_fetched":   fst.BytesFetched,
+			"polls":           fst.Polls,
+			"poll_errors":     fst.PollErrors,
+			"resyncs":         fst.Resyncs,
+			"last_error":      fst.LastError,
+		}
+		if !fst.LastPoll.IsZero() {
+			repl["last_poll_age_ms"] = time.Since(fst.LastPoll).Milliseconds()
+		}
+		out["replication"] = repl
 	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, out)

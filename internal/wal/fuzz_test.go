@@ -36,7 +36,7 @@ func FuzzReplay(f *testing.F) {
 	// Valid snapshot bytes fed to the segment reader (and vice versa)
 	// must be rejected by magic, not misparsed.
 	snapDir := f.TempDir()
-	if _, err := writeSnapshot(snapDir, 7, map[string]*SeriesState{
+	if _, _, _, err := writeSnapshot(snapDir, 7, map[string]*SeriesState{
 		"s": {Tail: []float64{1, 2}, Total: 9},
 	}); err != nil {
 		f.Fatal(err)
@@ -50,7 +50,7 @@ func FuzzReplay(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := fuzzFile(t, data)
 
-		records, skipped, err := replaySegment(path, func(series string, total int64, values []float64) {
+		records, skipped, validSize, err := replaySegment(path, func(series string, total int64, values []float64) {
 			if series == "" {
 				t.Fatal("replay surfaced an empty series name")
 			}
@@ -64,9 +64,12 @@ func FuzzReplay(f *testing.F) {
 		if records < 0 || skipped < 0 || skipped > 1 {
 			t.Fatalf("replaySegment counters records=%d skipped=%d", records, skipped)
 		}
+		if validSize > int64(len(data)) || (records > 0 && validSize <= int64(len(segmentMagic))) {
+			t.Fatalf("replaySegment validSize=%d for %d bytes, %d records", validSize, len(data), records)
+		}
 
 		state := make(map[string]*SeriesState)
-		if _, skipped, err := readSnapshot(path, state); err != nil {
+		if _, skipped, _, err := readSnapshot(path, state); err != nil {
 			t.Fatalf("readSnapshot I/O error: %v", err)
 		} else if skipped > 1 {
 			t.Fatalf("readSnapshot skipped=%d", skipped)

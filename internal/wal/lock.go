@@ -1,0 +1,136 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// lockFileName is the pid-stamped lock taken on a data directory so two
+// servers can never share one write-ahead log.
+const lockFileName = "LOCK"
+
+// DirLock is an exclusive lock on a data directory, held for the life
+// of the owning process (or until Release). The primary mechanism is a
+// kernel flock on <dir>/LOCK, which dies with the process, so crashed
+// owners never leave the directory wedged. On filesystems without flock
+// support it degrades to a pid-stamped lock file with staleness
+// detection.
+type DirLock struct {
+	f       *os.File
+	path    string
+	flocked bool
+}
+
+// LockDir takes an exclusive lock on dir, creating it if needed. A
+// second LockDir on the same directory — from another process or even
+// the same one via a different descriptor — fails with an error naming
+// the holder's pid. The caller keeps the lock until Release.
+func LockDir(dir string) (*DirLock, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	err = syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	switch {
+	case err == nil:
+		if err := stampPID(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &DirLock{f: f, path: path, flocked: true}, nil
+	case errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN):
+		holder := readPID(f)
+		f.Close()
+		return nil, fmt.Errorf("wal: data dir %s is locked by pid %s", dir, holder)
+	case errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOLCK) || errors.Is(err, syscall.ENOSYS):
+		// No flock on this filesystem: fall back to the pid-file
+		// protocol. Weaker (a stale-check race is possible) but still
+		// refuses the common operator mistake.
+		f.Close()
+		return lockDirPidFile(dir, path)
+	default:
+		f.Close()
+		return nil, fmt.Errorf("wal: lock %s: %w", path, err)
+	}
+}
+
+// lockDirPidFile is the fallback protocol: create the lock file
+// exclusively with our pid; on conflict, steal it only when the
+// recorded pid no longer names a live process.
+func lockDirPidFile(dir, path string) (*DirLock, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if err := stampPID(f); err != nil {
+				f.Close()
+				os.Remove(path)
+				return nil, err
+			}
+			return &DirLock{f: f, path: path}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, fmt.Errorf("wal: data dir %s is locked (unreadable lock file: %v)", dir, rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr == nil && pid > 0 && pidAlive(pid) {
+			return nil, fmt.Errorf("wal: data dir %s is locked by pid %d", dir, pid)
+		}
+		// Stale lock from a dead process: remove and retry once.
+		os.Remove(path)
+	}
+	return nil, fmt.Errorf("wal: data dir %s: could not take stale lock", dir)
+}
+
+// Release drops the lock. The flock dies with the descriptor; the
+// fallback pid file is removed so a later starter need not wait for
+// staleness detection. Idempotent.
+func (dl *DirLock) Release() error {
+	if dl == nil || dl.f == nil {
+		return nil
+	}
+	if !dl.flocked {
+		os.Remove(dl.path)
+	}
+	err := dl.f.Close()
+	dl.f = nil
+	return err
+}
+
+func stampPID(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func readPID(f *os.File) string {
+	buf := make([]byte, 32)
+	n, _ := f.ReadAt(buf, 0)
+	if s := strings.TrimSpace(string(buf[:n])); s != "" {
+		return s
+	}
+	return "unknown"
+}
+
+// pidAlive reports whether pid names a live process (EPERM counts as
+// alive: it exists, we just cannot signal it).
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileMeta describes one replicable file of a shard — a segment or the
+// shard's snapshot. Size and Records cover only durable, record-aligned
+// bytes: for sealed segments and snapshots that is the intact prefix
+// found at open (a torn tail is invisible to replication); for the
+// active segment it is the fsynced watermark, which a follower may read
+// without ever observing a partial record.
+type FileMeta struct {
+	Name    string `json:"name"`
+	Seq     uint64 `json:"seq"`
+	Size    int64  `json:"size"`
+	Records int64  `json:"records"`
+	Active  bool   `json:"active,omitempty"`
+}
+
+// ShardManifest lists one shard's replicable files: the newest snapshot
+// (if any) plus every live segment in ascending sequence order, the
+// active segment last.
+type ShardManifest struct {
+	Shard    int        `json:"shard"`
+	Snapshot *FileMeta  `json:"snapshot,omitempty"`
+	Segments []FileMeta `json:"segments"`
+}
+
+// Manifest is the point-in-time replication listing across all shards.
+// Each shard's entry is internally consistent (taken under its lock),
+// but the manifest is not a global cut — the usual hub rule.
+type Manifest struct {
+	Shards         int             `json:"shards"`
+	ShardManifests []ShardManifest `json:"shard_manifests"`
+}
+
+// Manifest returns the current replication listing. Followers poll it
+// to learn which files exist and how many durable bytes each holds,
+// then fetch ranges via OpenReplicaFile. Durable sizes never shrink for
+// a given file, so a follower's fetch offset stays valid across polls.
+func (l *Log) Manifest() Manifest {
+	m := Manifest{Shards: len(l.shards)}
+	m.ShardManifests = make([]ShardManifest, 0, len(l.shards))
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		sm := ShardManifest{Shard: sh.id}
+		if sh.snapPath != "" {
+			sm.Snapshot = &FileMeta{
+				Name:    filepath.Base(sh.snapPath),
+				Seq:     sh.snapSeq,
+				Size:    sh.snapSize,
+				Records: sh.snapRecords,
+			}
+		}
+		sm.Segments = make([]FileMeta, 0, len(sh.sealed)+1)
+		for _, seg := range sh.sealed {
+			sm.Segments = append(sm.Segments, FileMeta{
+				Name:    filepath.Base(seg.path),
+				Seq:     seg.seq,
+				Size:    seg.size,
+				Records: seg.records,
+			})
+		}
+		sm.Segments = append(sm.Segments, FileMeta{
+			Name:    filepath.Base(sh.info.path),
+			Seq:     sh.info.seq,
+			Size:    sh.syncedSize,
+			Records: sh.syncedRecords,
+			Active:  true,
+		})
+		sh.mu.Unlock()
+		m.ShardManifests = append(m.ShardManifests, sm)
+	}
+	return m
+}
+
+// OpenReplicaFile opens one of shard's files for replication reads and
+// returns it with the durable byte limit a replica may read — reads
+// past the limit would race the shard's buffered writer or observe
+// unsynced bytes a crash could still tear. The name must be a file the
+// manifest currently lists (canonical seg-/snap- form; anything else,
+// including path traversal, is rejected). The caller closes the file.
+//
+// A file can disappear between Manifest and OpenReplicaFile when
+// retention or compaction reclaims it; callers get os.ErrNotExist and
+// should re-list.
+func (l *Log) OpenReplicaFile(shard int, name string) (*os.File, int64, error) {
+	if shard < 0 || shard >= len(l.shards) {
+		return nil, 0, fmt.Errorf("wal: no shard %d", shard)
+	}
+	sh := l.shards[shard]
+
+	sh.mu.Lock()
+	var limit int64 = -1
+	if seq, ok := parseSeq(name, segmentPrefix, segmentSuffix); ok && name == segmentFile(seq) {
+		switch {
+		case seq == sh.info.seq:
+			limit = sh.syncedSize
+		default:
+			for _, seg := range sh.sealed {
+				if seg.seq == seq {
+					limit = seg.size
+					break
+				}
+			}
+		}
+	} else if seq, ok := parseSeq(name, snapshotPrefix, snapshotSuffix); ok && name == snapshotFile(seq) {
+		if sh.snapPath != "" && seq == sh.snapSeq {
+			limit = sh.snapSize
+		}
+	} else {
+		sh.mu.Unlock()
+		return nil, 0, fmt.Errorf("wal: invalid replica file name %q", name)
+	}
+	if limit < 0 {
+		sh.mu.Unlock()
+		return nil, 0, os.ErrNotExist
+	}
+	// Open under the lock so compaction cannot delete the file between
+	// the limit lookup and the open (an open fd survives the unlink).
+	f, err := os.Open(filepath.Join(sh.dir, name))
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, limit, nil
+}

@@ -40,30 +40,100 @@ func appendFrame(dst, payload []byte) []byte {
 
 // scanFrames walks the framed records in buf, invoking fn on each
 // payload whose frame is intact. It returns the count of intact frames
-// consumed and whether a torn or corrupt trailer stopped the walk
-// before the end of buf (fn returning an error counts as corrupt).
-func scanFrames(buf []byte, fn func(payload []byte) error) (intact int, torn bool) {
+// consumed, the byte offset just past the last intact frame (the
+// record-aligned valid prefix — what replication may safely serve),
+// and whether a torn or corrupt trailer stopped the walk before the
+// end of buf (fn returning an error counts as corrupt).
+func scanFrames(buf []byte, fn func(payload []byte) error) (intact int, consumed int64, torn bool) {
 	for len(buf) > 0 {
 		if len(buf) < frameHeader {
-			return intact, true
+			return intact, consumed, true
 		}
 		n := binary.LittleEndian.Uint32(buf[0:4])
 		sum := binary.LittleEndian.Uint32(buf[4:8])
 		if n > maxRecordBytes || int(n) > len(buf)-frameHeader {
-			return intact, true
+			return intact, consumed, true
 		}
 		payload := buf[frameHeader : frameHeader+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return intact, true
+			return intact, consumed, true
 		}
 		if err := fn(payload); err != nil {
-			return intact, true
+			return intact, consumed, true
 		}
 		intact++
+		consumed += int64(frameHeader + int(n))
 		buf = buf[frameHeader+int(n):]
 	}
-	return intact, false
+	return intact, consumed, false
 }
+
+// RecordScanner incrementally decodes CRC-framed records from a byte
+// stream, carrying partial frames between Feed calls — the follower
+// side of WAL shipping, where segment bytes arrive in ranged chunks
+// that may split a record.
+//
+// Unlike file replay (which treats any bad frame as a torn tail), a
+// scanner distinguishes "need more bytes" (Next returns ok == false)
+// from actual corruption (Next returns an error): a replica that has
+// only been handed durable, record-aligned bytes must treat a CRC
+// mismatch as a desync, not a tail to skip.
+type RecordScanner struct {
+	buf     []byte
+	off     int64 // bytes fully consumed across the scanner's lifetime
+	records int64
+}
+
+// Feed appends bytes to the scanner's pending buffer.
+func (s *RecordScanner) Feed(p []byte) {
+	if len(s.buf) == 0 {
+		// Common case: the previous Next consumed everything; avoid
+		// accumulating the carry buffer.
+		s.buf = append(s.buf[:0], p...)
+		return
+	}
+	s.buf = append(s.buf, p...)
+}
+
+// Next decodes the next complete record. ok is false when the buffer
+// holds only a partial frame (feed more bytes); a non-nil error means
+// the buffered bytes cannot be a record prefix (corruption or a
+// misaligned stream).
+func (s *RecordScanner) Next() (series string, total int64, values []float64, ok bool, err error) {
+	if len(s.buf) < frameHeader {
+		return "", 0, nil, false, nil
+	}
+	n := binary.LittleEndian.Uint32(s.buf[0:4])
+	sum := binary.LittleEndian.Uint32(s.buf[4:8])
+	if n > maxRecordBytes {
+		return "", 0, nil, false, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	if int(n) > len(s.buf)-frameHeader {
+		return "", 0, nil, false, nil
+	}
+	payload := s.buf[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", 0, nil, false, fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	}
+	series, total, values, err = decodeRecordPayload(payload)
+	if err != nil {
+		return "", 0, nil, false, err
+	}
+	s.buf = s.buf[frameHeader+int(n):]
+	s.off += int64(frameHeader + int(n))
+	s.records++
+	return series, total, values, true, nil
+}
+
+// Consumed returns how many bytes of the fed stream have been decoded
+// into complete records (excludes the buffered partial tail).
+func (s *RecordScanner) Consumed() int64 { return s.off }
+
+// Records returns how many complete records the scanner has decoded.
+func (s *RecordScanner) Records() int64 { return s.records }
+
+// Pending returns the size of the buffered partial tail.
+func (s *RecordScanner) Pending() int { return len(s.buf) }
 
 // Record payload, shared by WAL appends and snapshot checkpoints:
 //

@@ -1,0 +1,326 @@
+package wal
+
+// This file holds the follower-side helpers for WAL shipping: read-only
+// state loading from a mirrored data directory, a durable replication
+// cursor recording how far apply progressed, and record replay resuming
+// from a cursor — the pieces internal/replica builds its tailer on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/asap-go/asap/internal/fnv"
+)
+
+// ShardOf returns the shard a series hashes onto for the given shard
+// count — the same FNV-1a routing Append uses, exported so a replica
+// can reason about which shard's records own a series.
+func ShardOf(series string, shards int) int {
+	return int(fnv.Hash32a(series) % uint32(shards))
+}
+
+// CursorPos is one shard's replication position: the snapshot the local
+// mirror bootstrapped from, the segment apply has reached, and the
+// record-aligned byte offset (absolute within that segment file, magic
+// included) plus record count applied from it.
+type CursorPos struct {
+	SnapSeq uint64 `json:"snap_seq"`
+	SegSeq  uint64 `json:"seg_seq"`
+	Offset  int64  `json:"offset"`
+	Records int64  `json:"records"`
+}
+
+// Cursor is a follower's durable replication cursor across all shards.
+type Cursor struct {
+	Shards []CursorPos `json:"shards"`
+}
+
+// Pos returns shard's position (zero value beyond the recorded range).
+func (c Cursor) Pos(shard int) CursorPos {
+	if shard < 0 || shard >= len(c.Shards) {
+		return CursorPos{}
+	}
+	return c.Shards[shard]
+}
+
+// cursorFile is the follower's durable apply watermark, stored beside
+// the mirrored shard directories.
+const cursorFile = "replica.cursor"
+
+// ReadCursor loads the replication cursor stored in dir. ok is false
+// when none has been written yet.
+func ReadCursor(dir string) (c Cursor, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, cursorFile))
+	if os.IsNotExist(err) {
+		return Cursor{}, false, nil
+	}
+	if err != nil {
+		return Cursor{}, false, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Cursor{}, false, fmt.Errorf("wal: bad cursor file: %w", err)
+	}
+	return c, true, nil
+}
+
+// WriteCursor durably records the replication cursor in dir with the
+// same write→fsync→rename discipline as every other control file.
+func WriteCursor(dir string, c Cursor) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, cursorFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// InitMeta pins shards as dir's shard count, creating the meta file if
+// missing; with one already present the stored count must match. A
+// follower mirroring a primary calls this before writing shard files so
+// its data directory opens exactly like the primary's.
+func InitMeta(dir string, shards int) error {
+	if shards <= 0 || shards > 4096 {
+		return fmt.Errorf("wal: invalid shard count %d", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	got, err := loadOrInitMeta(dir, shards, func(string, ...interface{}) {})
+	if err != nil {
+		return err
+	}
+	if got != shards {
+		return fmt.Errorf("wal: %s already holds %d shards, want %d", dir, got, shards)
+	}
+	return nil
+}
+
+// MetaShards reports the shard count recorded in dir's meta file; ok is
+// false when the directory holds no write-ahead log yet.
+func MetaShards(dir string) (shards int, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var n int
+	if _, serr := fmt.Sscanf(string(data), "asap-wal v1 shards %d", &n); serr != nil || n <= 0 || n > 4096 {
+		return 0, false, fmt.Errorf("wal: bad meta file in %s: %q", dir, data)
+	}
+	return n, true, nil
+}
+
+// LoadState is read-only recovery: it replays dir's newest snapshots
+// plus all later segments into a Recovery exactly like Open, but
+// creates nothing, deletes nothing, and leaves no active segment — the
+// warm-restart path for a follower that keeps tailing a primary rather
+// than opening the log for writes. The returned Cursor records, per
+// shard, the position just past the last intact record (a torn local
+// tail is excluded, so resuming a fetch at Cursor.Offset re-downloads
+// it). Tails are trimmed to horizonPoints when positive.
+//
+// A directory with no write-ahead log yet yields an empty Recovery and
+// a zero Cursor.
+func LoadState(dir string, horizonPoints int) (*Recovery, Cursor, error) {
+	rec := &Recovery{Series: make(map[string]*SeriesState)}
+	shards, ok, err := MetaShards(dir)
+	if err != nil || !ok {
+		return rec, Cursor{}, err
+	}
+	start := time.Now()
+	cur := Cursor{Shards: make([]CursorPos, shards)}
+	for id := 0; id < shards; id++ {
+		if err := loadShardState(dir, id, rec, &cur.Shards[id], horizonPoints); err != nil {
+			return nil, Cursor{}, fmt.Errorf("wal: load shard %d: %w", id, err)
+		}
+	}
+	for _, st := range rec.Series {
+		if horizonPoints > 0 {
+			st.Tail = trimTail(st.Tail, horizonPoints)
+		}
+	}
+	rec.Stats.SeriesRecovered = len(rec.Series)
+	rec.Stats.Duration = time.Since(start)
+	return rec, cur, nil
+}
+
+func loadShardState(dir string, id int, rec *Recovery, pos *CursorPos, horizonPoints int) error {
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%04d", id))
+	entries, err := os.ReadDir(shardDir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var segSeqs, snapSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok {
+			segSeqs = append(segSeqs, seq)
+		} else if seq, ok := parseSeq(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+
+	if len(snapSeqs) > 0 {
+		pos.SnapSeq = snapSeqs[len(snapSeqs)-1]
+		records, skipped, _, err := readSnapshot(filepath.Join(shardDir, snapshotFile(pos.SnapSeq)), rec.Series)
+		if err != nil {
+			return err
+		}
+		rec.Stats.SnapshotsLoaded++
+		rec.Stats.RecordsReplayed += records
+		rec.Stats.CorruptRecordsSkipped += skipped
+	}
+	for _, seq := range segSeqs {
+		if seq <= pos.SnapSeq {
+			continue // covered by the snapshot; Open would delete it, we just skip
+		}
+		// A sequence gap means the chain is broken — on a replica mirror,
+		// a resync that fetched newer files but died before its snapshot
+		// (or pruning) landed. Everything past the gap is an incomplete
+		// refetch; the contiguous prefix is the last consistent state, so
+		// stop here exactly like a torn tail. (A primary's own directory
+		// is contiguous by construction.)
+		if pos.SegSeq != 0 && seq != pos.SegSeq+1 {
+			break
+		}
+		// Trim per record, like openShard: replaying days of segments must
+		// not materialize each series' full history before the final trim.
+		records, skipped, validSize, err := replaySegment(filepath.Join(shardDir, segmentFile(seq)), func(series string, total int64, values []float64) {
+			FoldRecord(rec.Series, series, total, values, horizonPoints)
+			if !(total == 0 && len(values) == 0) {
+				rec.Stats.PointsReplayed += len(values)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		rec.Stats.SegmentsReplayed++
+		rec.Stats.RecordsReplayed += records
+		rec.Stats.CorruptRecordsSkipped += skipped
+		pos.SegSeq, pos.Offset, pos.Records = seq, validSize, int64(records)
+	}
+	return nil
+}
+
+// FoldRecord applies one WAL record to a recovered-state map with
+// recovery's canonical semantics: a tombstone (total 0, no values)
+// deletes the series; otherwise values append to the tail (trimmed to
+// horizonPoints when positive) and the cumulative total takes the
+// maximum seen. Every consumer that folds segment records into series
+// state — recovery, compaction, replication bootstrap — shares this so
+// the semantics cannot drift.
+func FoldRecord(state map[string]*SeriesState, series string, total int64, values []float64, horizonPoints int) {
+	if total == 0 && len(values) == 0 {
+		delete(state, series)
+		return
+	}
+	st := state[series]
+	if st == nil {
+		st = &SeriesState{}
+		state[series] = st
+	}
+	st.Tail = append(st.Tail, values...)
+	if total > st.Total {
+		st.Total = total
+	}
+	if horizonPoints > 0 {
+		st.Tail = trimTail(st.Tail, horizonPoints)
+	}
+}
+
+// ReplayFrom replays, in order, every segment record in dir that lies
+// after cur: for each shard, the tail of segment cur.SegSeq starting at
+// the cursor's record-aligned offset, then every newer segment whole.
+// Snapshots are not consulted — the caller already holds state as of
+// the cursor and wants only what came later. The follower itself
+// resumes through LoadState (which rebuilds full state and a fresh
+// cursor in one pass); ReplayFrom is the manual counterpart for
+// consumers that hold their own state at a persisted cursor — an
+// offline mirror inspector, an exporter draining records to another
+// system — and for pinning the cursor's mid-segment semantics in
+// tests. A torn or corrupt tail ends its shard's replay, like
+// recovery. Returns the number of records replayed.
+func ReplayFrom(dir string, cur Cursor, fn func(shard int, series string, total int64, values []float64)) (int, error) {
+	shards, ok, err := MetaShards(dir)
+	if err != nil || !ok {
+		return 0, err
+	}
+	replayed := 0
+	for id := 0; id < shards; id++ {
+		pos := cur.Pos(id)
+		shardDir := filepath.Join(dir, fmt.Sprintf("shard-%04d", id))
+		entries, err := os.ReadDir(shardDir)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return replayed, err
+		}
+		var segSeqs []uint64
+		for _, e := range entries {
+			if seq, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok && seq >= pos.SegSeq {
+				segSeqs = append(segSeqs, seq)
+			}
+		}
+		sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+		for _, seq := range segSeqs {
+			data, err := os.ReadFile(filepath.Join(shardDir, segmentFile(seq)))
+			if err != nil {
+				return replayed, err
+			}
+			if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+				break
+			}
+			from := int64(len(segmentMagic))
+			if seq == pos.SegSeq && pos.Offset > from {
+				if pos.Offset > int64(len(data)) {
+					break // cursor beyond the local file; nothing newer here
+				}
+				from = pos.Offset
+			}
+			n, _, _ := scanFrames(data[from:], func(p []byte) error {
+				series, total, values, err := decodeRecordPayload(p)
+				if err != nil {
+					return err
+				}
+				fn(id, series, total, values)
+				return nil
+			})
+			replayed += n
+		}
+	}
+	return replayed, nil
+}

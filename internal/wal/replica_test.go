@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitCoalesces: with FsyncEvery 0, concurrent appenders
+// into one shard must share fsyncs — strictly fewer syncs than records
+// — while every acknowledged point still recovers.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 64 << 20, HorizonPoints: 1 << 20, Logf: quiet}
+	l := openTest(t, cfg)
+
+	const workers, appends = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < appends; i++ {
+				if err := l.Append(name, seq(5, float64(i*5))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.AppendedRecords != workers*appends {
+		t.Fatalf("appended %d records, want %d", st.AppendedRecords, workers*appends)
+	}
+	if st.Syncs >= st.AppendedRecords {
+		t.Errorf("group commit never coalesced: %d syncs for %d records", st.Syncs, st.AppendedRecords)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9 equivalence: everything acknowledged must recover.
+	l2 := openTest(t, cfg)
+	defer l2.Close()
+	rec := l2.Recover()
+	if len(rec.Series) != workers {
+		t.Fatalf("recovered %d series, want %d", len(rec.Series), workers)
+	}
+	for name, s := range rec.Series {
+		if s.Total != appends*5 {
+			t.Errorf("series %s total %d, want %d", name, s.Total, appends*5)
+		}
+	}
+}
+
+// TestManifestExcludesTornTail: a sealed segment with a torn tail
+// (crash mid-record) must be listed with its valid record-aligned
+// size, never the raw file size — a follower fetching manifest bytes
+// must only ever see decodable records.
+func TestManifestExcludesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 64 << 20, Logf: quiet}
+	l := openTest(t, cfg)
+	if err := l.Append("cpu", seq(40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a half-written record after the intact one.
+	segPath := newestSegment(t, dir, 0)
+	intact, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, intact...), 0x55, 0x00, 0x00, 0x00, 0xde, 0xad)
+	if err := os.WriteFile(segPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, cfg)
+	defer l2.Close()
+	m := l2.Manifest()
+	if m.Shards != 1 {
+		t.Fatalf("manifest shards = %d", m.Shards)
+	}
+	var sealed *FileMeta
+	for i, fm := range m.ShardManifests[0].Segments {
+		if fm.Name == filepath.Base(segPath) {
+			sealed = &m.ShardManifests[0].Segments[i]
+		}
+	}
+	if sealed == nil {
+		t.Fatalf("torn segment missing from manifest: %+v", m.ShardManifests[0])
+	}
+	if sealed.Size != int64(len(intact)) {
+		t.Errorf("torn segment listed with size %d, want valid size %d (file is %d)",
+			sealed.Size, len(intact), len(torn))
+	}
+	if sealed.Records != 1 {
+		t.Errorf("torn segment records = %d, want 1", sealed.Records)
+	}
+
+	// The replica read must cap at the same limit.
+	f, limit, err := l2.OpenReplicaFile(0, filepath.Base(segPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if limit != int64(len(intact)) {
+		t.Errorf("OpenReplicaFile limit %d, want %d", limit, len(intact))
+	}
+	got, err := io.ReadAll(io.NewSectionReader(f, 0, limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, intact) {
+		t.Error("replica read differs from the intact prefix")
+	}
+}
+
+// TestOpenReplicaFileRejectsBadNames: only canonical listed file names
+// resolve; anything path-like is an error, unknown sequences are
+// os.ErrNotExist.
+func TestOpenReplicaFileRejectsBadNames(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Config{Dir: dir, Shards: 1, Logf: quiet})
+	defer l.Close()
+	if err := l.Append("cpu", seq(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../wal.meta", "LOCK", "seg-1.wal", "snap-0.snap.tmp", "seg-0000000000000001.wal/../x"} {
+		if _, _, err := l.OpenReplicaFile(0, name); err == nil || os.IsNotExist(err) {
+			t.Errorf("OpenReplicaFile(%q) err = %v, want invalid-name error", name, err)
+		}
+	}
+	if _, _, err := l.OpenReplicaFile(0, SegmentFileName(999)); !os.IsNotExist(err) {
+		t.Errorf("unknown seq err = %v, want not-exist", err)
+	}
+	if _, _, err := l.OpenReplicaFile(9, SegmentFileName(1)); err == nil {
+		t.Error("shard out of range accepted")
+	}
+}
+
+// TestManifestMidRotation hammers Manifest and OpenReplicaFile while
+// appends rotate segments underneath — the listing a follower polls
+// mid-rotation must always be internally consistent (ascending seqs,
+// active last, durable sizes within the files). Run under -race.
+func TestManifestMidRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Config{Dir: dir, Shards: 1, SegmentBytes: 1 << 10, HorizonPoints: 1 << 20, Logf: quiet})
+	defer l.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Append("cpu", seq(20, float64(i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		m := l.Manifest()
+		sm := m.ShardManifests[0]
+		var prev uint64
+		for i, fm := range sm.Segments {
+			if fm.Seq <= prev {
+				t.Fatalf("manifest seqs not ascending: %+v", sm.Segments)
+			}
+			prev = fm.Seq
+			if fm.Active != (i == len(sm.Segments)-1) {
+				t.Fatalf("active flag not last: %+v", sm.Segments)
+			}
+			f, limit, err := l.OpenReplicaFile(0, fm.Name)
+			if os.IsNotExist(err) {
+				continue // rotated away between list and open; follower re-lists
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if limit < fm.Size {
+				t.Fatalf("durable size regressed: listed %d, open limit %d", fm.Size, limit)
+			}
+			buf := make([]byte, 8)
+			if _, err := f.ReadAt(buf, 0); err == nil && string(buf) != SegmentMagic {
+				t.Fatalf("segment %s serves bad magic %q", fm.Name, buf)
+			}
+			f.Close()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLoadStateCursorAndReplayFrom: LoadState's cursor marks the exact
+// record boundary reached; records appended afterwards — into the same
+// still-open segment — replay via ReplayFrom from that mid-segment
+// cursor, tombstones included, and nothing before it repeats.
+func TestLoadStateCursorAndReplayFrom(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 64 << 20, Logf: quiet}
+	l := openTest(t, cfg)
+	defer l.Close()
+	if err := l.Append("cpu", seq(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("disk", seq(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, cur, err := LoadState(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Series) != 2 || rec.Series["cpu"].Total != 10 || rec.Series["disk"].Total != 4 {
+		t.Fatalf("LoadState series = %+v", rec.Series)
+	}
+	pos := cur.Pos(0)
+	if pos.SegSeq == 0 || pos.Offset <= int64(len(SegmentMagic)) || pos.Records != 2 {
+		t.Fatalf("cursor = %+v", pos)
+	}
+
+	// More traffic into the same open segment: an append, a tombstone,
+	// and a recreation.
+	if err := l.Append("cpu", seq(5, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Tombstone("disk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("disk", seq(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	type ev struct {
+		series string
+		total  int64
+		points int
+	}
+	var got []ev
+	n, err := ReplayFrom(dir, cur, func(shard int, series string, total int64, values []float64) {
+		if shard != 0 {
+			t.Errorf("record from shard %d", shard)
+		}
+		got = append(got, ev{series, total, len(values)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{"cpu", 15, 5}, {"disk", 0, 0}, {"disk", 2, 2}}
+	if n != len(want) {
+		t.Fatalf("ReplayFrom replayed %d records, want %d (%+v)", n, len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A full LoadState now reflects the tombstone-then-recreation.
+	rec2, cur2, err := LoadState(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Series["disk"].Total != 2 || len(rec2.Series["disk"].Tail) != 2 {
+		t.Fatalf("post-tombstone disk state = %+v", rec2.Series["disk"])
+	}
+	if p := cur2.Pos(0); p.Records != 5 || p.Offset <= pos.Offset {
+		t.Fatalf("advanced cursor = %+v (was %+v)", p, pos)
+	}
+}
+
+// TestCursorRoundTrip: the durable replication cursor survives its
+// write→read cycle and absent files report ok == false.
+func TestCursorRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadCursor(dir); err != nil || ok {
+		t.Fatalf("empty dir cursor ok=%v err=%v", ok, err)
+	}
+	c := Cursor{Shards: []CursorPos{{SnapSeq: 3, SegSeq: 7, Offset: 4242, Records: 17}, {SegSeq: 1}}}
+	if err := WriteCursor(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCursor(dir)
+	if err != nil || !ok {
+		t.Fatalf("read back ok=%v err=%v", ok, err)
+	}
+	if len(got.Shards) != 2 || got.Shards[0] != c.Shards[0] || got.Shards[1] != c.Shards[1] {
+		t.Fatalf("cursor round trip = %+v", got)
+	}
+}
+
+// TestRecordScannerChunked: records split at every possible boundary
+// must decode identically, and a flipped payload bit must surface as
+// corruption, not "need more bytes".
+func TestRecordScannerChunked(t *testing.T) {
+	var stream []byte
+	stream = appendFrame(stream, appendRecordPayload(nil, "cpu", 3, []float64{1, 2, 3}))
+	stream = appendFrame(stream, appendRecordPayload(nil, "d", 0, nil)) // tombstone
+	stream = appendFrame(stream, appendRecordPayload(nil, "disk", 2, []float64{4, 5}))
+
+	for split := 0; split <= len(stream); split++ {
+		var sc RecordScanner
+		var seen []string
+		drain := func() {
+			for {
+				series, total, values, ok, err := sc.Next()
+				if err != nil {
+					t.Fatalf("split %d: %v", split, err)
+				}
+				if !ok {
+					return
+				}
+				seen = append(seen, series)
+				if series == "d" && (total != 0 || len(values) != 0) {
+					t.Fatalf("tombstone decoded as %d/%d", total, len(values))
+				}
+			}
+		}
+		sc.Feed(stream[:split])
+		drain()
+		sc.Feed(stream[split:])
+		drain()
+		if len(seen) != 3 || seen[0] != "cpu" || seen[1] != "d" || seen[2] != "disk" {
+			t.Fatalf("split %d: decoded %v", split, seen)
+		}
+		if sc.Pending() != 0 || sc.Consumed() != int64(len(stream)) || sc.Records() != 3 {
+			t.Fatalf("split %d: pending=%d consumed=%d records=%d", split, sc.Pending(), sc.Consumed(), sc.Records())
+		}
+	}
+
+	corrupt := append([]byte{}, stream...)
+	corrupt[len(corrupt)-1] ^= 1
+	var sc RecordScanner
+	sc.Feed(corrupt)
+	sawErr := false
+	for {
+		_, _, _, ok, err := sc.Next()
+		if err != nil {
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("corrupt frame never surfaced an error")
+	}
+}
+
+// TestLockDir: a second lock on the same directory is refused with the
+// holder's pid; release makes it lockable again.
+func TestLockDir(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LockDir(dir); err == nil || !strings.Contains(err.Error(), "locked by pid") {
+		t.Fatalf("second lock err = %v, want locked-by-pid", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("relock after release: %v", err)
+	}
+	l2.Release()
+	l2.Release() // idempotent
+}
+
+// TestMetaShardsAndInitMeta: InitMeta pins a fresh dir, agrees with
+// itself, and refuses a mismatch; MetaShards reads it back.
+func TestMetaShardsAndInitMeta(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := MetaShards(dir); err != nil || ok {
+		t.Fatalf("fresh dir meta ok=%v err=%v", ok, err)
+	}
+	if err := InitMeta(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitMeta(dir, 4); err != nil {
+		t.Fatalf("idempotent InitMeta: %v", err)
+	}
+	if err := InitMeta(dir, 8); err == nil {
+		t.Error("InitMeta accepted a mismatched shard count")
+	}
+	if n, ok, err := MetaShards(dir); err != nil || !ok || n != 4 {
+		t.Fatalf("MetaShards = %d/%v/%v", n, ok, err)
+	}
+}
+
+// TestChainGapStopsRecovery: a missing middle segment (the footprint
+// of a replica resync that died between fetching newer files and
+// landing the covering snapshot) must end replay at the contiguous
+// prefix — both for read-only LoadState and for Open, which also
+// reclaims the orphaned post-gap files.
+func TestChainGapStopsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 1 << 10, Logf: quiet}
+	l := openTest(t, cfg)
+	for i := 0; i < 40; i++ {
+		if err := l.Append("cpu", seq(20, float64(i*20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := filepath.Join(dir, "shard-0000")
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if s, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	if len(seqs) < 4 {
+		t.Fatalf("need >=4 segments to punch a hole, got %d", len(seqs))
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	hole := seqs[len(seqs)/2]
+	if err := os.Remove(filepath.Join(shardDir, segmentFile(hole))); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, cur, err := LoadState(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos := cur.Pos(0); pos.SegSeq != hole-1 {
+		t.Errorf("LoadState stopped at seg %d, want %d (before the hole)", pos.SegSeq, hole-1)
+	}
+	// The expected state is exactly the pre-gap segments' contents.
+	wantTotal := int64(0)
+	for _, s := range seqs {
+		if s >= hole {
+			break
+		}
+		_, _, _, err := replaySegment(filepath.Join(shardDir, segmentFile(s)), func(_ string, _ int64, values []float64) {
+			wantTotal += int64(len(values))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wantTotal == 0 || wantTotal >= 40*20 {
+		t.Fatalf("bad test setup: pre-gap points = %d", wantTotal)
+	}
+	if got := rec.Series["cpu"].Total; got != wantTotal {
+		t.Errorf("LoadState total = %d, want pre-gap %d", got, wantTotal)
+	}
+
+	l2 := openTest(t, cfg)
+	defer l2.Close()
+	rec2 := l2.Recover()
+	if got := rec2.Series["cpu"].Total; got != wantTotal {
+		t.Errorf("Open total = %d, want pre-gap %d", got, wantTotal)
+	}
+	for _, s := range seqs {
+		if s <= hole {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(shardDir, segmentFile(s))); !os.IsNotExist(err) {
+			t.Errorf("post-gap segment %d survived Open", s)
+		}
+	}
+}

@@ -11,14 +11,29 @@ import (
 // sequence number; snapshot files are snap-<seq>.snap where seq is the
 // last segment sequence the snapshot covers. Both begin with an 8-byte
 // magic so a mis-routed file is rejected whole instead of replayed.
+// The magics are exported for replication: a follower mirroring
+// segment bytes verifies the magic before decoding records.
 const (
-	segmentMagic   = "ASAPWAL1"
-	snapshotMagic  = "ASAPSNP1"
+	SegmentMagic   = "ASAPWAL1"
+	SnapshotMagic  = "ASAPSNP1"
+	segmentMagic   = SegmentMagic
+	snapshotMagic  = SnapshotMagic
 	segmentPrefix  = "seg-"
 	segmentSuffix  = ".wal"
 	snapshotPrefix = "snap-"
 	snapshotSuffix = ".snap"
 )
+
+// SnapshotHeaderLen is the byte length of a snapshot file's header
+// (magic plus the covered-sequence uint64) preceding its records.
+const SnapshotHeaderLen = len(SnapshotMagic) + 8
+
+// SegmentFileName returns the canonical file name for segment seq;
+// SnapshotFileName likewise for a snapshot covering through seq. A
+// replica reconstructs local file names from manifest sequence numbers
+// with these instead of trusting remote strings as paths.
+func SegmentFileName(seq uint64) string  { return segmentFile(seq) }
+func SnapshotFileName(seq uint64) string { return snapshotFile(seq) }
 
 func segmentFile(seq uint64) string  { return fmt.Sprintf("seg-%016d.wal", seq) }
 func snapshotFile(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
@@ -34,29 +49,36 @@ func parseSeq(name, prefix, suffix string) (seq uint64, ok bool) {
 }
 
 // segmentInfo is the manager-side metadata for one segment: sequence,
-// path, size, per-series point counts, and the series tombstoned in it
-// — the inputs to point-count retention.
+// path, size, record count, per-series point counts, and the series
+// tombstoned in it — the inputs to point-count retention and the
+// replication manifest. For sealed segments size/records describe the
+// valid record-aligned prefix; for the active segment they include
+// bytes still buffered or unsynced (see shardLog.syncedSize for the
+// durable watermark).
 type segmentInfo struct {
-	seq    uint64
-	path   string
-	size   int64
-	counts map[string]int64
-	tombs  map[string]bool
+	seq     uint64
+	path    string
+	size    int64
+	records int64
+	counts  map[string]int64
+	tombs   map[string]bool
 }
 
 // replaySegment reads one segment file and feeds every intact record to
-// fn in append order. It returns the intact-record count and how many
-// torn or corrupt tails were skipped: 0 or 1, since replay of a file
-// stops at the first bad frame (a bad magic rejects the whole file).
-func replaySegment(path string, fn func(series string, total int64, values []float64)) (records, skipped int, err error) {
+// fn in append order. It returns the intact-record count, how many
+// torn or corrupt tails were skipped (0 or 1, since replay of a file
+// stops at the first bad frame; a bad magic rejects the whole file),
+// and the valid byte size — the record-aligned prefix ending after the
+// last intact record, which is what replication may serve.
+func replaySegment(path string, fn func(series string, total int64, values []float64)) (records, skipped int, validSize int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
-		return 0, 1, nil
+		return 0, 1, 0, nil
 	}
-	intact, torn := scanFrames(data[len(segmentMagic):], func(p []byte) error {
+	intact, consumed, torn := scanFrames(data[len(segmentMagic):], func(p []byte) error {
 		series, total, values, err := decodeRecordPayload(p)
 		if err != nil {
 			return err
@@ -67,5 +89,5 @@ func replaySegment(path string, fn func(series string, total int64, values []flo
 	if torn {
 		skipped = 1
 	}
-	return intact, skipped, nil
+	return intact, skipped, int64(len(segmentMagic)) + consumed, nil
 }

@@ -20,18 +20,19 @@ type SeriesState struct {
 
 // readSnapshot loads a snapshot file's records into dst. Chunked
 // records for the same series append in order; totals take the maximum
-// seen. Returns intact records read and torn/corrupt tails skipped
-// (0 or 1 — reading stops at the first bad frame).
-func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped int, err error) {
+// seen. Returns intact records read, torn/corrupt tails skipped (0 or
+// 1 — reading stops at the first bad frame), and the valid byte size
+// (header plus the record-aligned intact prefix).
+func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped int, validSize int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	hdr := len(snapshotMagic) + 8
+	hdr := SnapshotHeaderLen
 	if len(data) < hdr || string(data[:len(snapshotMagic)]) != snapshotMagic {
-		return 0, 1, nil
+		return 0, 1, 0, nil
 	}
-	intact, torn := scanFrames(data[hdr:], func(p []byte) error {
+	intact, consumed, torn := scanFrames(data[hdr:], func(p []byte) error {
 		series, total, values, err := decodeRecordPayload(p)
 		if err != nil {
 			return err
@@ -50,7 +51,21 @@ func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped in
 	if torn {
 		skipped = 1
 	}
-	return intact, skipped, nil
+	return intact, skipped, int64(hdr) + consumed, nil
+}
+
+// ReadSnapshotFile loads one snapshot file into a fresh series-state
+// map — the follower side of WAL shipping bootstraps from a mirrored
+// primary checkpoint through this. Torn tails are tolerated the same
+// way recovery tolerates them (the intact prefix loads; skipped
+// reports 0 or 1).
+func ReadSnapshotFile(path string) (state map[string]*SeriesState, records int64, skipped int, err error) {
+	state = make(map[string]*SeriesState)
+	n, skipped, _, err := readSnapshot(path, state)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return state, int64(n), skipped, nil
 }
 
 // writeSnapshot atomically writes state as snap-<coveredSeq>.snap in
@@ -59,8 +74,9 @@ func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped in
 // crash leaves either the old snapshot or the new one, never a partial
 // — and the file image is never materialized in memory on top of the
 // state map. Long tails are chunked into multiple records, each framed
-// and CRC'd like a WAL append.
-func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState) (path string, err error) {
+// and CRC'd like a WAL append. Returns the file's record count and
+// byte size alongside the path, for the replication manifest.
+func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState) (path string, records, size int64, err error) {
 	names := make([]string, 0, len(state))
 	for name := range state {
 		names = append(names, name)
@@ -71,12 +87,12 @@ func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return "", err
+		return "", 0, 0, err
 	}
-	fail := func(err error) (string, error) {
+	fail := func(err error) (string, int64, int64, error) {
 		f.Close()
 		os.Remove(tmp)
-		return "", err
+		return "", 0, 0, err
 	}
 	bw := bufio.NewWriterSize(f, 256<<10)
 	var hdr [8]byte
@@ -87,11 +103,14 @@ func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fail(err)
 	}
+	size = int64(SnapshotHeaderLen)
 	var payload, frame []byte
 	writeRecord := func(name string, total int64, tail []float64) error {
 		payload = appendRecordPayload(payload[:0], name, total, tail)
 		frame = appendFrame(frame[:0], payload)
 		_, err := bw.Write(frame)
+		records++
+		size += int64(len(frame))
 		return err
 	}
 	for _, name := range names {
@@ -127,16 +146,16 @@ func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return "", err
+		return "", 0, 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return "", err
+		return "", 0, 0, err
 	}
 	if err := syncDir(dir); err != nil {
-		return "", err
+		return "", 0, 0, err
 	}
-	return path, nil
+	return path, records, size, nil
 }
 
 func syncDir(dir string) error {

@@ -151,21 +151,36 @@ type shardLog struct {
 	dir string
 	lg  *Log
 
-	mu         sync.Mutex
-	failed     error // first unrecoverable write error; wedges the shard
-	active     *os.File
-	bw         *bufio.Writer
-	info       segmentInfo
-	sealed     []segmentInfo // oldest first, all newer than snapSeq
-	snapSeq    uint64
-	snapPath   string
-	snapSeries map[string]bool // series present in the current snapshot
-	nextSeq    uint64
-	totals     map[string]int64 // cumulative per-series point totals
-	needsSync  bool             // bytes were written since the last fsync
-	dirtySince time.Time        // zero when every append is fsynced
-	payload    []byte           // encode scratch
-	frame      []byte           // frame scratch
+	mu          sync.Mutex
+	failed      error // first unrecoverable write error; wedges the shard
+	active      *os.File
+	bw          *bufio.Writer
+	info        segmentInfo
+	sealed      []segmentInfo // oldest first, all newer than snapSeq
+	snapSeq     uint64
+	snapPath    string
+	snapSize    int64           // valid bytes of the current snapshot file
+	snapRecords int64           // intact records in the current snapshot
+	snapSeries  map[string]bool // series present in the current snapshot
+	nextSeq     uint64
+	totals      map[string]int64 // cumulative per-series point totals
+	needsSync   bool             // bytes were written since the last fsync
+	dirtySince  time.Time        // zero when every append is fsynced
+	payload     []byte           // encode scratch
+	frame       []byte           // frame scratch
+
+	// Group-commit state. writeSeq ticks on every record written;
+	// syncSeq is the highest writeSeq known durable. While a leader
+	// fsyncs with the mutex released, syncing is true and rotation,
+	// Sync, and Close wait on syncCond rather than racing the fsync;
+	// waiting appenders whose writes the fsync covered are released by
+	// the leader's broadcast without paying an fsync of their own.
+	writeSeq      int64
+	syncSeq       int64
+	syncing       bool
+	syncCond      *sync.Cond // tied to mu
+	syncedSize    int64      // durable byte size of the active segment
+	syncedRecords int64      // durable record count of the active segment
 }
 
 // Open opens (creating if necessary) the log in cfg.Dir, replaying the
@@ -279,11 +294,9 @@ func (l *Log) Append(series string, values []float64) error {
 		sh.totals[series] = total
 	}
 	if l.cfg.FsyncEvery == 0 {
-		if err := sh.flushSyncLocked(); err != nil {
-			sh.failed = err
-			return err
-		}
-		return nil
+		// Group commit: concurrent appenders into this shard coalesce
+		// into one fsync per leader round instead of paying one each.
+		return sh.groupCommitLocked()
 	}
 	if sh.dirtySince.IsZero() {
 		sh.dirtySince = time.Now()
@@ -315,11 +328,7 @@ func (l *Log) Tombstone(series string) error {
 	}
 	delete(sh.totals, series)
 	if l.cfg.FsyncEvery == 0 {
-		if err := sh.flushSyncLocked(); err != nil {
-			sh.failed = err
-			return err
-		}
-		return nil
+		return sh.groupCommitLocked()
 	}
 	if sh.dirtySince.IsZero() {
 		sh.dirtySince = time.Now()
@@ -529,6 +538,7 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 		return nil, err
 	}
 	sh := &shardLog{id: id, dir: dir, lg: l, totals: make(map[string]int64)}
+	sh.syncCond = sync.NewCond(&sh.mu)
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -556,7 +566,7 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 		}
 		path := filepath.Join(dir, snapshotFile(snapSeq))
 		fromSnap := make(map[string]*SeriesState)
-		records, skipped, err := readSnapshot(path, fromSnap)
+		records, skipped, validSize, err := readSnapshot(path, fromSnap)
 		if err != nil {
 			return nil, err
 		}
@@ -575,40 +585,44 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 		rec.Stats.CorruptRecordsSkipped += skipped
 		rec.Stats.SnapshotsLoaded++
 		sh.snapSeq, sh.snapPath = snapSeq, path
+		sh.snapSize, sh.snapRecords = validSize, int64(records)
 		maxSeq = snapSeq
 	}
 
-	for _, seq := range segSeqs {
+	var lastSeq uint64
+	for i, seq := range segSeqs {
 		path := filepath.Join(dir, segmentFile(seq))
 		if sh.snapPath != "" && seq <= sh.snapSeq {
 			os.Remove(path) // covered by the snapshot
 			continue
 		}
+		// A broken chain can only be a replica mirror whose resync died
+		// between fetching newer files and landing the covering snapshot
+		// (a primary's own segments are contiguous by construction). The
+		// contiguous prefix is the last consistent state; everything past
+		// the gap is an incomplete refetch and must not fold in.
+		if lastSeq != 0 && seq != lastSeq+1 {
+			l.logf("wal: shard %d: segment chain gap at %d (after %d): dropping %d later segments from an incomplete resync",
+				id, seq, lastSeq, len(segSeqs)-i)
+			for _, drop := range segSeqs[i:] {
+				os.Remove(filepath.Join(dir, segmentFile(drop)))
+			}
+			break
+		}
+		lastSeq = seq
 		info := segmentInfo{seq: seq, path: path, counts: make(map[string]int64)}
-		records, skipped, err := replaySegment(path, func(series string, total int64, values []float64) {
+		records, skipped, validSize, err := replaySegment(path, func(series string, total int64, values []float64) {
 			if total == 0 && len(values) == 0 { // tombstone: series was dropped
-				delete(rec.Series, series)
 				if info.tombs == nil {
 					info.tombs = make(map[string]bool)
 				}
 				info.tombs[series] = true
-				return
+			} else {
+				info.counts[series] += int64(len(values))
+				delete(info.tombs, series) // same last-event invariant as appendLocked
+				rec.Stats.PointsReplayed += len(values)
 			}
-			info.counts[series] += int64(len(values))
-			delete(info.tombs, series) // same last-event invariant as appendLocked
-			st := rec.Series[series]
-			if st == nil {
-				st = &SeriesState{}
-				rec.Series[series] = st
-			}
-			st.Tail = append(st.Tail, values...)
-			if total > st.Total {
-				st.Total = total
-			}
-			if h := l.cfg.HorizonPoints; h > 0 {
-				st.Tail = trimTail(st.Tail, h)
-			}
-			rec.Stats.PointsReplayed += len(values)
+			FoldRecord(rec.Series, series, total, values, l.cfg.HorizonPoints)
 		})
 		if err != nil {
 			return nil, err
@@ -616,9 +630,11 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 		if skipped > 0 {
 			l.logf("wal: shard %d: segment %s: torn or corrupt tail skipped after %d records", id, path, records)
 		}
-		if fi, err := os.Stat(path); err == nil {
-			info.size = fi.Size()
-		}
+		// The valid (record-aligned) size, not the raw file size: a torn
+		// tail must be invisible to the replication manifest, or a
+		// follower would fetch bytes that can never decode.
+		info.size = validSize
+		info.records = int64(records)
 		rec.Stats.SegmentsReplayed++
 		rec.Stats.RecordsReplayed += records
 		rec.Stats.CorruptRecordsSkipped += skipped
@@ -651,6 +667,7 @@ func (sh *shardLog) openActiveLocked() error {
 	sh.active, sh.bw = f, bw
 	sh.needsSync = true // the magic header is buffered
 	sh.info = segmentInfo{seq: seq, path: path, size: int64(len(segmentMagic)), counts: make(map[string]int64)}
+	sh.syncedSize, sh.syncedRecords = 0, 0 // nothing of the new file is durable yet
 	return nil
 }
 
@@ -667,7 +684,9 @@ func (sh *shardLog) appendLocked(series string, total int64, values []float64) e
 		return err
 	}
 	sh.needsSync = true
+	sh.writeSeq++
 	sh.info.size += int64(len(rec))
+	sh.info.records++
 	if len(values) > 0 {
 		sh.info.counts[series] += int64(len(values))
 		// A recreation after an in-segment tombstone: the tombstone no
@@ -691,6 +710,12 @@ func (sh *shardLog) appendLocked(series string, total int64, values []float64) e
 }
 
 func (sh *shardLog) flushSyncLocked() error {
+	// A group-commit leader may be fsyncing with the mutex released;
+	// wait it out so the flush below never races the leader's Sync or
+	// a rotation out from under it.
+	for sh.syncing {
+		sh.syncCond.Wait()
+	}
 	// needsSync, not bw.Buffered(), decides: bufio writes records larger
 	// than its buffer straight through, so an empty buffer does not mean
 	// the file is synced.
@@ -708,7 +733,66 @@ func (sh *shardLog) flushSyncLocked() error {
 	sh.lg.syncs.Add(1)
 	sh.needsSync = false
 	sh.dirtySince = time.Time{}
+	sh.syncSeq = sh.writeSeq
+	sh.syncedSize, sh.syncedRecords = sh.info.size, sh.info.records
+	sh.syncCond.Broadcast()
 	return nil
+}
+
+// groupCommitLocked makes every record written so far durable,
+// coalescing concurrent strict-mode appenders into one fsync: the
+// first appender to arrive flushes the shared buffer under the lock,
+// then releases it for the fsync so the others keep buffering records
+// behind it; when the leader returns, everyone whose writes the fsync
+// covered is released together, and one straggler whose write landed
+// during the fsync becomes the next leader. Called with sh.mu held;
+// returns with it held. A failed flush or fsync wedges the shard, like
+// every other durability failure.
+func (sh *shardLog) groupCommitLocked() error {
+	target := sh.writeSeq
+	for {
+		if sh.failed != nil {
+			return sh.failed
+		}
+		if sh.syncSeq >= target {
+			return nil
+		}
+		if sh.syncing {
+			sh.syncCond.Wait()
+			continue
+		}
+		// Become the leader: flush under the lock (cheap memcpy into the
+		// kernel), fsync without it (the slow part).
+		if err := sh.bw.Flush(); err != nil {
+			sh.lg.syncErrors.Add(1)
+			sh.failed = err
+			sh.syncCond.Broadcast()
+			return err
+		}
+		covered, size, records := sh.writeSeq, sh.info.size, sh.info.records
+		f := sh.active
+		sh.syncing = true
+		sh.mu.Unlock()
+		err := f.Sync()
+		sh.mu.Lock()
+		sh.syncing = false
+		if err != nil {
+			sh.lg.syncErrors.Add(1)
+			sh.failed = err
+			sh.syncCond.Broadcast()
+			return err
+		}
+		sh.lg.syncs.Add(1)
+		if covered > sh.syncSeq {
+			sh.syncSeq = covered
+			sh.syncedSize, sh.syncedRecords = size, records
+		}
+		if sh.writeSeq == covered {
+			sh.needsSync = false
+			sh.dirtySince = time.Time{}
+		}
+		sh.syncCond.Broadcast()
+	}
 }
 
 func (sh *shardLog) rotateLocked() error {
@@ -818,7 +902,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 
 	state := make(map[string]*SeriesState)
 	if sh.snapPath != "" {
-		if _, skipped, err := readSnapshot(sh.snapPath, state); err != nil {
+		if _, skipped, _, err := readSnapshot(sh.snapPath, state); err != nil {
 			return SnapshotResult{}, err
 		} else if skipped > 0 {
 			sh.lg.logf("wal: shard %d: snapshot %s: corrupt tail skipped during compaction", sh.id, sh.snapPath)
@@ -826,23 +910,8 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 	h := sh.lg.cfg.HorizonPoints
 	for _, seg := range sh.sealed {
-		_, skipped, err := replaySegment(seg.path, func(series string, total int64, values []float64) {
-			if total == 0 && len(values) == 0 { // tombstone: drop from the checkpoint
-				delete(state, series)
-				return
-			}
-			st := state[series]
-			if st == nil {
-				st = &SeriesState{}
-				state[series] = st
-			}
-			st.Tail = append(st.Tail, values...)
-			if total > st.Total {
-				st.Total = total
-			}
-			if h > 0 {
-				st.Tail = trimTail(st.Tail, h)
-			}
+		_, skipped, _, err := replaySegment(seg.path, func(series string, total int64, values []float64) {
+			FoldRecord(state, series, total, values, h)
 		})
 		if err != nil {
 			return SnapshotResult{}, err
@@ -853,7 +922,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 
 	covered := sh.sealed[len(sh.sealed)-1].seq
-	path, err := writeSnapshot(sh.dir, covered, state)
+	path, snapRecords, snapSize, err := writeSnapshot(sh.dir, covered, state)
 	if err != nil {
 		return SnapshotResult{}, err
 	}
@@ -867,6 +936,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 	sh.sealed = sh.sealed[:0]
 	sh.snapSeq, sh.snapPath = covered, path
+	sh.snapSize, sh.snapRecords = snapSize, snapRecords
 	sh.snapSeries = make(map[string]bool, len(state))
 	for name := range state {
 		sh.snapSeries[name] = true
