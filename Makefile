@@ -2,9 +2,20 @@ GO ?= go
 
 # Packages carrying the refresh-engine benchmark suite.
 BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream
-BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan)$$
+BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced)$$
 
-.PHONY: check vet build test race alloc-check bench bench-smoke fuzz fuzz-check failover-check clean clean-data
+# bench-gate knobs: fractional ns/op+B/op growth, absolute allocs/op
+# growth, and absolute B/op slack allowed over the committed
+# BENCH_refresh.json baseline.
+BENCH_TOLERANCE   ?= 0.25
+BENCH_ALLOC_DRIFT ?= 0
+BENCH_BYTE_SLACK  ?= 1024
+# auto = gate ns/op only on the baseline's own hardware; CI passes
+# `never` because virtualized runners share generic CPU strings without
+# sharing clocks. allocs/op and B/op gate everywhere regardless.
+BENCH_TIME_GATE   ?= auto
+
+.PHONY: check vet build test race alloc-check bench bench-smoke bench-gate fuzz fuzz-check failover-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -37,6 +48,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x $(BENCH_PKGS)
 
+## bench-gate: the CI benchmark-regression gate. Reruns the suite and
+## fails if any benchmark regressed against the committed baseline:
+## allocs/op beyond BENCH_ALLOC_DRIFT always fail; ns/op beyond
+## BENCH_TOLERANCE fails on the baseline's own hardware and is reported
+## (not gated) elsewhere — CI runners don't share the baseline's clock.
+## The fresh run lands in BENCH_fresh.json for artifact upload.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem $(BENCH_PKGS) > bench-fresh.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_refresh.json \
+		-tolerance $(BENCH_TOLERANCE) -alloc-drift $(BENCH_ALLOC_DRIFT) \
+		-byte-slack $(BENCH_BYTE_SLACK) -time-gate $(BENCH_TIME_GATE) \
+		-o BENCH_fresh.json < bench-fresh.txt
+
 ## failover-check: the replication acceptance suite under -race —
 ## primary → follower tailing → kill → promote, frames bit-identical —
 ## plus the WAL group-commit and segment-reader edge-case tests.
@@ -57,6 +81,7 @@ fuzz-check:
 
 clean:
 	$(GO) clean ./...
+	rm -f bench-fresh.txt BENCH_fresh.json
 
 ## clean-data: remove WAL data directories left by local asap-server
 ## runs (-data-dir data).

@@ -71,6 +71,7 @@ func main() {
 		window    = flag.Int("window", 14400, "visualization window in raw points")
 		res       = flag.Int("resolution", 800, "target display width in pixels")
 		refresh   = flag.Int("refresh", 0, "refresh interval in raw points (0 = per aggregated point)")
+		incACF    = flag.Bool("incremental-acf", false, "maintain the ACF incrementally per pane instead of recomputing per refresh (1e-9-tolerance frames, see docs/PERFORMANCE.md)")
 		shards    = flag.Int("shards", 0, "series lock shards (0 = GOMAXPROCS)")
 		maxSeries = flag.Int("max-series", server.DefaultMaxSeries, "live series cap (LRU eviction beyond it)")
 		series    = flag.String("series", server.DefaultSeriesName, "default series for bare-value ingest and reads")
@@ -92,9 +93,10 @@ func main() {
 	srv, err := server.New(server.Config{
 		Hub: server.HubConfig{
 			Stream: asap.StreamConfig{
-				WindowPoints: *window,
-				Resolution:   *res,
-				RefreshEvery: *refresh,
+				WindowPoints:   *window,
+				Resolution:     *res,
+				RefreshEvery:   *refresh,
+				IncrementalACF: *incACF,
 			},
 			Shards:        *shards,
 			MaxSeries:     *maxSeries,

@@ -6,12 +6,30 @@
 //	BenchmarkName/sub-8   1234   5678 ns/op   90 B/op   12 allocs/op
 //
 // plus the goos/goarch/cpu/pkg context lines, and ignores everything else.
+//
+// With -baseline it additionally gates the run against a committed
+// baseline document (the `make bench-gate` CI regression gate): every
+// baseline benchmark must still exist, allocs/op may not grow by more
+// than -alloc-drift (default 0 — allocation regressions are machine
+// independent and always enforced), B/op may not grow past the
+// tolerance plus -byte-slack, and ns/op may not grow by more than
+// -tolerance (default 25%). Because wall-clock numbers only compare
+// meaningfully on the machine that produced the baseline, -time-gate
+// controls when ns/op failures gate: "auto" (default) gates only when
+// the runner's cpu/goos/goarch match the baseline's, "never" demotes
+// them to warnings (what shared CI runners want — virtualized machines
+// often report identical generic CPU strings while being completely
+// different hardware), "always" gates regardless. The alloc, byte, and
+// existence checks always gate. -o writes the fresh document to a file
+// (for CI artifact upload) instead of stdout.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,9 +53,83 @@ type document struct {
 }
 
 func main() {
-	doc := document{GeneratedBy: "make bench", Benchmarks: []result{}}
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to gate against (empty = just convert)")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op (and B/op) growth over the baseline")
+		allocDrift   = flag.Int64("alloc-drift", 0, "allowed allocs/op growth over the baseline")
+		byteSlack    = flag.Int64("byte-slack", 1024, "absolute B/op growth allowed on top of -tolerance (amortization noise)")
+		timeGate     = flag.String("time-gate", "auto", "when ns/op regressions fail the gate: auto (only when cpu/goos/goarch match the baseline), always, never")
+		outPath      = flag.String("o", "", "write the fresh JSON document here instead of stdout")
+	)
+	flag.Parse()
+	switch *timeGate {
+	case "auto", "always", "never":
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: -time-gate %q (want auto, always, or never)\n", *timeGate)
+		os.Exit(2)
+	}
+
+	doc, err := parseStream(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base document
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+	rep := compare(&base, doc, gateConfig{
+		Tolerance:  *tolerance,
+		AllocDrift: *allocDrift,
+		ByteSlack:  *byteSlack,
+		TimeGate:   *timeGate,
+	})
+	for _, n := range rep.Notes {
+		fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+	}
+	for _, p := range rep.Regressions {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", p)
+	}
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) against %s\n", len(rep.Regressions), *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate passed: %d benchmark(s) within tolerance of %s\n",
+		rep.Compared, *baselinePath)
+}
+
+// parseStream converts benchmark text output into a document.
+func parseStream(r io.Reader) (*document, error) {
+	doc := &document{GeneratedBy: "make bench", Benchmarks: []result{}}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -57,16 +149,98 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// gateConfig parameterizes the regression gate.
+type gateConfig struct {
+	Tolerance  float64 // allowed fractional ns/op and B/op growth
+	AllocDrift int64   // allowed allocs/op growth
+	ByteSlack  int64   // absolute B/op growth allowed on top of Tolerance
+	// TimeGate: "auto" gates ns/op only when cpu/goos/goarch match the
+	// baseline's, "always" gates regardless, "never" demotes every
+	// ns/op failure to a note. "never" is what shared CI runners want:
+	// virtualized machines often report identical generic CPU strings
+	// (e.g. "Intel(R) Xeon(R) Processor @ 2.10GHz") while being
+	// completely different, noisy hardware, so a string match is not
+	// evidence the clock is comparable.
+	TimeGate string
+}
+
+// gateReport is the outcome of comparing a fresh run to a baseline.
+type gateReport struct {
+	Compared    int      // benchmarks present in both documents
+	Regressions []string // failures that gate the build
+	Notes       []string // non-gating observations (new benches, cross-machine time drift)
+}
+
+// compare diffs fresh against base under cfg. Alloc growth, byte
+// growth, and missing benchmarks always gate; ns/op growth gates per
+// cfg.TimeGate (see gateConfig), because a committed baseline travels
+// to CI runners with different clocks.
+func compare(base, fresh *document, cfg gateConfig) gateReport {
+	var rep gateReport
+	sameHW := base.CPU != "" && base.CPU == fresh.CPU &&
+		base.GOOS == fresh.GOOS && base.GOARCH == fresh.GOARCH
+	var gateTime bool
+	switch cfg.TimeGate {
+	case "always":
+		gateTime = true
+	case "never":
+		gateTime = false
+	default: // auto
+		gateTime = sameHW
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if !gateTime {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"ns/op drift reported but not gated (time-gate %s; baseline hardware %q/%s/%s, this run %q/%s/%s)",
+			cfg.TimeGate, base.CPU, base.GOOS, base.GOARCH, fresh.CPU, fresh.GOOS, fresh.GOARCH))
 	}
+
+	freshBy := make(map[string]result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		freshBy[r.Pkg+" "+r.Name] = r
+	}
+	baseSeen := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		key := b.Pkg + " " + b.Name
+		baseSeen[key] = true
+		f, ok := freshBy[key]
+		if !ok {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from this run (deleted or renamed benchmark rots the gate)", key))
+			continue
+		}
+		rep.Compared++
+		if f.AllocsPerOp > b.AllocsPerOp+cfg.AllocDrift {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d (+%d allowed)", key, f.AllocsPerOp, b.AllocsPerOp, cfg.AllocDrift))
+		}
+		// B/op is as machine-independent as allocs/op, so it gates
+		// everywhere too; the tolerance+slack absorbs the amortization
+		// noise of pooled paths (a few bytes/op) while still catching a
+		// same-count allocation that ballooned in size.
+		if maxBytes := int64(float64(b.BPerOp)*(1+cfg.Tolerance)) + cfg.ByteSlack; f.BPerOp > maxBytes {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"%s: B/op %d > baseline %d (%d allowed)", key, f.BPerOp, b.BPerOp, maxBytes))
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+cfg.Tolerance) {
+			msg := fmt.Sprintf("%s: ns/op %.4g > baseline %.4g (+%.0f%% allowed)",
+				key, f.NsPerOp, b.NsPerOp, cfg.Tolerance*100)
+			if gateTime {
+				rep.Regressions = append(rep.Regressions, msg)
+			} else {
+				rep.Notes = append(rep.Notes, msg)
+			}
+		}
+	}
+	for _, f := range fresh.Benchmarks {
+		if key := f.Pkg + " " + f.Name; !baseSeen[key] {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"%s: new benchmark with no baseline entry (run `make bench` and commit BENCH_refresh.json)", key))
+		}
+	}
+	return rep
 }
 
 // parseBench parses one benchmark result line. Fields appear as value

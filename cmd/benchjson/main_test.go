@@ -1,0 +1,181 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/asap-go/asap/internal/acf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkACFPlan/analyzer-8         	    5738	    204722 ns/op	       0 B/op	       0 allocs/op
+pkg: github.com/asap-go/asap/internal/stream
+BenchmarkRefresh/search-8   	   14370	     82317 ns/op	    6144 B/op	       1 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T, text string) *document {
+	t.Helper()
+	doc, err := parseStream(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseStream(t *testing.T) {
+	doc := parseSample(t, sampleOutput)
+	if doc.CPU == "" || doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Errorf("context lines lost: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Pkg != "github.com/asap-go/asap/internal/acf" || b.Name != "BenchmarkACFPlan/analyzer" {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.NsPerOp != 204722 || b.AllocsPerOp != 0 {
+		t.Errorf("first benchmark metrics = %+v", b)
+	}
+	if doc.Benchmarks[1].AllocsPerOp != 1 || doc.Benchmarks[1].BPerOp != 6144 {
+		t.Errorf("second benchmark metrics = %+v", doc.Benchmarks[1])
+	}
+}
+
+func mkDoc(cpu string, benches ...result) *document {
+	return &document{GOOS: "linux", GOARCH: "amd64", CPU: cpu, Benchmarks: benches}
+}
+
+func bench(pkg, name string, ns float64, allocs int64) result {
+	return result{Pkg: pkg, Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func benchB(pkg, name string, ns float64, allocs, bytes int64) result {
+	r := bench(pkg, name, ns, allocs)
+	r.BPerOp = bytes
+	return r
+}
+
+func TestCompareBytesRegressionGatesCrossHardware(t *testing.T) {
+	// Same alloc count, ballooned allocation size: must gate even when
+	// the hardware differs (B/op is machine-independent).
+	base := mkDoc("xeon", benchB("p", "B1", 100, 8, 40_000))
+	fresh := mkDoc("epyc", benchB("p", "B1", 100, 8, 2_000_000))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25, ByteSlack: 1024})
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "B/op") {
+		t.Fatalf("B/op regression not gated: %v", rep.Regressions)
+	}
+	// Noise within tolerance+slack passes (pooled paths report a few
+	// amortized bytes/op that wobble between runs).
+	fresh = mkDoc("epyc", benchB("p", "B1", 100, 8, 41_000))
+	rep = compare(base, fresh, gateConfig{Tolerance: 0.25, ByteSlack: 1024})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("B/op noise gated: %v", rep.Regressions)
+	}
+	// Zero-byte baselines tolerate only the slack.
+	base = mkDoc("xeon", benchB("p", "B1", 100, 0, 0))
+	fresh = mkDoc("epyc", benchB("p", "B1", 100, 0, 4096))
+	rep = compare(base, fresh, gateConfig{Tolerance: 0.25, ByteSlack: 1024})
+	if len(rep.Regressions) != 1 {
+		t.Errorf("zero-baseline B/op growth not gated: %v", rep.Regressions)
+	}
+}
+
+func TestCompareWithinToleranceSameHardware(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 1), bench("p", "B2", 1000, 0))
+	fresh := mkDoc("xeon", bench("p", "B1", 120, 1), bench("p", "B2", 900, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("unexpected regressions: %v", rep.Regressions)
+	}
+	if rep.Compared != 2 {
+		t.Errorf("compared %d, want 2", rep.Compared)
+	}
+}
+
+func TestCompareTimeRegressionGatesOnSameHardware(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 0))
+	fresh := mkDoc("xeon", bench("p", "B1", 126, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1 ns/op failure", rep.Regressions)
+	}
+}
+
+func TestCompareTimeRegressionDemotedOnDifferentHardware(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 0))
+	fresh := mkDoc("epyc", bench("p", "B1", 300, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("cross-hardware time drift gated: %v", rep.Regressions)
+	}
+	if len(rep.Notes) == 0 {
+		t.Error("cross-hardware drift produced no note")
+	}
+	// -time-gate always restores the gate.
+	rep = compare(base, fresh, gateConfig{Tolerance: 0.25, TimeGate: "always"})
+	if len(rep.Regressions) != 1 {
+		t.Errorf("time-gate always did not gate: %v", rep.Regressions)
+	}
+}
+
+func TestCompareTimeGateNever(t *testing.T) {
+	// Identical CPU strings do not prove identical hardware (generic
+	// virtualized strings are shared across clouds): "never" demotes
+	// time failures even on a string match, for shared CI runners.
+	base := mkDoc("Intel(R) Xeon(R) Processor @ 2.10GHz", bench("p", "B1", 100, 0))
+	fresh := mkDoc("Intel(R) Xeon(R) Processor @ 2.10GHz", bench("p", "B1", 300, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25, TimeGate: "never"})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("time-gate never still gated: %v", rep.Regressions)
+	}
+	// Allocs still gate under never.
+	fresh = mkDoc("Intel(R) Xeon(R) Processor @ 2.10GHz", bench("p", "B1", 100, 3))
+	rep = compare(base, fresh, gateConfig{Tolerance: 0.25, TimeGate: "never"})
+	if len(rep.Regressions) != 1 {
+		t.Errorf("allocs not gated under time-gate never: %v", rep.Regressions)
+	}
+}
+
+func TestCompareAllocRegressionAlwaysGates(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 0))
+	fresh := mkDoc("epyc", bench("p", "B1", 100, 2)) // different hardware: allocs still gate
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("alloc regression not gated cross-hardware: %v", rep.Regressions)
+	}
+	// Drift allowance.
+	rep = compare(base, fresh, gateConfig{Tolerance: 0.25, AllocDrift: 2})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("alloc drift allowance ignored: %v", rep.Regressions)
+	}
+}
+
+func TestCompareMissingBenchmarkGates(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 0), bench("p", "B2", 100, 0))
+	fresh := mkDoc("xeon", bench("p", "B1", 100, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "missing") {
+		t.Fatalf("missing benchmark not gated: %v", rep.Regressions)
+	}
+}
+
+func TestCompareNewBenchmarkIsNoteOnly(t *testing.T) {
+	base := mkDoc("xeon", bench("p", "B1", 100, 0))
+	fresh := mkDoc("xeon", bench("p", "B1", 100, 0), bench("p", "BNew", 50, 0))
+	rep := compare(base, fresh, gateConfig{Tolerance: 0.25})
+	if len(rep.Regressions) != 0 {
+		t.Errorf("new benchmark gated: %v", rep.Regressions)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "BNew") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new benchmark not noted")
+	}
+}

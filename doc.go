@@ -57,8 +57,14 @@
 //
 // The streaming refresh path is allocation-free at steady state: each
 // per-series operator owns a planned real-input FFT, a reusable ACF
-// analyzer, and search/smoothing buffers, and skips the search outright
-// when no new aggregated pane has arrived since the last refresh. See
-// docs/PERFORMANCE.md for the engine's design, its allocation contract,
-// and the measured baseline in BENCH_refresh.json.
+// analyzer, and search/smoothing buffers; emitted frames ride pooled
+// reference-counted buffers (Frame.Release recycles them); PushBatch
+// coalesces the refresh deadlines a batch crosses into one search at
+// the batch tail; the search is skipped outright when no new aggregated
+// pane has arrived since the last refresh; and StreamConfig.
+// IncrementalACF (server flag -incremental-acf) maintains the
+// autocorrelation in O(maxLag) per pane instead of recomputing it per
+// refresh. See docs/PERFORMANCE.md for the engine's design, the
+// allocation contract, and the measured baseline in BENCH_refresh.json
+// — which CI enforces via the `make bench-gate` regression gate.
 package asap

@@ -1,7 +1,6 @@
 package acf
 
 import (
-	"github.com/asap-go/asap/internal/fft"
 	"github.com/asap-go/asap/internal/stats"
 )
 
@@ -23,12 +22,7 @@ import (
 // by the next Compute call. An Analyzer is not safe for concurrent use;
 // it is designed to be owned by a single stream operator.
 type Analyzer struct {
-	n    int           // series length the buffers are currently sized for
-	m    int           // FFT length, NextPow2(2n)
-	plan *fft.RealPlan // real transform of length m
-	rbuf []float64     // demeaned, zero-padded input (length m)
-	spec []complex128  // half spectrum / power spectrum (length m/2+1)
-	cov  []float64     // autocovariance by lag (length m)
+	wk wkEngine // the Wiener–Khinchin round trip (plan + scratch)
 
 	corr  []float64 // Result.Correlations backing store
 	peaks []int     // Result.Peaks backing store
@@ -69,24 +63,13 @@ func (a *Analyzer) Compute(xs []float64, maxLag int) (*Result, error) {
 	// Wiener–Khinchin: autocovariance = IFFT(|FFT(x - mean)|^2), zero-
 	// padded to at least 2n so the circular correlation is linear. The
 	// series is real, so the whole round trip runs at half size through
-	// the RealPlan.
-	for i, x := range xs {
-		a.rbuf[i] = x - mom.Mean
-	}
-	for i := n; i < a.m; i++ {
-		a.rbuf[i] = 0
-	}
-	a.plan.Forward(a.spec, a.rbuf)
-	for i, c := range a.spec {
-		re, im := real(c), imag(c)
-		a.spec[i] = complex(re*re+im*im, 0)
-	}
-	a.plan.Inverse(a.cov, a.spec)
+	// the RealPlan (shared with Incremental's resync via wkEngine).
+	cov := a.wk.lagProducts(xs, mom.Mean)
 
 	corr[0] = 1
 	inv := 1 / mom.M2
 	for tau := 1; tau <= maxLag; tau++ {
-		corr[tau] = a.cov[tau] * inv
+		corr[tau] = cov[tau] * inv
 	}
 
 	peaks, maxACF := appendPeaks(a.peaks[:0], corr)
@@ -95,24 +78,12 @@ func (a *Analyzer) Compute(xs []float64, maxLag int) (*Result, error) {
 	return &a.res, nil
 }
 
-// resize (re)builds the plan and scratch buffers when the series length
-// changes, and grows the correlation store to cover maxLag. Steady-state
-// calls (same n, maxLag within capacity) do nothing.
+// resize (re)builds the engine when the series length changes, and
+// grows the correlation store to cover maxLag. Steady-state calls
+// (same n, maxLag within capacity) do nothing.
 func (a *Analyzer) resize(n, maxLag int) error {
-	if n != a.n {
-		m := fft.NextPow2(2 * n)
-		if m != a.m {
-			plan, err := fft.NewRealPlan(m)
-			if err != nil {
-				return err
-			}
-			a.plan = plan
-			a.m = m
-			a.rbuf = make([]float64, m)
-			a.spec = make([]complex128, plan.SpectrumLen())
-			a.cov = make([]float64, m)
-		}
-		a.n = n
+	if err := a.wk.resize(n); err != nil {
+		return err
 	}
 	if cap(a.corr) < maxLag+1 {
 		a.corr = make([]float64, maxLag+1)

@@ -1,0 +1,517 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// incRefWindow mirrors the Incremental's sliding window with a plain
+// slice so tests can hand the exact same data to Analyzer.
+type incRefWindow struct {
+	vals []float64
+	cap  int
+}
+
+func (w *incRefWindow) push(v float64) {
+	w.vals = append(w.vals, v)
+	if len(w.vals) > w.cap {
+		w.vals = w.vals[1:]
+	}
+}
+
+// maxCorrDiff compares two correlation slices index by index.
+func maxCorrDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var worst float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// incStreams are the pane streams the differential tests run over:
+// periodic with noise, a drifting random walk on a large offset (the
+// cancellation-hostile case), and white noise.
+func incStreams(n int, seed int64) map[string][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	periodic := make([]float64, n)
+	walk := make([]float64, n)
+	noise := make([]float64, n)
+	level := 1e6 // large absolute level: stresses the shifted origin
+	for i := range periodic {
+		periodic[i] = math.Sin(2*math.Pi*float64(i)/64) + 0.3*rng.NormFloat64()
+		level += 0.5*rng.NormFloat64() + 0.01
+		walk[i] = level
+		noise[i] = rng.NormFloat64()
+	}
+	return map[string][]float64{"periodic": periodic, "walk": walk, "noise": noise}
+}
+
+// TestIncrementalMatchesAnalyzer is the tentpole differential test: at
+// every window state — growing, full, and long after many slides and
+// scheduled resyncs — the incremental ACF must stay within 1e-9 of the
+// FFT Analyzer on the identical window.
+func TestIncrementalMatchesAnalyzer(t *testing.T) {
+	const capacity = 256
+	const maxLag = 40
+	for name, xs := range incStreams(6*capacity, 7) {
+		inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := NewAnalyzer()
+		ref := &incRefWindow{cap: capacity}
+		for i, v := range xs {
+			inc.Push(v)
+			ref.push(v)
+			if len(ref.vals) < 2 {
+				continue
+			}
+			q := maxLag
+			if q > len(ref.vals)-1 {
+				q = len(ref.vals) - 1
+			}
+			got, err := inc.Result(q)
+			if err != nil {
+				t.Fatalf("%s point %d: %v", name, i, err)
+			}
+			want, err := an.Compute(ref.vals, q)
+			if err != nil {
+				t.Fatalf("%s point %d: analyzer: %v", name, i, err)
+			}
+			if d := maxCorrDiff(got.Correlations, want.Correlations); d > 1e-9 {
+				t.Fatalf("%s point %d: corr diff %.3g > 1e-9", name, i, d)
+			}
+		}
+		if st := inc.Stats(); st.ScheduledResyncs == 0 {
+			t.Errorf("%s: %d slides produced no scheduled resync", name, st.Slides)
+		}
+	}
+}
+
+// TestIncrementalPeaksMatchAnalyzer checks the part the search actually
+// consumes: on a strongly periodic stream the detected peak set and
+// MaxACF agree with the Analyzer's.
+func TestIncrementalPeaksMatchAnalyzer(t *testing.T) {
+	const capacity, maxLag = 512, 80
+	xs := incStreams(4*capacity, 11)["periodic"]
+	inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer()
+	ref := &incRefWindow{cap: capacity}
+	for _, v := range xs {
+		inc.Push(v)
+		ref.push(v)
+	}
+	got, err := inc.Result(maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Compute(ref.vals, maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Peaks) != len(want.Peaks) {
+		t.Fatalf("peaks %v != analyzer %v", got.Peaks, want.Peaks)
+	}
+	for i := range got.Peaks {
+		if got.Peaks[i] != want.Peaks[i] {
+			t.Fatalf("peaks %v != analyzer %v", got.Peaks, want.Peaks)
+		}
+	}
+	if math.Abs(got.MaxACF-want.MaxACF) > 1e-9 {
+		t.Errorf("MaxACF %v != analyzer %v", got.MaxACF, want.MaxACF)
+	}
+}
+
+// TestIncrementalPropertyRandomStreams is the satellite property test:
+// across randomized capacities, lags, resync cadences, and pane
+// streams, incremental + periodic resync stays within 1e-9 of Analyzer.
+func TestIncrementalPropertyRandomStreams(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 16 + rng.Intn(200)
+		maxLag := 1 + rng.Intn(capacity-1)
+		cfg := IncrementalConfig{
+			Capacity:    capacity,
+			MaxLag:      maxLag,
+			ResyncEvery: 1 + rng.Intn(3*capacity),
+		}
+		inc, err := NewIncremental(cfg)
+		if err != nil {
+			t.Logf("seed %d: config %+v rejected: %v", seed, cfg, err)
+			return false
+		}
+		an := NewAnalyzer()
+		ref := &incRefWindow{cap: capacity}
+		level := rng.NormFloat64() * 1e5
+		n := capacity * (2 + rng.Intn(4))
+		for i := 0; i < n; i++ {
+			level += rng.NormFloat64()
+			v := level + 10*math.Sin(2*math.Pi*float64(i)/float64(8+rng.Intn(64)))
+			inc.Push(v)
+			ref.push(v)
+			if len(ref.vals) < 2 || rng.Intn(7) != 0 {
+				continue
+			}
+			q := 1 + rng.Intn(maxLag)
+			if q > len(ref.vals)-1 {
+				q = len(ref.vals) - 1
+			}
+			got, err := inc.Result(q)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			want, err := an.Compute(ref.vals, q)
+			if err != nil {
+				t.Logf("seed %d: analyzer: %v", seed, err)
+				return false
+			}
+			if d := maxCorrDiff(got.Correlations, want.Correlations); d > 1e-9 {
+				t.Logf("seed %d point %d: corr diff %.3g", seed, i, d)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(1)), // deterministic in CI
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalDriftSentinelForcesResync corrupts a maintained lagged
+// product directly and checks the rotating sentinel catches it and the
+// FFT fallback repairs the estimate.
+func TestIncrementalDriftSentinelForcesResync(t *testing.T) {
+	const capacity, maxLag = 64, 8
+	inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag, ResyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer()
+	ref := &incRefWindow{cap: capacity}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2*capacity; i++ {
+		v := rng.NormFloat64()
+		inc.Push(v)
+		ref.push(v)
+	}
+	// Inject drift far beyond tolerance into every maintained lag.
+	for tau := 1; tau <= maxLag; tau++ {
+		inc.lagSum[tau] += 1e3
+	}
+	// One query per lag: the rotating sentinel must hit a corrupted lag
+	// on the first pass and trigger the fallback.
+	var resynced bool
+	for q := 0; q < maxLag; q++ {
+		if _, err := inc.Result(maxLag); err != nil {
+			t.Fatal(err)
+		}
+		if inc.Stats().DriftResyncs > 0 {
+			resynced = true
+			break
+		}
+	}
+	if !resynced {
+		t.Fatal("sentinel never caught an injected 1e3 drift")
+	}
+	got, err := inc.Result(maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Compute(ref.vals, maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxCorrDiff(got.Correlations, want.Correlations); d > 1e-9 {
+		t.Fatalf("post-resync corr diff %.3g > 1e-9", d)
+	}
+}
+
+// TestIncrementalLevelStepStaysAccurate: a stream whose level steps far
+// above the seeded shift origin mid-stream (counter reset, unit change,
+// sensor rebase) is the cancellation-hostile case the drift sentinel
+// cannot see — it audits the raw sums in the same shifted basis. The
+// origin-staleness guard must re-center and keep the estimate accurate
+// throughout, including across the mixed-level transition window.
+//
+// The comparison bound carries a conditioning term on top of the usual
+// 1e-9: the Analyzer demeans raw float64 values, so at level D its own
+// inputs quantize at ulp(D) — with σ≈1 that alone perturbs its
+// correlations by ~1e-8·(D/1e8). The incremental maintainer stores
+// origin-shifted values and is immune; the bound charges the reference's
+// noise, not the maintainer's.
+func TestIncrementalLevelStepStaysAccurate(t *testing.T) {
+	const capacity, maxLag = 128, 16
+	for _, step := range []float64{1e8, -3e9, 4.2e6} {
+		bound := 1e-9 + 1e-15*math.Abs(step)
+		inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag, ResyncEvery: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := NewAnalyzer()
+		ref := &incRefWindow{cap: capacity}
+		rng := rand.New(rand.NewSource(21))
+		level := 0.0
+		for i := 0; i < 6*capacity; i++ {
+			if i == 2*capacity {
+				level = step // the rebase
+			}
+			v := level + math.Sin(2*math.Pi*float64(i)/24) + 0.3*rng.NormFloat64()
+			inc.Push(v)
+			ref.push(v)
+			if len(ref.vals) < 2 {
+				continue
+			}
+			got, err := inc.Result(maxLag)
+			if err != nil {
+				t.Fatalf("step %g point %d: %v", step, i, err)
+			}
+			want, err := an.Compute(ref.vals, maxLag)
+			if err != nil {
+				t.Fatalf("step %g point %d: analyzer: %v", step, i, err)
+			}
+			if d := maxCorrDiff(got.Correlations, want.Correlations); d > bound {
+				t.Fatalf("step %g point %d: corr diff %.3g > %.3g", step, i, d, bound)
+			}
+		}
+		if inc.Stats().OriginResyncs == 0 {
+			t.Errorf("step %g: level rebase never triggered an origin resync", step)
+		}
+	}
+}
+
+// TestIncrementalConstantWindow: a constant window has an undefined
+// ACF; like Analyzer, the incremental reports all-zero and no peaks.
+func TestIncrementalConstantWindow(t *testing.T) {
+	inc, err := NewIncremental(IncrementalConfig{Capacity: 16, MaxLag: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		inc.Push(42.0)
+	}
+	res, err := inc.Result(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau, c := range res.Correlations {
+		if c != 0 {
+			t.Fatalf("constant window corr[%d] = %v, want 0", tau, c)
+		}
+	}
+	if len(res.Peaks) != 0 {
+		t.Fatalf("constant window produced peaks %v", res.Peaks)
+	}
+}
+
+// TestIncrementalFlatlineDoesNotResyncPerQuery: an idle series stuck at
+// one value must not pay a full FFT resync on every Result call — the
+// degenerate latch allows at most one unproductive origin resync until
+// real variance returns. And when the flatline ends with a level step,
+// the guard must wake back up and re-center.
+func TestIncrementalFlatlineDoesNotResyncPerQuery(t *testing.T) {
+	const capacity, maxLag = 256, 24
+	inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag, ResyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*capacity; i++ {
+		inc.Push(42.0)
+		if i > 0 {
+			if _, err := inc.Result(maxLag); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := inc.Stats().OriginResyncs; got > 1 {
+		t.Fatalf("flatline caused %d origin resyncs across %d queries, want <= 1", got, 2*capacity-1)
+	}
+
+	// The flatline ends: a level step far from the stale origin must
+	// re-arm the guard and stay accurate against the Analyzer.
+	an := NewAnalyzer()
+	ref := &incRefWindow{cap: capacity}
+	for i := 0; i < capacity; i++ {
+		ref.push(42.0)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 3*capacity; i++ {
+		v := 1e7 + math.Sin(float64(i)/9) + 0.3*rng.NormFloat64()
+		inc.Push(v)
+		ref.push(v)
+		got, err := inc.Result(maxLag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := an.Compute(ref.vals, maxLag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxCorrDiff(got.Correlations, want.Correlations); d > 1e-9+1e-15*1e7 {
+			t.Fatalf("post-flatline point %d: corr diff %.3g", i, d)
+		}
+	}
+	if inc.Stats().OriginResyncs < 2 {
+		t.Errorf("level step after flatline never re-armed the origin guard (resyncs %d)", inc.Stats().OriginResyncs)
+	}
+}
+
+// TestIncrementalValidation pins the config contract.
+func TestIncrementalValidation(t *testing.T) {
+	bad := []IncrementalConfig{
+		{Capacity: 3, MaxLag: 1},
+		{Capacity: 16, MaxLag: 0},
+		{Capacity: 16, MaxLag: 16},
+	}
+	for _, cfg := range bad {
+		if _, err := NewIncremental(cfg); err == nil {
+			t.Errorf("config %+v should fail validation", cfg)
+		}
+	}
+}
+
+// TestIncrementalResetReusesCleanly: after Reset the maintainer must
+// behave exactly like a fresh one (the operator Restore path).
+func TestIncrementalResetReusesCleanly(t *testing.T) {
+	const capacity, maxLag = 32, 6
+	mk := func() *Incremental {
+		inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc
+	}
+	used := mk()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3*capacity; i++ {
+		used.Push(rng.NormFloat64() * 100)
+	}
+	used.Reset()
+
+	fresh := mk()
+	rng2 := rand.New(rand.NewSource(10))
+	for i := 0; i < 2*capacity; i++ {
+		v := rng2.NormFloat64()
+		used.Push(v)
+		fresh.Push(v)
+	}
+	a, err := used.Result(maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Result(maxLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau := range a.Correlations {
+		if a.Correlations[tau] != b.Correlations[tau] {
+			t.Fatalf("corr[%d]: reset %v != fresh %v", tau, a.Correlations[tau], b.Correlations[tau])
+		}
+	}
+}
+
+// TestIncrementalAllocSteadyState: warm Push+Result must not allocate
+// (the refresh hot path — allocations here would undo the pooled-frame
+// work downstream).
+func TestIncrementalAllocSteadyState(t *testing.T) {
+	const capacity, maxLag = 256, 28
+	inc, err := NewIncremental(IncrementalConfig{Capacity: capacity, MaxLag: maxLag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/17) + 0.2*rng.NormFloat64()
+	}
+	for _, v := range data {
+		inc.Push(v)
+	}
+	if _, err := inc.Result(maxLag); err != nil {
+		t.Fatal(err)
+	}
+	// Force one resync so the FFT plan and buffers exist before counting.
+	inc.resync()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		inc.Push(data[i%len(data)])
+		i++
+		if _, err := inc.Result(maxLag); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("incremental push+result allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkIncrementalACF is the acceptance benchmark: one steady-state
+// window update + ACF query at n=4096 for the incremental maintainer
+// against the plan-based FFT Analyzer recomputation it replaces. The
+// maxLag mirrors what the stream operator requests at this window size
+// (10% search bound + 2).
+func BenchmarkIncrementalACF(b *testing.B) {
+	const n = 4096
+	maxLag := n/10 + 2
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 2*n)
+	for i := range data {
+		data[i] = math.Sin(2*math.Pi*float64(i)/128) + 0.3*rng.NormFloat64()
+	}
+
+	b.Run("fft", func(b *testing.B) {
+		an := NewAnalyzer()
+		window := make([]float64, n)
+		copy(window, data[:n])
+		if _, err := an.Compute(window, maxLag); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Slide by one pane, then recompute the whole ACF — what the
+			// per-refresh Analyzer path costs.
+			copy(window, window[1:])
+			window[n-1] = data[(n+i)%len(data)]
+			if _, err := an.Compute(window, maxLag); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		inc, err := NewIncremental(IncrementalConfig{Capacity: n, MaxLag: maxLag})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range data[:n] {
+			inc.Push(v)
+		}
+		if _, err := inc.Result(maxLag); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inc.Push(data[(n+i)%len(data)])
+			if _, err := inc.Result(maxLag); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

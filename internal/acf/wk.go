@@ -1,0 +1,62 @@
+package acf
+
+import "github.com/asap-go/asap/internal/fft"
+
+// wkEngine owns one Wiener–Khinchin round trip: a real FFT plan sized
+// for linear (non-circular) autocorrelation of an n-point series, plus
+// every scratch buffer the trip needs. It is the machinery shared by
+// Analyzer (which runs it per refresh on the demeaned window) and
+// Incremental.resync (which runs it on the raw shifted window to
+// rebuild the maintained lagged products) — one copy of the plan
+// sizing and power-spectrum pipeline, so kernel changes (radix-4,
+// split-complex) land in both consumers at once.
+type wkEngine struct {
+	n    int           // series length the buffers are currently sized for
+	m    int           // FFT length, NextPow2(2n)
+	plan *fft.RealPlan // real transform of length m
+	rbuf []float64     // (shifted) zero-padded input, length m
+	spec []complex128  // half spectrum / power spectrum
+	cov  []float64     // lagged products by lag, length m
+}
+
+// resize (re)builds the plan and scratch when the series length
+// changes; steady-length calls do nothing.
+func (e *wkEngine) resize(n int) error {
+	if n == e.n && e.plan != nil {
+		return nil
+	}
+	m := fft.NextPow2(2 * n)
+	if m != e.m || e.plan == nil {
+		plan, err := fft.NewRealPlan(m)
+		if err != nil {
+			return err
+		}
+		e.plan = plan
+		e.m = m
+		e.rbuf = make([]float64, m)
+		e.spec = make([]complex128, plan.SpectrumLen())
+		e.cov = make([]float64, m)
+	}
+	e.n = n
+	return nil
+}
+
+// lagProducts computes cov[τ] = Σ_{i} (xs[i]−shift)·(xs[i+τ]−shift)
+// for every lag into the engine's cov buffer and returns it (valid
+// until the next call). resize(len(xs)) must have succeeded first.
+// Zero-padding to m ≥ 2n makes the circular correlation linear.
+func (e *wkEngine) lagProducts(xs []float64, shift float64) []float64 {
+	for i, x := range xs {
+		e.rbuf[i] = x - shift
+	}
+	for i := len(xs); i < e.m; i++ {
+		e.rbuf[i] = 0
+	}
+	e.plan.Forward(e.spec, e.rbuf)
+	for i, c := range e.spec {
+		re, im := real(c), imag(c)
+		e.spec[i] = complex(re*re+im*im, 0)
+	}
+	e.plan.Inverse(e.cov, e.spec)
+	return e.cov
+}

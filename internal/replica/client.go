@@ -40,6 +40,7 @@ type StreamSpec struct {
 	RefreshEvery          int  `json:"refresh_every"`
 	MaxWindow             int  `json:"max_window,omitempty"`
 	DisablePreaggregation bool `json:"disable_preaggregation,omitempty"`
+	IncrementalACF        bool `json:"incremental_acf,omitempty"`
 }
 
 // PrimaryManifest is the primary's replication listing: the WAL

@@ -468,37 +468,11 @@ func (f *Follower) updateGauges(man *PrimaryManifest, pollErr error) {
 		st := f.shards[sm.Shard]
 		if !st.bootstrapped {
 			booted = false
-			if sm.Snapshot != nil {
-				segB++
-				recB += sm.Snapshot.Records
-				bytB += sm.Snapshot.Size
-			}
-			for _, m := range sm.Segments {
-				segB++
-				recB += m.Records
-				bytB += m.Size
-			}
-			continue
 		}
-		for _, m := range sm.Segments {
-			switch {
-			case m.Seq <= st.doneSeq:
-			case st.cur != nil && m.Seq == st.cur.seq:
-				if d := m.Records - st.cur.records; d > 0 {
-					segB++
-					recB += d
-				}
-				if d := m.Size - st.cur.applied; d > 0 {
-					bytB += d
-				}
-			default:
-				if m.Records > 0 {
-					segB++
-				}
-				recB += m.Records
-				bytB += m.Size
-			}
-		}
+		segs, recs, bytes := manifestLag(sm, st.progress())
+		segB += segs
+		recB += recs
+		bytB += bytes
 	}
 	f.mu.Lock()
 	f.gauges.Bootstrapped = booted

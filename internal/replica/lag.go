@@ -1,0 +1,84 @@
+package replica
+
+import "github.com/asap-go/asap/internal/wal"
+
+// shardProgress is the pure, value-comparable form of one shard's
+// replication position — what the follower has durably applied. It
+// exists so the manifest-diff arithmetic (how far a shard trails the
+// primary) is a plain function of (manifest, progress), unit-testable
+// without a follower, a primary, or a filesystem.
+type shardProgress struct {
+	// bootstrapped reports whether the shard has any local state; an
+	// unbootstrapped shard trails by the primary's entire holdings.
+	bootstrapped bool
+	// doneSeq: segments with Seq <= doneSeq are fully applied (a
+	// snapshot covering them counts).
+	doneSeq uint64
+	// curSeq is the in-flight segment being tailed (0 = none), with
+	// curRecords records and curApplied bytes applied from it so far.
+	curSeq     uint64
+	curRecords int64
+	curApplied int64
+}
+
+// manifestLag diffs one shard's manifest against the follower's
+// progress: how many segments still hold unapplied records, and how
+// many records and bytes remain to apply. The edge cases are exactly
+// the ones the gauges historically mis-told operators about:
+//
+//   - empty manifest (fresh primary, nothing durable): zero lag even
+//     for an unbootstrapped follower — there is nothing to fetch;
+//   - snapshot-only shard (everything compacted): an unbootstrapped
+//     follower trails by the whole snapshot, a bootstrapped one that
+//     already applied past it trails by nothing;
+//   - the in-flight segment counts only its unapplied suffix, and only
+//     as a lagging segment when records (not merely bytes) remain;
+//   - segments at or below doneSeq never count, whatever the manifest
+//     says about their sizes.
+func manifestLag(sm wal.ShardManifest, p shardProgress) (segs, recs, bytes int64) {
+	if !p.bootstrapped {
+		if sm.Snapshot != nil {
+			segs++
+			recs += sm.Snapshot.Records
+			bytes += sm.Snapshot.Size
+		}
+		for _, m := range sm.Segments {
+			segs++
+			recs += m.Records
+			bytes += m.Size
+		}
+		return segs, recs, bytes
+	}
+	for _, m := range sm.Segments {
+		switch {
+		case m.Seq <= p.doneSeq:
+			// Fully applied; nothing outstanding.
+		case p.curSeq != 0 && m.Seq == p.curSeq:
+			if d := m.Records - p.curRecords; d > 0 {
+				segs++
+				recs += d
+			}
+			if d := m.Size - p.curApplied; d > 0 {
+				bytes += d
+			}
+		default:
+			if m.Records > 0 {
+				segs++
+			}
+			recs += m.Records
+			bytes += m.Size
+		}
+	}
+	return segs, recs, bytes
+}
+
+// progress snapshots a shardState into its pure diff form.
+func (st *shardState) progress() shardProgress {
+	p := shardProgress{bootstrapped: st.bootstrapped, doneSeq: st.doneSeq}
+	if st.cur != nil {
+		p.curSeq = st.cur.seq
+		p.curRecords = st.cur.records
+		p.curApplied = st.cur.applied
+	}
+	return p
+}

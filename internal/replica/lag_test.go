@@ -1,0 +1,148 @@
+package replica
+
+import (
+	"testing"
+
+	"github.com/asap-go/asap/internal/wal"
+)
+
+func meta(seq uint64, size, records int64, active bool) wal.FileMeta {
+	return wal.FileMeta{Name: wal.SegmentFileName(seq), Seq: seq, Size: size, Records: records, Active: active}
+}
+
+func TestManifestLagEmptyManifest(t *testing.T) {
+	empty := wal.ShardManifest{Shard: 0}
+	cases := []struct {
+		name string
+		p    shardProgress
+	}{
+		{"unbootstrapped", shardProgress{}},
+		{"bootstrapped", shardProgress{bootstrapped: true, doneSeq: 7}},
+		{"bootstrapped-in-flight", shardProgress{bootstrapped: true, doneSeq: 3, curSeq: 4, curRecords: 9, curApplied: 512}},
+	}
+	for _, tc := range cases {
+		segs, recs, bytes := manifestLag(empty, tc.p)
+		if segs != 0 || recs != 0 || bytes != 0 {
+			t.Errorf("%s: empty manifest reported lag %d/%d/%d, want zero", tc.name, segs, recs, bytes)
+		}
+	}
+}
+
+func TestManifestLagSnapshotOnlyShard(t *testing.T) {
+	sm := wal.ShardManifest{
+		Shard:    0,
+		Snapshot: &wal.FileMeta{Name: wal.SnapshotFileName(5), Seq: 5, Size: 4096, Records: 17},
+	}
+	// An unbootstrapped follower trails by the whole snapshot.
+	segs, recs, bytes := manifestLag(sm, shardProgress{})
+	if segs != 1 || recs != 17 || bytes != 4096 {
+		t.Errorf("unbootstrapped snapshot-only lag = %d/%d/%d, want 1/17/4096", segs, recs, bytes)
+	}
+	// A bootstrapped follower that applied through the covered range
+	// trails by nothing — the snapshot summarizes data it already holds.
+	segs, recs, bytes = manifestLag(sm, shardProgress{bootstrapped: true, doneSeq: 5})
+	if segs != 0 || recs != 0 || bytes != 0 {
+		t.Errorf("bootstrapped snapshot-only lag = %d/%d/%d, want zero", segs, recs, bytes)
+	}
+	// Even one that is behind the snapshot seq: the diff only counts
+	// segments; the chain-gap resync (not the gauge) handles jumping to
+	// a newer snapshot.
+	segs, recs, bytes = manifestLag(sm, shardProgress{bootstrapped: true, doneSeq: 2})
+	if segs != 0 || recs != 0 || bytes != 0 {
+		t.Errorf("stale bootstrapped snapshot-only lag = %d/%d/%d, want zero", segs, recs, bytes)
+	}
+}
+
+func TestManifestLagUnbootstrappedCountsEverything(t *testing.T) {
+	sm := wal.ShardManifest{
+		Shard:    1,
+		Snapshot: &wal.FileMeta{Name: wal.SnapshotFileName(3), Seq: 3, Size: 1000, Records: 10},
+		Segments: []wal.FileMeta{
+			meta(4, 200, 2, false),
+			meta(5, 300, 3, true),
+		},
+	}
+	segs, recs, bytes := manifestLag(sm, shardProgress{})
+	if segs != 3 || recs != 15 || bytes != 1500 {
+		t.Errorf("lag = %d/%d/%d, want 3/15/1500", segs, recs, bytes)
+	}
+}
+
+func TestManifestLagAppliedPrefixDoesNotCount(t *testing.T) {
+	sm := wal.ShardManifest{
+		Shard: 0,
+		Segments: []wal.FileMeta{
+			meta(1, 500, 5, false),
+			meta(2, 600, 6, false),
+			meta(3, 700, 7, true),
+		},
+	}
+	segs, recs, bytes := manifestLag(sm, shardProgress{bootstrapped: true, doneSeq: 2})
+	if segs != 1 || recs != 7 || bytes != 700 {
+		t.Errorf("lag = %d/%d/%d, want 1/7/700 (only the unapplied tail)", segs, recs, bytes)
+	}
+	// Fully caught up.
+	segs, recs, bytes = manifestLag(sm, shardProgress{bootstrapped: true, doneSeq: 3})
+	if segs != 0 || recs != 0 || bytes != 0 {
+		t.Errorf("caught-up lag = %d/%d/%d, want zero", segs, recs, bytes)
+	}
+}
+
+func TestManifestLagInFlightSegmentCountsUnappliedSuffix(t *testing.T) {
+	sm := wal.ShardManifest{
+		Shard: 0,
+		Segments: []wal.FileMeta{
+			meta(4, 1000, 10, true),
+		},
+	}
+	// Half applied: 4 records / 400 bytes remain.
+	p := shardProgress{bootstrapped: true, doneSeq: 3, curSeq: 4, curRecords: 6, curApplied: 600}
+	segs, recs, bytes := manifestLag(sm, p)
+	if segs != 1 || recs != 4 || bytes != 400 {
+		t.Errorf("lag = %d/%d/%d, want 1/4/400", segs, recs, bytes)
+	}
+	// Records applied but trailing bytes (a torn record's prefix) still
+	// pending: byte lag without a record lag must not count the segment.
+	p = shardProgress{bootstrapped: true, doneSeq: 3, curSeq: 4, curRecords: 10, curApplied: 900}
+	segs, recs, bytes = manifestLag(sm, p)
+	if segs != 0 || recs != 0 || bytes != 100 {
+		t.Errorf("lag = %d/%d/%d, want 0/0/100", segs, recs, bytes)
+	}
+	// Fully applied in flight: zero.
+	p = shardProgress{bootstrapped: true, doneSeq: 3, curSeq: 4, curRecords: 10, curApplied: 1000}
+	segs, recs, bytes = manifestLag(sm, p)
+	if segs != 0 || recs != 0 || bytes != 0 {
+		t.Errorf("lag = %d/%d/%d, want zero", segs, recs, bytes)
+	}
+}
+
+func TestManifestLagEmptySealedSegmentsDoNotCountAsSegments(t *testing.T) {
+	// A rotated-but-empty segment (magic only, no records) contributes
+	// bytes but must not show up as a "segment behind" — operators page
+	// on that number.
+	sm := wal.ShardManifest{
+		Shard: 0,
+		Segments: []wal.FileMeta{
+			meta(5, 8, 0, false),
+			meta(6, 8, 0, true),
+		},
+	}
+	segs, recs, bytes := manifestLag(sm, shardProgress{bootstrapped: true, doneSeq: 4})
+	if segs != 0 || recs != 0 || bytes != 16 {
+		t.Errorf("lag = %d/%d/%d, want 0/0/16", segs, recs, bytes)
+	}
+}
+
+func TestShardProgressSnapshot(t *testing.T) {
+	st := &shardState{bootstrapped: true, doneSeq: 9, cur: &segCursor{seq: 10, records: 3, applied: 333}}
+	p := st.progress()
+	want := shardProgress{bootstrapped: true, doneSeq: 9, curSeq: 10, curRecords: 3, curApplied: 333}
+	if p != want {
+		t.Errorf("progress = %+v, want %+v", p, want)
+	}
+	st.cur = nil
+	p = st.progress()
+	if p.curSeq != 0 || p.curRecords != 0 || p.curApplied != 0 {
+		t.Errorf("progress with no cursor = %+v, want zero cur fields", p)
+	}
+}

@@ -183,7 +183,13 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 		created = true
 	}
 	e.lastUsed = h.clock.Add(1)
-	e.st.PushBatch(values)
+	if f := e.st.PushBatch(values); f != nil {
+		// Ingest discards the emitted frame (readers fetch via Frame), so
+		// release it immediately: with every holder disciplined the
+		// refresh path recycles its values buffer through the frame pool
+		// and steady-state ingest stops allocating.
+		f.Release()
+	}
 	sh.mu.Unlock()
 	if created && int(h.count.Add(1)) > h.cfg.MaxSeries && primary {
 		h.evictLRU(name)
@@ -301,7 +307,11 @@ func (h *Hub) evictLRU(keep string) {
 
 // Frame returns the latest frame for the named series. The second
 // result reports whether the series exists; the frame is nil until the
-// series' first refresh. Reading a frame counts as a use for LRU.
+// series' first refresh. Reading a frame counts as a use for LRU. The
+// returned frame carries its own reference to the pooled values buffer:
+// callers should Release it when done (the HTTP handlers do, after
+// encoding), which is what lets concurrent refreshes recycle buffers
+// without ever mutating a frame a reader still holds.
 func (h *Hub) Frame(name string) (*asap.Frame, bool) {
 	sh := h.shardFor(name)
 	sh.mu.Lock()
@@ -323,7 +333,10 @@ type SeriesStats struct {
 	// Skipped counts refreshes the operator served from its cached
 	// search result (no new pane since the previous search).
 	Skipped int
-	Ratio   int
+	// Coalesced counts refresh deadlines folded into a single
+	// batch-tail search by batched ingest.
+	Coalesced int
+	Ratio     int
 }
 
 // Stats snapshots every live series' counters. Shards are locked one
@@ -342,6 +355,7 @@ func (h *Hub) Stats() map[string]SeriesStats {
 				Searches:   st.Searches,
 				Candidates: st.Candidates,
 				Skipped:    st.SearchesSkipped,
+				Coalesced:  st.SearchesCoalesced,
 				Ratio:      e.st.Ratio(),
 			}
 		}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/wal"
+)
+
+// TestBuildPrimaryManifestStreamSpec pins the stream-config mapping a
+// follower depends on for bit-identical frames: every field must cross
+// the wire, including the ones added after the protocol first shipped.
+func TestBuildPrimaryManifestStreamSpec(t *testing.T) {
+	st := asap.StreamConfig{
+		WindowPoints:          14400,
+		Resolution:            800,
+		RefreshEvery:          120,
+		MaxWindow:             64,
+		DisablePreaggregation: true,
+		IncrementalACF:        true,
+	}
+	pm := buildPrimaryManifest(wal.Manifest{Shards: 8}, "cpu", st)
+	if pm.Shards != 8 || pm.DefaultSeries != "cpu" {
+		t.Errorf("manifest header = %d/%q", pm.Shards, pm.DefaultSeries)
+	}
+	sp := pm.Stream
+	if sp.WindowPoints != 14400 || sp.Resolution != 800 || sp.RefreshEvery != 120 ||
+		sp.MaxWindow != 64 || !sp.DisablePreaggregation || !sp.IncrementalACF {
+		t.Errorf("stream spec dropped fields: %+v", sp)
+	}
+}
+
+// TestBuildPrimaryManifestEmpty: a fresh primary with no durable data
+// produces a manifest a follower can consume without special cases —
+// shard count present, no shard listings, empty (not nil-surprising)
+// semantics downstream.
+func TestBuildPrimaryManifestEmpty(t *testing.T) {
+	pm := buildPrimaryManifest(wal.Manifest{Shards: 4}, "default", asap.StreamConfig{
+		WindowPoints: 100, Resolution: 10,
+	})
+	if pm.Shards != 4 {
+		t.Errorf("shards = %d, want 4", pm.Shards)
+	}
+	if len(pm.ShardManifests) != 0 {
+		t.Errorf("empty manifest listed %d shards", len(pm.ShardManifests))
+	}
+}
+
+// TestBuildPrimaryManifestPassesShardListingsVerbatim: the WAL's
+// durable listing — snapshot-only shards included — must reach the
+// follower untouched; the diff on the other side is tested in
+// internal/replica against these same shapes.
+func TestBuildPrimaryManifestPassesShardListingsVerbatim(t *testing.T) {
+	in := []wal.ShardManifest{
+		{Shard: 0}, // empty shard
+		{Shard: 1, Snapshot: &wal.FileMeta{Name: wal.SnapshotFileName(3), Seq: 3, Size: 512, Records: 5}},
+		{Shard: 2, Segments: []wal.FileMeta{
+			{Name: wal.SegmentFileName(1), Seq: 1, Size: 64, Records: 2},
+			{Name: wal.SegmentFileName(2), Seq: 2, Size: 32, Records: 1, Active: true},
+		}},
+	}
+	pm := buildPrimaryManifest(wal.Manifest{Shards: 3, ShardManifests: in}, "d", asap.StreamConfig{
+		WindowPoints: 100, Resolution: 10,
+	})
+	if !reflect.DeepEqual(pm.ShardManifests, in) {
+		t.Errorf("shard manifests mutated:\n got %+v\nwant %+v", pm.ShardManifests, in)
+	}
+}

@@ -65,6 +65,7 @@ func newFollower(cfg Config) (*Server, error) {
 		RefreshEvery:          spec.Stream.RefreshEvery,
 		MaxWindow:             spec.Stream.MaxWindow,
 		DisablePreaggregation: spec.Stream.DisablePreaggregation,
+		IncrementalACF:        spec.Stream.IncrementalACF,
 	}
 	cfg.Hub.DefaultSeries = spec.DefaultSeries
 	cfg.Hub.WAL = nil
@@ -123,21 +124,28 @@ func (s *Server) handleReplicaSegments(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no write-ahead log to replicate (memory-only server or unpromoted follower)", http.StatusConflict)
 		return
 	}
-	m := wl.Manifest()
-	st := s.cfg.Hub.Stream
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, replica.PrimaryManifest{
+	writeJSON(w, buildPrimaryManifest(wl.Manifest(), s.hub.DefaultSeries(), s.cfg.Hub.Stream))
+}
+
+// buildPrimaryManifest assembles the wire manifest a follower consumes
+// from the WAL's durable listing plus the facts a follower must agree
+// on to produce bit-identical frames. Pure — unit-tested directly for
+// the manifest-diff edge cases (empty manifest, snapshot-only shards).
+func buildPrimaryManifest(m wal.Manifest, defaultSeries string, st asap.StreamConfig) replica.PrimaryManifest {
+	return replica.PrimaryManifest{
 		Shards:        m.Shards,
-		DefaultSeries: s.hub.DefaultSeries(),
+		DefaultSeries: defaultSeries,
 		Stream: replica.StreamSpec{
 			WindowPoints:          st.WindowPoints,
 			Resolution:            st.Resolution,
 			RefreshEvery:          st.RefreshEvery,
 			MaxWindow:             st.MaxWindow,
 			DisablePreaggregation: st.DisablePreaggregation,
+			IncrementalACF:        st.IncrementalACF,
 		},
 		ShardManifests: m.ShardManifests,
-	})
+	}
 }
 
 // handleReplicaSegment (GET) serves one shard file's bytes, honoring

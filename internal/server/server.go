@@ -505,6 +505,9 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
 		return
 	}
+	if f != nil {
+		defer f.Release() // hand the values buffer back to the frame pool
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if f == nil {
 		// The series exists but has not produced a frame yet; "null" keeps
@@ -546,6 +549,7 @@ type seriesStatsJSON struct {
 	Searches   int `json:"searches"`
 	Candidates int `json:"candidates"`
 	Skipped    int `json:"searches_skipped"`
+	Coalesced  int `json:"searches_coalesced"`
 	Ratio      int `json:"ratio"`
 }
 
@@ -556,6 +560,7 @@ func statsJSON(st SeriesStats) seriesStatsJSON {
 		Searches:   st.Searches,
 		Candidates: st.Candidates,
 		Skipped:    st.Skipped,
+		Coalesced:  st.Coalesced,
 		Ratio:      st.Ratio,
 	}
 }
@@ -585,6 +590,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		agg.Searches += st.Searches
 		agg.Candidates += st.Candidates
 		agg.Skipped += st.Skipped
+		agg.Coalesced += st.Coalesced
 		perOut[name] = statsJSON(st)
 	}
 	out := map[string]interface{}{
@@ -592,11 +598,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"evictions":    s.hub.Evictions(),
 		"role":         s.Role(),
 		"aggregate": map[string]int{
-			"raw_points":       agg.RawPoints,
-			"panes":            agg.Panes,
-			"searches":         agg.Searches,
-			"candidates":       agg.Candidates,
-			"searches_skipped": agg.Skipped,
+			"raw_points":         agg.RawPoints,
+			"panes":              agg.Panes,
+			"searches":           agg.Searches,
+			"candidates":         agg.Candidates,
+			"searches_skipped":   agg.Skipped,
+			"searches_coalesced": agg.Coalesced,
 		},
 		"series": perOut,
 	}
@@ -661,6 +668,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no frame yet", http.StatusServiceUnavailable)
 		return
 	}
+	defer f.Release() // hand the values buffer back to the frame pool
 	doc, err := plot.SVGSeries(
 		fmt.Sprintf("%s — frame #%d (window %d)", name, f.Sequence, f.Window),
 		880, 320,

@@ -1,0 +1,406 @@
+package stream
+
+import (
+	"testing"
+)
+
+// batches slices xs into consecutive batches of size n (last one short).
+func batches(xs []float64, n int) [][]float64 {
+	var out [][]float64
+	for len(xs) > 0 {
+		k := n
+		if k > len(xs) {
+			k = len(xs)
+		}
+		out = append(out, xs[:k])
+		xs = xs[k:]
+	}
+	return out
+}
+
+// TestPushBatchCoalescingMatchesPerPoint drives the same stream through
+// a coalescing operator (batched) and a per-point operator, across
+// ratios, cadences, and batch sizes that land refresh deadlines both on
+// and off batch boundaries. The schedule accounting — whether a batch
+// fires, Frame.Sequence, RawPoints/Panes/Searches — must be preserved
+// exactly everywhere. Frame contents are additionally compared bit for
+// bit once the window is warm (prefilled to capacity on a stationary
+// stream), where the search outcome is seed-stable; during the growth
+// phase the coalesced tail search is legitimately seeded by the
+// pre-batch window instead of the skipped intermediate searches, which
+// is the one documented semantic difference of coalescing.
+func TestPushBatchCoalescingMatchesPerPoint(t *testing.T) {
+	configs := []Config{
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 10},  // ratio 10, refresh per pane
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 170}, // deadline off pane boundaries
+		{WindowPoints: 2000, Resolution: 200, RefreshEvery: 1},   // sub-pane cadence (memoized deadlines)
+		{WindowPoints: 500, Resolution: 500, RefreshEvery: 3},    // ratio 1
+		{WindowPoints: 1000, Resolution: 100, RefreshEvery: 250, MaxWindow: 20},
+	}
+	sizes := []int{1, 7, 64, 640, 1000, 5000}
+	data := periodicStream(24000, 200, 0.3, 60)
+
+	for ci, cfg := range configs {
+		for _, size := range sizes {
+			co, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp.cfg.DisableBatchCoalescing = true
+			co.Prefill(data[:cfg.WindowPoints])
+			pp.Prefill(data[:cfg.WindowPoints])
+
+			fires := 0
+			for bi, b := range batches(data[cfg.WindowPoints:], size) {
+				cf, cok := co.PushBatch(b)
+				pf, pok := pp.PushBatch(b)
+				if cok != pok {
+					t.Fatalf("cfg %d size %d batch %d: coalesced fired=%v per-point fired=%v", ci, size, bi, cok, pok)
+				}
+				if !cok {
+					continue
+				}
+				fires++
+				if cf.Sequence != pf.Sequence || cf.Window != pf.Window {
+					t.Fatalf("cfg %d size %d batch %d: (seq %d win %d) != per-point (seq %d win %d)",
+						ci, size, bi, cf.Sequence, cf.Window, pf.Sequence, pf.Window)
+				}
+				// SeedReused describes the search actually run: on the first
+				// firing batch the coalesced tail search is seeded by the
+				// pre-batch window (still 1) while the per-point path seeded
+				// from its own intermediate searches, so compare only once
+				// both engines carry an established seed.
+				if fires > 1 && cf.SeedReused != pf.SeedReused {
+					t.Fatalf("cfg %d size %d batch %d: seed %v != per-point %v",
+						ci, size, bi, cf.SeedReused, pf.SeedReused)
+				}
+				if cf.Roughness != pf.Roughness || cf.Kurtosis != pf.Kurtosis {
+					t.Fatalf("cfg %d size %d batch %d: metrics differ", ci, size, bi)
+				}
+				if len(cf.Smoothed) != len(pf.Smoothed) {
+					t.Fatalf("cfg %d size %d batch %d: %d values != %d", ci, size, bi, len(cf.Smoothed), len(pf.Smoothed))
+				}
+				for j := range cf.Smoothed {
+					if cf.Smoothed[j] != pf.Smoothed[j] {
+						t.Fatalf("cfg %d size %d batch %d value %d: %v != %v",
+							ci, size, bi, j, cf.Smoothed[j], pf.Smoothed[j])
+					}
+				}
+				cf.Release()
+				pf.Release()
+			}
+			if fires == 0 {
+				t.Fatalf("cfg %d size %d: no frames compared", ci, size)
+			}
+
+			cs, ps := co.Stats(), pp.Stats()
+			if cs.RawPoints != ps.RawPoints || cs.Panes != ps.Panes || cs.Searches != ps.Searches {
+				t.Fatalf("cfg %d size %d: stats raw/panes/searches %d/%d/%d != per-point %d/%d/%d",
+					ci, size, cs.RawPoints, cs.Panes, cs.Searches, ps.RawPoints, ps.Panes, ps.Searches)
+			}
+			if ps.Coalesced != 0 {
+				t.Errorf("cfg %d size %d: per-point path coalesced %d", ci, size, ps.Coalesced)
+			}
+		}
+	}
+}
+
+// TestPushBatchCoalescingGrowthAccounting covers the cold-start phase
+// the strict comparison above skips: from an empty window, batched and
+// per-point ingest must agree on every scheduling observable (fire
+// flags, sequences, stats) even when the chosen windows may differ.
+func TestPushBatchCoalescingGrowthAccounting(t *testing.T) {
+	cfg := Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 10}
+	data := periodicStream(12000, 200, 0.3, 64)
+	for _, size := range []int{7, 64, 640, 1000} {
+		co, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp.cfg.DisableBatchCoalescing = true
+		for bi, b := range batches(data, size) {
+			cf, cok := co.PushBatch(b)
+			pf, pok := pp.PushBatch(b)
+			if cok != pok {
+				t.Fatalf("size %d batch %d: fired %v != per-point %v", size, bi, cok, pok)
+			}
+			if cok && cf.Sequence != pf.Sequence {
+				t.Fatalf("size %d batch %d: seq %d != per-point %d", size, bi, cf.Sequence, pf.Sequence)
+			}
+		}
+		cs, ps := co.Stats(), pp.Stats()
+		if cs.RawPoints != ps.RawPoints || cs.Panes != ps.Panes || cs.Searches != ps.Searches {
+			t.Fatalf("size %d: stats %d/%d/%d != per-point %d/%d/%d",
+				size, cs.RawPoints, cs.Panes, cs.Searches, ps.RawPoints, ps.Panes, ps.Searches)
+		}
+		if size >= 64 && cs.Coalesced == 0 {
+			t.Errorf("size %d: multi-deadline batches never coalesced", size)
+		}
+	}
+}
+
+// TestPushBatchCoalescedAccounting pins the counter arithmetic: a batch
+// crossing k deadlines performs exactly one real search, accounts k-1
+// in Coalesced, and the emitted frame's sequence equals Searches.
+func TestPushBatchCoalescedAccounting(t *testing.T) {
+	cfg := Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 10} // ratio 10, deadline per pane
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := periodicStream(20000, 200, 0.3, 61)
+	op.Prefill(data[:4000])
+
+	before := op.Stats()
+	f, ok := op.PushBatch(data[4000:4640]) // 64 panes = 64 deadlines
+	if !ok {
+		t.Fatal("no frame from a 64-deadline batch")
+	}
+	defer f.Release()
+	after := op.Stats()
+	if got := after.Searches - before.Searches; got != 64 {
+		t.Errorf("batch advanced Searches by %d, want 64", got)
+	}
+	if got := after.Coalesced - before.Coalesced; got != 63 {
+		t.Errorf("batch coalesced %d deadlines, want 63", got)
+	}
+	if f.Sequence != after.Searches {
+		t.Errorf("frame sequence %d != searches %d", f.Sequence, after.Searches)
+	}
+	// Candidate evaluations happened for one search only.
+	if after.Candidates-before.Candidates <= 0 {
+		t.Error("tail search evaluated no candidates")
+	}
+}
+
+// TestPushBatchNoDeadline: a batch that crosses no refresh deadline
+// must accumulate silently and leave the refresh phase intact.
+func TestPushBatchNoDeadline(t *testing.T) {
+	cfg := Config{WindowPoints: 4000, Resolution: 400, RefreshEvery: 1000}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.cfg.DisableBatchCoalescing = true
+	data := periodicStream(6000, 200, 0.3, 62)
+
+	// 999-point batches: most fire nothing; phase must stay aligned.
+	for bi, b := range batches(data, 999) {
+		cf, cok := co.PushBatch(b)
+		pf, pok := pp.PushBatch(b)
+		if cok != pok {
+			t.Fatalf("batch %d: fired %v != per-point %v", bi, cok, pok)
+		}
+		if cok && cf.Sequence != pf.Sequence {
+			t.Fatalf("batch %d: seq %d != %d", bi, cf.Sequence, pf.Sequence)
+		}
+	}
+	if co.Stats() != pp.Stats() {
+		t.Fatalf("stats diverged: %+v != %+v", co.Stats(), pp.Stats())
+	}
+}
+
+// TestFrameSurvivesWithoutRelease: a frame the caller holds without
+// releasing must stay immutable while the operator keeps refreshing and
+// recycling other buffers through the pool.
+func TestFrameSurvivesWithoutRelease(t *testing.T) {
+	cfg := Config{WindowPoints: 1000, Resolution: 100, RefreshEvery: 10}
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := periodicStream(30000, 100, 0.2, 63)
+	var held Frame
+	var snapshot []float64
+	for i, x := range data[:15000] {
+		if f, ok := op.Push(x); ok {
+			if held.Smoothed == nil && i > 5000 {
+				held = f // keep this one, never Release
+				snapshot = append([]float64(nil), f.Smoothed...)
+			} else {
+				f.Release()
+			}
+		}
+	}
+	if held.Smoothed == nil {
+		t.Fatal("never captured a frame")
+	}
+	for _, x := range data[15000:] {
+		if f, ok := op.Push(x); ok {
+			f.Release()
+		}
+	}
+	for i := range snapshot {
+		if held.Smoothed[i] != snapshot[i] {
+			t.Fatalf("held frame mutated at %d: %v != %v", i, held.Smoothed[i], snapshot[i])
+		}
+	}
+	held.Release()
+	held.Release() // idempotent on the same copy
+}
+
+// TestOperatorIncrementalACFMatchesAnalyzer: the incremental-ACF
+// operator must pick the same windows — and therefore emit bit-identical
+// frames, since values and metrics are functions of (data, window) —
+// as the analyzer operator on streams away from decision boundaries.
+func TestOperatorIncrementalACFMatchesAnalyzer(t *testing.T) {
+	configs := []Config{
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 10},
+		{WindowPoints: 4000, Resolution: 400, RefreshEvery: 170},
+		{WindowPoints: 1000, Resolution: 100, RefreshEvery: 250, MaxWindow: 20},
+	}
+	streams := map[string][]float64{
+		"periodic": periodicStream(20000, 200, 0.3, 70),
+		"drift":    driftStream(20000, 71),
+	}
+	for ci, cfg := range configs {
+		inc := cfg
+		inc.IncrementalACF = true
+		for name, data := range streams {
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.inc == nil {
+				t.Fatalf("cfg %d: incremental operator has no maintainer", ci)
+			}
+			frames := 0
+			for i, x := range data {
+				af, aok := a.Push(x)
+				bf, bok := b.Push(x)
+				if aok != bok {
+					t.Fatalf("cfg %d %s point %d: fired %v != %v", ci, name, i, aok, bok)
+				}
+				if !aok {
+					continue
+				}
+				frames++
+				if af.Window != bf.Window {
+					t.Fatalf("cfg %d %s frame %d: window %d != incremental %d", ci, name, frames, af.Window, bf.Window)
+				}
+				for j := range af.Smoothed {
+					if af.Smoothed[j] != bf.Smoothed[j] {
+						t.Fatalf("cfg %d %s frame %d value %d differs", ci, name, frames, j)
+					}
+				}
+				af.Release()
+				bf.Release()
+			}
+			if frames == 0 {
+				t.Fatalf("cfg %d %s: no frames compared", ci, name)
+			}
+		}
+	}
+}
+
+// TestOperatorIncrementalACFRestore: an incremental-ACF operator that
+// goes through Restore must keep producing frames (the maintainer is
+// reset and rebuilt from the restored tail).
+func TestOperatorIncrementalACFRestore(t *testing.T) {
+	cfg := Config{WindowPoints: 400, Resolution: 100, RefreshEvery: 37, IncrementalACF: true}
+	input := periodicStream(1000, 60, 0.2, 73)
+
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 600
+	horizon := (op.capacity + 2) * op.ratio
+	tail := input[:cut]
+	if len(tail) > horizon {
+		tail = tail[len(tail)-horizon:]
+	}
+	op.Restore(tail, cut)
+	frames := 0
+	for _, x := range input[cut:] {
+		if f, ok := op.Push(x); ok {
+			frames++
+			if len(f.Smoothed) == 0 {
+				t.Fatal("empty frame after restore")
+			}
+			f.Release()
+		}
+	}
+	if frames == 0 {
+		t.Fatal("no frames after restore")
+	}
+	// The maintainer tracks the rebuilt window, not the closed-form pane
+	// counter (the restored tail is shorter than the lost history).
+	if op.inc.Len() != op.count {
+		t.Errorf("maintainer holds %d panes, ring holds %d", op.inc.Len(), op.count)
+	}
+}
+
+// BenchmarkPushBatchCoalesced is the acceptance benchmark: ingesting
+// 64-pane batches (one refresh deadline per pane) through the
+// coalesced path against the per-pane refresh path it replaces. The
+// acceptance bar is >= 3x.
+func BenchmarkPushBatchCoalesced(b *testing.B) {
+	data := periodicStream(16000, 400, 0.3, 80)
+	cfg := Config{WindowPoints: 8000, Resolution: 800} // ratio 10, refresh per pane
+	const batchPoints = 640                            // 64 panes = 64 deadlines
+
+	run := func(b *testing.B, disable bool) {
+		c := cfg
+		c.DisableBatchCoalescing = disable
+		op, err := New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		op.Prefill(data[:8000])
+		b.SetBytes(batchPoints * 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		off := 8000
+		for i := 0; i < b.N; i++ {
+			if off+batchPoints > len(data) {
+				off = 0
+			}
+			if f, ok := op.PushBatch(data[off : off+batchPoints]); ok {
+				f.Release()
+			}
+			off += batchPoints
+		}
+	}
+
+	b.Run("perpane", func(b *testing.B) { run(b, true) })
+	b.Run("coalesced", func(b *testing.B) { run(b, false) })
+	b.Run("coalesced-incremental", func(b *testing.B) {
+		c := cfg
+		c.IncrementalACF = true
+		op, err := New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		op.Prefill(data[:8000])
+		b.SetBytes(batchPoints * 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		off := 8000
+		for i := 0; i < b.N; i++ {
+			if off+batchPoints > len(data) {
+				off = 0
+			}
+			if f, ok := op.PushBatch(data[off : off+batchPoints]); ok {
+				f.Release()
+			}
+			off += batchPoints
+		}
+	})
+}

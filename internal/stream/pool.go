@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frameBuf is a pooled frame-values buffer with a reference count. The
+// operator holds one reference for its cached frame; every emission
+// (Push/PushBatch return, Frame getter) hands the receiver another.
+// When the last reference is released the buffer returns to the shared
+// pool and the next refresh reuses it — the final allocation of the
+// steady-state refresh path.
+//
+// Failure is graceful by construction: a caller that never calls
+// Release merely keeps its buffer out of the pool (the GC reclaims it
+// as before — exactly the pre-pool behaviour), while the values it
+// holds stay immutable because a referenced buffer is never recycled.
+type frameBuf struct {
+	vals []float64
+	refs atomic.Int32
+	// gen increments every time the buffer is reissued from the pool.
+	// Frames snapshot it at emission, which turns the worst misuse —
+	// releasing two copies of one Frame, where the second release lands
+	// after the buffer was already recycled to a new owner — from
+	// silent cross-series data corruption into a harmless no-op (the
+	// stale handle's generation no longer matches). A same-generation
+	// double release (both copies released before the buffer is
+	// reissued) remains undetectable without per-emission allocation;
+	// see Release's contract.
+	gen atomic.Uint32
+}
+
+// framePool recycles frame buffers across every operator in the
+// process; the server hub's per-series operators all feed it.
+var framePool = sync.Pool{New: func() interface{} { return new(frameBuf) }}
+
+// newFrameBuf returns a buffer with n valid values and one reference
+// (the operator's own).
+func newFrameBuf(n int) *frameBuf {
+	b := framePool.Get().(*frameBuf)
+	if cap(b.vals) < n {
+		b.vals = make([]float64, n)
+	}
+	b.vals = b.vals[:n]
+	b.gen.Add(1)
+	b.refs.Store(1)
+	return b
+}
+
+func (b *frameBuf) retain() { b.refs.Add(1) }
+
+func (b *frameBuf) release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		framePool.Put(b)
+	case n < 0:
+		panic("stream: frame buffer over-released")
+	}
+}
+
+// Release returns the frame's values buffer to the shared pool once
+// every holder has released it. After Release the frame's Smoothed
+// slice must not be used; Release on a zero or already-released frame
+// is a no-op. Callers that retain frames indefinitely may simply never
+// call it — they keep today's immutable-frame contract and only forgo
+// buffer reuse.
+//
+// Each emitted Frame carries exactly ONE release; do not copy a Frame
+// and release both copies. The generation check below downgrades the
+// late variant of that misuse (second release after the buffer was
+// recycled to a new owner) to a no-op; a double release racing ahead
+// of the recycle can still free a buffer its other holders share, so
+// the contract stands.
+func (f *Frame) Release() {
+	b := f.buf
+	if b == nil {
+		return
+	}
+	f.buf = nil
+	f.Smoothed = nil
+	if b.gen.Load() != f.gen {
+		return // stale handle: the buffer already belongs to a new owner
+	}
+	b.release()
+}

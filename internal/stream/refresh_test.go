@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"math/rand"
+	"runtime/debug"
 	"testing"
 
 	"github.com/asap-go/asap/internal/acf"
@@ -337,8 +338,11 @@ func warmOperator(t testing.TB, cfg Config, data []float64) *Operator {
 }
 
 // TestRefreshSteadyStateAllocations enforces the refresh path's
-// allocation contract: a warmed operator performs zero steady-state heap
-// allocations per refresh beyond the emitted frame's values.
+// allocation contract: a warmed operator whose emitted frames are
+// Released performs ZERO steady-state heap allocations per refresh —
+// the pooled frame buffer closes the loop the old "1 alloc (the values
+// copy)" contract left open. GC is paused for the measurement because
+// a collection legitimately empties the sync.Pool.
 func TestRefreshSteadyStateAllocations(t *testing.T) {
 	data := periodicStream(8000, 400, 0.3, 40)
 	cfg := Config{WindowPoints: 8000, Resolution: 800} // ratio 10, refresh per pane
@@ -353,19 +357,49 @@ func TestRefreshSteadyStateAllocations(t *testing.T) {
 		}
 		return x
 	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// Prime the pool: the first released frame seeds the buffer the
+	// steady state recycles.
+	for k := 0; k < 2*ratio; k++ {
+		if f, ok := op.Push(next()); ok {
+			f.Release()
+		}
+	}
 	allocs := testing.AllocsPerRun(100, func() {
 		fired := false
 		for k := 0; k < ratio; k++ {
-			if _, ok := op.Push(next()); ok {
+			if f, ok := op.Push(next()); ok {
 				fired = true
+				f.Release()
 			}
 		}
 		if !fired {
 			t.Fatal("pane-sized push burst did not refresh")
 		}
 	})
-	if allocs > 1 {
-		t.Errorf("full-search refresh allocated %.2f objects/op, want <= 1 (the emitted frame values)", allocs)
+	if allocs != 0 {
+		t.Errorf("pooled-frame refresh allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestRefreshAllocationsWithoutRelease bounds the graceful-degradation
+// mode: a caller that never Releases frames gets at most the pre-pool
+// behaviour back (one values buffer plus its pool header per refresh) —
+// never corruption, never unbounded growth beyond what it retains.
+func TestRefreshAllocationsWithoutRelease(t *testing.T) {
+	data := periodicStream(8000, 400, 0.3, 42)
+	cfg := Config{WindowPoints: 8000, Resolution: 800}
+	op := warmOperator(t, cfg, data)
+	ratio := op.Ratio()
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		for k := 0; k < ratio; k++ {
+			op.Push(data[i%len(data)]) // frame discarded without Release
+			i++
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("release-free refresh allocated %.2f objects/op, want <= 2 (values + pool header)", allocs)
 	}
 }
 
@@ -416,7 +450,9 @@ func BenchmarkRefresh(b *testing.B) {
 		i := 0
 		for n := 0; n < b.N; n++ {
 			for k := 0; k < ratio; k++ {
-				op.Push(data[i%len(data)])
+				if f, ok := op.Push(data[i%len(data)]); ok {
+					f.Release() // the disciplined consumer path (what the hub does)
+				}
 				i++
 			}
 		}
@@ -429,7 +465,9 @@ func BenchmarkRefresh(b *testing.B) {
 		b.ResetTimer()
 		i := 0
 		for n := 0; n < b.N; n++ {
-			op.Push(data[i%len(data)])
+			if f, ok := op.Push(data[i%len(data)]); ok {
+				f.Release()
+			}
 			i++
 		}
 	})

@@ -19,18 +19,28 @@
 //
 // # The refresh engine
 //
-// The steady-state refresh path is allocation-free except for the values
-// of the frame it emits. The operator owns a reusable acf.Analyzer (FFT
-// plan plus scratch buffers), a reusable core.Result, a chronological
-// window scratch, and a smoothed-output buffer; a refresh runs the ACF,
-// the search, and the SMA entirely in that state, then copies the
-// smoothed series once into the escaping frame. When a refresh fires
-// before any new aggregated pane has completed — a sub-pane refresh
-// cadence — and the previous search was a fixed point (it returned its
-// own seed), the search is skipped outright and the cached result is
-// re-emitted with a bumped sequence number: re-running would repeat the
-// identical computation on identical input, so the skip is bit-exact by
+// The steady-state refresh path is allocation-free. The operator owns a
+// reusable acf.Analyzer (FFT plan plus scratch buffers), a reusable
+// core.Result, a chronological window scratch, and a smoothed-output
+// buffer; a refresh runs the ACF, the search, and the SMA entirely in
+// that state, then copies the smoothed series once into a pooled,
+// reference-counted frame buffer. Consumers that Release frames when
+// done return those buffers to the pool, closing the last per-refresh
+// allocation; consumers that never Release degrade gracefully to the
+// old one-allocation behaviour. When a refresh fires before any new
+// aggregated pane has completed — a sub-pane refresh cadence — and the
+// previous search was a fixed point (it returned its own seed), the
+// search is skipped outright and the cached result is re-emitted with a
+// bumped sequence number: re-running would repeat the identical
+// computation on identical input, so the skip is bit-exact by
 // construction, not by estimation.
+//
+// Two further optimizations target batch ingest and long windows:
+// PushBatch coalesces the refresh deadlines a batch crosses into one
+// search at the batch tail (Stats.Coalesced), and Config.IncrementalACF
+// swaps the per-refresh FFT recomputation for an acf.Incremental
+// maintainer updated in O(maxLag) per pane (see docs/PERFORMANCE.md for
+// the semantics of both).
 package stream
 
 import (
@@ -64,12 +74,32 @@ type Config struct {
 	DisablePreaggregation bool
 	// MaxWindow optionally bounds the search on the aggregated window.
 	MaxWindow int
+	// IncrementalACF maintains the autocorrelation incrementally
+	// (acf.Incremental: O(maxLag) per pane with periodic exact resync)
+	// instead of recomputing it per refresh through the FFT analyzer.
+	// Frames agree with the analyzer path to 1e-9 in the ACF estimate —
+	// and are bit-identical whenever the search picks the same window,
+	// which is everything except exact decision boundaries — but the
+	// maintained state depends on the whole stream history, so enabling
+	// it weakens the bit-exact restart/replica equivalence guarantee to
+	// that tolerance. Off by default for that reason. Only affects
+	// StrategyASAP.
+	IncrementalACF bool
+	// DisableBatchCoalescing forces PushBatch to refresh per deadline
+	// exactly like repeated Push. It exists for the differential tests
+	// and the before/after benchmark; production callers want the
+	// default coalesced path.
+	DisableBatchCoalescing bool
 }
 
 // Frame is one rendered output of the operator: the state of the smoothed
 // visualization after a refresh. Frames are emitted by value; Smoothed is
-// freshly copied on emission and never written again by the operator, so a
-// Frame may be retained indefinitely.
+// freshly copied on emission and never written by the operator while the
+// frame is live, so a Frame may be retained indefinitely. Smoothed is
+// backed by a pooled, reference-counted buffer: callers that are done
+// with a frame should call Release so the buffer can be reused by a
+// later refresh; callers that never Release simply leave the buffer to
+// the garbage collector (it is never recycled under them).
 type Frame struct {
 	// Smoothed is the SMA of the aggregated window with the chosen window.
 	Smoothed []float64
@@ -83,6 +113,12 @@ type Frame struct {
 	SeedReused bool
 	// Sequence numbers the refreshes, starting at 1.
 	Sequence int
+
+	// buf is the pooled backing store of Smoothed (nil for zero frames
+	// and after Release); gen is the buffer generation this frame was
+	// emitted against, letting Release ignore stale handles.
+	buf *frameBuf
+	gen uint32
 }
 
 // Stats counts the operator's work, the raw material of Figures 10 and 11.
@@ -96,6 +132,12 @@ type Stats struct {
 	// (sub-pane refresh cadences). Skipped refreshes still count in
 	// Searches — they emit a frame — but evaluate no candidates.
 	Skipped int
+	// Coalesced counts refresh deadlines that PushBatch folded into its
+	// single batch-tail search: a batch crossing k deadlines runs one
+	// real search and accounts the other k-1 here. Coalesced deadlines
+	// count in Searches (they advance Frame.Sequence) but evaluate no
+	// candidates and emit no intermediate frames.
+	Coalesced int
 }
 
 // Operator is a streaming ASAP instance. It is not safe for concurrent
@@ -125,8 +167,13 @@ type Operator struct {
 	// Reusable refresh-engine state: the analyzer owns the FFT plan and
 	// ACF scratch, searchRes the search output, scratch the chronological
 	// window copy, and smooth the smoothed series before it is copied
-	// into the emitted frame.
+	// into the emitted frame. With Config.IncrementalACF, inc fully
+	// replaces the analyzer (New sizes it to cover every lag a refresh
+	// can request, so no analyzer fallback exists on that path; an inc
+	// error just runs the search without ACF pruning, like the analyzer
+	// error path).
 	analyzer  *acf.Analyzer
+	inc       *acf.Incremental
 	searchRes core.Result
 	scratch   []float64
 	smooth    []float64
@@ -173,7 +220,7 @@ func New(cfg Config) (*Operator, error) {
 	if refreshRaw <= 0 {
 		refreshRaw = ratio // one refresh per completed pane
 	}
-	return &Operator{
+	o := &Operator{
 		cfg:             cfg,
 		ratio:           ratio,
 		capacity:        capacity,
@@ -182,15 +229,37 @@ func New(cfg Config) (*Operator, error) {
 		lastWindow:      1,
 		scratch:         make([]float64, capacity),
 		smooth:          make([]float64, 0, capacity),
-	}, nil
+	}
+	if cfg.IncrementalACF && cfg.Strategy == core.StrategyASAP {
+		// Size the maintainer for the at-capacity search: the lags a
+		// refresh requests only shrink while the window is still growing,
+		// so this one bound covers the operator's whole life.
+		maxW := cfg.MaxWindow
+		if maxW <= 0 {
+			maxW = int(float64(capacity) * core.DefaultMaxWindowFraction)
+		}
+		maxLag := maxW + 2
+		if maxLag > capacity-1 {
+			maxLag = capacity - 1
+		}
+		if maxLag >= 1 {
+			inc, err := acf.NewIncremental(acf.IncrementalConfig{Capacity: capacity, MaxLag: maxLag})
+			if err != nil {
+				return nil, fmt.Errorf("%w: incremental ACF: %v", ErrConfig, err)
+			}
+			o.inc = inc
+		}
+	}
+	return o, nil
 }
 
 // Ratio returns the point-to-pixel ratio (pane size) in effect.
 func (o *Operator) Ratio() int { return o.ratio }
 
-// Push feeds one raw point into the operator. It returns the new frame
-// and true if this point triggered a refresh.
-func (o *Operator) Push(x float64) (Frame, bool) {
+// accumulate feeds one raw point into pane aggregation and the refresh
+// clock without evaluating the refresh condition — the shared body of
+// Push and the batched ingest paths.
+func (o *Operator) accumulate(x float64) {
 	o.stats.RawPoints++
 	o.paneSum += x
 	o.paneCount++
@@ -199,7 +268,46 @@ func (o *Operator) Push(x float64) (Frame, bool) {
 		o.paneSum, o.paneCount = 0, 0
 	}
 	o.rawSinceRefresh++
-	if o.rawSinceRefresh >= o.refreshEveryRaw && o.count >= 4 {
+}
+
+// refreshDue is THE refresh firing condition — the interval elapsed and
+// enough aggregated panes exist to search. Push, PushBatch's real pass,
+// and tickSchedule's dry-run mirror must all express exactly this rule;
+// change it here and in tickSchedule together.
+func (o *Operator) refreshDue() bool {
+	return o.rawSinceRefresh >= o.refreshEveryRaw && o.count >= 4
+}
+
+// tickSchedule advances a dry-run copy of the scheduling state
+// (paneCount, ring occupancy, raw points since refresh) by one raw
+// point and reports whether a refresh fires there — the pure mirror of
+// accumulate+refreshDue that PushBatch's pass 1 simulates with. It must
+// stay in lockstep with accumulate/appendAgg/refreshDue; PushBatch's
+// real pass tolerates divergence (degraded coalescing, a late flush
+// search), but only this mirror being faithful makes coalesced frames
+// land on exactly the per-point schedule.
+func (o *Operator) tickSchedule(paneCount, count, rawSince int) (int, int, int, bool) {
+	paneCount++
+	if paneCount == o.ratio {
+		paneCount = 0
+		if count < o.capacity {
+			count++
+		}
+	}
+	rawSince++
+	fire := false
+	if rawSince >= o.refreshEveryRaw && count >= 4 {
+		rawSince = 0
+		fire = true
+	}
+	return paneCount, count, rawSince, fire
+}
+
+// Push feeds one raw point into the operator. It returns the new frame
+// and true if this point triggered a refresh.
+func (o *Operator) Push(x float64) (Frame, bool) {
+	o.accumulate(x)
+	if o.refreshDue() {
 		o.rawSinceRefresh = 0
 		return o.refresh()
 	}
@@ -208,15 +316,96 @@ func (o *Operator) Push(x float64) (Frame, bool) {
 
 // PushBatch feeds a slice of points and returns the last frame produced
 // during the batch (false when no refresh fired).
+//
+// Refresh deadlines inside the batch are coalesced: a batch crossing k
+// deadlines runs ONE search, at the last deadline the batch reaches,
+// instead of k. The skipped deadlines still advance the frame sequence
+// and the Searches counter (so Frame.Sequence == Stats.Searches and the
+// WAL restore arithmetic hold) and are reported in Stats.Coalesced; no
+// intermediate frames are materialized — exactly what the per-point
+// path's callers observed anyway, since only the last frame was ever
+// returned. The one semantic difference is that the tail search is
+// seeded by the window chosen before the batch rather than by the
+// skipped intermediate searches; on streams where the search outcome is
+// seed-independent (any stable periodicity) the emitted frame is
+// bit-identical to the per-point path's last frame.
 func (o *Operator) PushBatch(xs []float64) (Frame, bool) {
-	var last Frame
-	var ok bool
-	for _, x := range xs {
-		if f, fired := o.Push(x); fired {
-			last, ok = f, true
+	if o.cfg.DisableBatchCoalescing {
+		var last Frame
+		var ok bool
+		for _, x := range xs {
+			if f, fired := o.Push(x); fired {
+				if ok {
+					last.Release() // superseded intermediate emission
+				}
+				last, ok = f, true
+			}
+		}
+		return last, ok
+	}
+
+	// Pass 1: dry-run the schedule with tickSchedule to find the index
+	// of the last point that will fire a refresh. This index is only a
+	// PLACEMENT HINT for where the one real search runs; all counter
+	// accounting below derives from the deadlines the real pass
+	// actually hits, and a trailing flush covers the hint ever being
+	// wrong, so a mirror divergence can only degrade coalescing — never
+	// break Frame.Sequence == Stats.Searches or lose a refresh.
+	paneCount, count, rawSince := o.paneCount, o.count, o.rawSinceRefresh
+	lastFire := -1
+	for i := range xs {
+		var fire bool
+		paneCount, count, rawSince, fire = o.tickSchedule(paneCount, count, rawSince)
+		if fire {
+			lastFire = i
 		}
 	}
-	return last, ok
+
+	// Pass 2: accumulate, consuming deadlines as the per-point path
+	// would. Deadlines before the hint are counted and folded into the
+	// next real search; the hinted deadline (and, defensively, any the
+	// mirror failed to predict after it) runs a real search.
+	var out Frame
+	var ok bool
+	coalesced := 0
+	flush := func() {
+		// Fold the pending skipped deadlines in first so the emitted
+		// frame's sequence lands where the per-point path's would.
+		o.stats.Searches += coalesced
+		o.stats.Coalesced += coalesced
+		if f, fired := o.refresh(); fired {
+			if ok {
+				out.Release() // superseded earlier emission
+			}
+			out, ok = f, true
+			coalesced = 0
+		} else {
+			// Unreachable (a due refresh guarantees >= 4 panes), but
+			// keep the counters honest if it ever trips.
+			o.stats.Searches -= coalesced
+			o.stats.Coalesced -= coalesced
+		}
+	}
+	for i, x := range xs {
+		o.accumulate(x)
+		if o.refreshDue() {
+			o.rawSinceRefresh = 0
+			if i < lastFire {
+				coalesced++ // accounted when the tail search runs
+				continue
+			}
+			flush()
+		}
+	}
+	if coalesced > 0 && o.count >= 4 {
+		// The mirror overpredicted lastFire and real deadlines were
+		// consumed without their tail search ever running (impossible
+		// while tickSchedule matches accumulate, by construction).
+		// Flush them now: one late search instead of lost refreshes.
+		coalesced--
+		flush()
+	}
+	return out, ok
 }
 
 // Prefill loads historical points into the window without triggering any
@@ -225,13 +414,7 @@ func (o *Operator) PushBatch(xs []float64) (Frame, bool) {
 // The next regular Push resumes the configured refresh cadence.
 func (o *Operator) Prefill(xs []float64) {
 	for _, x := range xs {
-		o.stats.RawPoints++
-		o.paneSum += x
-		o.paneCount++
-		if o.paneCount == o.ratio {
-			o.appendAgg(o.paneSum / float64(o.ratio))
-			o.paneSum, o.paneCount = 0, 0
-		}
+		o.accumulate(x)
 	}
 	o.rawSinceRefresh = 0
 }
@@ -254,11 +437,15 @@ func (o *Operator) Restore(tail []float64, total int) {
 	o.head, o.count = 0, 0
 	o.rawSinceRefresh = 0
 	o.lastWindow = 1
+	o.frame.Release() // drop the cache's pooled buffer reference
 	o.frame = Frame{}
 	o.hasFrame = false
 	o.panesAtSearch = 0
 	o.searchFixpoint = false
 	o.stats = Stats{}
+	if o.inc != nil {
+		o.inc.Reset()
+	}
 
 	// Pane boundaries in the original stream sit at multiples of the
 	// ratio; start feeding at the first boundary at or after the tail's
@@ -305,6 +492,9 @@ func (o *Operator) Restore(tail []float64, total int) {
 // when the visualization window is full (data "transits" the window).
 func (o *Operator) appendAgg(v float64) {
 	o.stats.Panes++
+	if o.inc != nil {
+		o.inc.Push(v)
+	}
 	if o.count < o.capacity {
 		o.ring[(o.head+o.count)%o.capacity] = v
 		o.count++
@@ -345,7 +535,11 @@ func (o *Operator) refresh() (Frame, bool) {
 		o.stats.Skipped++
 		o.frame.Sequence = o.stats.Searches
 		o.frame.SeedReused = o.lastWindow > 1
-		return o.frame, true
+		out := o.frame
+		if out.buf != nil {
+			out.buf.retain() // the caller's reference to the shared buffer
+		}
+		return out, true
 	}
 
 	data := o.window()
@@ -368,11 +562,20 @@ func (o *Operator) refresh() (Frame, bool) {
 			maxLag = len(data) - 1
 		}
 		if maxLag >= 1 {
-			if o.analyzer == nil {
-				o.analyzer = acf.NewAnalyzer()
-			}
-			if r, err := o.analyzer.Compute(data, maxLag); err == nil {
-				opts.ACF = r
+			if o.inc != nil {
+				// Incremental path: O(maxLag) maintenance already happened
+				// at pane arrival; the query is O(n) for the drift sentinel
+				// plus O(maxLag) for the correlations.
+				if r, err := o.inc.Result(maxLag); err == nil {
+					opts.ACF = r
+				}
+			} else {
+				if o.analyzer == nil {
+					o.analyzer = acf.NewAnalyzer()
+				}
+				if r, err := o.analyzer.Compute(data, maxLag); err == nil {
+					opts.ACF = r
+				}
 			}
 		}
 	}
@@ -384,26 +587,33 @@ func (o *Operator) refresh() (Frame, bool) {
 	res := &o.searchRes
 	o.stats.Candidates += res.Candidates
 
-	// Smooth into the reusable buffer, then copy once for the escaping
-	// frame — the single steady-state allocation of the refresh path.
+	// Smooth into the reusable buffer, then copy once into a pooled
+	// frame buffer. When every downstream holder Releases its frames the
+	// buffer comes straight back from the pool and the steady-state
+	// refresh path allocates nothing at all.
 	o.smooth = smaInto(o.smooth, data, res.Window)
-	vals := make([]float64, len(o.smooth))
-	copy(vals, o.smooth)
+	buf := newFrameBuf(len(o.smooth))
+	copy(buf.vals, o.smooth)
 
 	seedReused := o.lastWindow > 1 && res.Window == o.lastWindow
 	o.searchFixpoint = res.Window == o.lastWindow
 	o.lastWindow = res.Window
 	o.panesAtSearch = o.stats.Panes
+	o.frame.Release() // the cache's reference to the superseded buffer
 	o.frame = Frame{
-		Smoothed:   vals,
+		Smoothed:   buf.vals,
 		Window:     res.Window,
 		Roughness:  res.Roughness,
 		Kurtosis:   res.Kurtosis,
 		SeedReused: seedReused,
 		Sequence:   o.stats.Searches,
+		buf:        buf,
+		gen:        buf.gen.Load(),
 	}
 	o.hasFrame = true
-	return o.frame, true
+	out := o.frame
+	out.buf.retain()
+	return out, true
 }
 
 // smaInto materializes SMA(data, w) with slide 1 into dst, growing it only
@@ -429,8 +639,17 @@ func smaInto(dst, data []float64, w int) []float64 {
 }
 
 // Frame returns the most recent frame; the second result is false before
-// the first refresh.
-func (o *Operator) Frame() (Frame, bool) { return o.frame, o.hasFrame }
+// the first refresh. The returned frame carries its own reference to the
+// pooled values buffer — callers that want the buffer recycled call
+// Release when done, and callers that keep the frame forever simply
+// don't.
+func (o *Operator) Frame() (Frame, bool) {
+	out := o.frame
+	if o.hasFrame && out.buf != nil {
+		out.buf.retain()
+	}
+	return out, o.hasFrame
+}
 
 // Stats returns a copy of the operator's work counters.
 func (o *Operator) Stats() Stats { return o.stats }

@@ -25,9 +25,22 @@ type StreamConfig struct {
 	DisablePreaggregation bool
 	// MaxWindow optionally bounds the search on the aggregated window.
 	MaxWindow int
+	// IncrementalACF maintains the autocorrelation incrementally —
+	// O(maxLag) per pane with periodic exact resyncs — instead of
+	// recomputing it per refresh through the FFT (see
+	// docs/PERFORMANCE.md). The ACF estimate agrees with the FFT path to
+	// 1e-9, and frames are bit-identical whenever the search picks the
+	// same window; because the maintained state spans the whole stream
+	// history, enabling this weakens the bit-exact restart/replica frame
+	// equivalence to that tolerance. Off by default.
+	IncrementalACF bool
 }
 
-// Frame is one rendered output of a Streamer.
+// Frame is one rendered output of a Streamer. Values is backed by a
+// pooled, reference-counted buffer: callers that are done with a frame
+// should Release it so the refresh path can recycle the buffer; callers
+// that retain frames indefinitely may simply never Release — the buffer
+// is never recycled under a live reference, they only forgo the reuse.
 type Frame struct {
 	// Values is the smoothed visualization window.
 	Values []float64
@@ -41,6 +54,21 @@ type Frame struct {
 	SeedReused bool
 	// Sequence numbers frames from 1.
 	Sequence int
+
+	inner stream.Frame // holds this frame's reference to the pooled buffer
+}
+
+// Release returns the frame's Values buffer to the shared frame pool
+// once every holder has released it. After Release, Values must not be
+// used. Release is a no-op on a nil or already-released frame (so
+// `defer st.Push(x).Release()`-style patterns are safe); never call it
+// twice on two copies of the same Frame.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	f.inner.Release()
+	f.Values = nil
 }
 
 // StreamStats counts a Streamer's work.
@@ -53,6 +81,10 @@ type StreamStats struct {
 	// result because no aggregated pane had completed since the previous
 	// search (they still emit frames and count in Searches).
 	SearchesSkipped int
+	// SearchesCoalesced counts refresh deadlines PushBatch folded into a
+	// single batch-tail search; they advance Sequence and count in
+	// Searches but evaluate no candidates.
+	SearchesCoalesced int
 }
 
 // Streamer is streaming ASAP: push points, receive refreshed smoothed
@@ -75,6 +107,7 @@ func NewStreamer(cfg StreamConfig) (*Streamer, error) {
 		Strategy:              coreStrategyForStream(cfg.Strategy),
 		DisablePreaggregation: cfg.DisablePreaggregation,
 		MaxWindow:             cfg.MaxWindow,
+		IncrementalACF:        cfg.IncrementalACF,
 	})
 	if err != nil {
 		return nil, err
@@ -120,11 +153,12 @@ func (s *Streamer) Frame() *Frame { return convertFrame(s.op.Frame()) }
 func (s *Streamer) Stats() StreamStats {
 	st := s.op.Stats()
 	return StreamStats{
-		RawPoints:       st.RawPoints,
-		Panes:           st.Panes,
-		Searches:        st.Searches,
-		Candidates:      st.Candidates,
-		SearchesSkipped: st.Skipped,
+		RawPoints:         st.RawPoints,
+		Panes:             st.Panes,
+		Searches:          st.Searches,
+		Candidates:        st.Candidates,
+		SearchesSkipped:   st.Skipped,
+		SearchesCoalesced: st.Coalesced,
 	}
 }
 
@@ -133,7 +167,9 @@ func (s *Streamer) Ratio() int { return s.op.Ratio() }
 
 // convertFrame lifts the operator's by-value frame into the public
 // pointer-or-nil shape. The values slice is shared, not copied: the
-// operator never writes an emitted frame's values again.
+// operator never writes an emitted frame's values while this frame
+// holds its buffer reference (released by Frame.Release, or never —
+// both are safe).
 func convertFrame(f stream.Frame, ok bool) *Frame {
 	if !ok {
 		return nil
@@ -145,5 +181,6 @@ func convertFrame(f stream.Frame, ok bool) *Frame {
 		Kurtosis:   f.Kurtosis,
 		SeedReused: f.SeedReused,
 		Sequence:   f.Sequence,
+		inner:      f,
 	}
 }
