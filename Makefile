@@ -1,8 +1,8 @@
 GO ?= go
 
-# Packages carrying the refresh-engine benchmark suite.
-BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream
-BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced)$$
+# Packages carrying the refresh-engine + broadcast benchmark suite.
+BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream ./internal/server
+BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced|BenchmarkBroadcastFanout)$$
 
 # bench-gate knobs: fractional ns/op+B/op growth, absolute allocs/op
 # growth, and absolute B/op slack allowed over the committed
@@ -15,7 +15,7 @@ BENCH_BYTE_SLACK  ?= 1024
 # sharing clocks. allocs/op and B/op gate everywhere regardless.
 BENCH_TIME_GATE   ?= auto
 
-.PHONY: check vet build test race alloc-check bench bench-smoke bench-gate fuzz fuzz-check failover-check clean clean-data
+.PHONY: check vet build test race alloc-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -67,6 +67,13 @@ bench-gate:
 failover-check:
 	$(GO) test -race -run 'Failover|Follower|DataDirLocking|BackgroundSnapshot' -v ./internal/server/
 	$(GO) test -race -run 'GroupCommit|Manifest|LoadState|Cursor|RecordScanner|LockDir|MetaShards|ChainGap' ./internal/wal/
+
+## stream-check: the SSE acceptance suite under -race — broadcast
+## fan-out (exactly-once, coalescing, eviction), the /stream endpoint
+## end to end (resume, heartbeats, slow consumers, shutdown drain),
+## and the replica manifest long-poll.
+stream-check:
+	$(GO) test -race -run 'Stream|Broadcast|LongPoll' -v ./internal/server/
 
 ## fuzz: run the ingest line-protocol fuzzer for a short burst.
 fuzz:

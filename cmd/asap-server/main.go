@@ -10,6 +10,10 @@
 //
 //	POST /ingest                line protocol (below) — appends points
 //	GET  /frame?series=NAME     latest smoothed frame as JSON
+//	GET  /stream?series=A,B     live frames over Server-Sent Events:
+//	                            coalesced to the newest under load,
+//	                            heartbeats, Last-Event-ID resume (see
+//	                            docs/STREAMING.md)
 //	GET  /series                live series listing as JSON
 //	GET  /stats[?series=NAME]   aggregate + per-series + WAL +
 //	                            replication counters
@@ -20,7 +24,7 @@
 //	GET  /replica/segments      replication manifest (WAL shipping)
 //	GET  /replica/segment       ranged segment/snapshot bytes
 //	POST /promote               turn a follower into the primary
-//	GET  /                      embedded dashboard (auto-refreshing SVG)
+//	GET  /                      embedded dashboard (live via /stream)
 //
 // The ingest line protocol is one point per line: either "series=value"
 // or a bare "value", which is routed to the default series (-series).
@@ -84,9 +88,14 @@ func main() {
 		maxBody      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "largest accepted POST /ingest body (413 beyond)")
 
 		follow       = flag.String("follow", "", "replicate this primary's WAL and serve read-only (requires -data-dir)")
-		pollEvery    = flag.Duration("poll-every", 500*time.Millisecond, "follower manifest poll interval")
+		pollEvery    = flag.Duration("poll-every", 500*time.Millisecond, "follower manifest poll interval (long-polls hold open this long)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "compact the WAL on this interval (0 = only on demand)")
 		snapSegments = flag.Int("snapshot-segments", 0, "compact once any shard holds this many sealed segments (0 = off)")
+
+		maxSubs        = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "concurrent GET /stream subscribers (503 beyond)")
+		heartbeatEvery = flag.Duration("heartbeat-every", server.DefaultHeartbeatEvery, "SSE heartbeat-comment interval on idle streams")
+		stallTimeout   = flag.Duration("stall-timeout", server.DefaultStallTimeout, "evict a /stream subscriber whose frames sat undrained this long")
+		drainTimeout   = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful connection drain bound at shutdown")
 	)
 	flag.Parse()
 
@@ -112,6 +121,10 @@ func main() {
 		FollowPoll:       *pollEvery,
 		SnapshotInterval: *snapInterval,
 		SnapshotSegments: *snapSegments,
+		MaxSubscribers:   *maxSubs,
+		HeartbeatEvery:   *heartbeatEvery,
+		StallTimeout:     *stallTimeout,
+		DrainTimeout:     *drainTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)

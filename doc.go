@@ -38,6 +38,14 @@
 // and /stats. Ingest bodies are all-or-nothing: a bad line rejects the
 // whole batch before any point is applied.
 //
+// Reads can also be push: GET /stream delivers every refresh of one
+// or more series over Server-Sent Events, fanning a single encoded
+// frame out to all subscribers. Delivery is latest-wins — a burst of
+// refreshes coalesces so each subscriber converges on the newest
+// frame — with heartbeats, Last-Event-ID resume, and slow-consumer
+// eviction bounded by -stall-timeout. See docs/STREAMING.md for the
+// wire format and the coalescing/resume contracts.
+//
 // With -data-dir set the server is durable: acknowledged batches are
 // appended to a per-shard write-ahead log before they are applied, and
 // a restarted server warm-recovers every series via Streamer.Restore —
@@ -49,9 +57,11 @@
 // semantics, and recovery guarantees.
 //
 // The log also ships: a second server started with -follow (its own
-// -data-dir) mirrors the primary's segments over HTTP, serves every
-// read endpoint with frames bit-identical to the primary's, reports
-// replication lag in /stats, and takes over ingest on POST /promote —
+// -data-dir) mirrors the primary's segments over HTTP, long-polling
+// the manifest so new appends propagate in about one round-trip
+// instead of a poll interval, serves every read endpoint with frames
+// bit-identical to the primary's, reports replication lag in /stats,
+// and takes over ingest on POST /promote —
 // kill-the-primary failover without losing restart equivalence. See
 // the Replication section of docs/DURABILITY.md.
 //

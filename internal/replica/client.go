@@ -50,6 +50,10 @@ type PrimaryManifest struct {
 	DefaultSeries  string              `json:"default_series"`
 	Stream         StreamSpec          `json:"stream"`
 	ShardManifests []wal.ShardManifest `json:"shard_manifests"`
+	// Version is the primary's append version at listing time; echo it
+	// into ManifestWait to long-poll for the next change. Zero on
+	// primaries predating long-poll support (they answer immediately).
+	Version int64 `json:"version,omitempty"`
 }
 
 // Client speaks the primary's replication protocol.
@@ -78,9 +82,27 @@ func NewClient(primary string) (*Client, error) {
 // Primary returns the base URL the client replicates from.
 func (c *Client) Primary() string { return c.base }
 
-// Manifest fetches the primary's replication listing.
+// Manifest fetches the primary's replication listing immediately.
 func (c *Client) Manifest(ctx context.Context) (*PrimaryManifest, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/replica/segments", nil)
+	return c.ManifestWait(ctx, 0, 0)
+}
+
+// ManifestWait is Manifest with long-polling: with wait > 0 the
+// primary holds the request open until its append version moves past
+// version (or wait elapses), so an idle follower learns of new appends
+// in one round-trip instead of a poll interval. The wait is clamped
+// under the client timeout; primaries that ignore the parameters just
+// answer immediately.
+func (c *Client) ManifestWait(ctx context.Context, version int64, wait time.Duration) (*PrimaryManifest, error) {
+	u := c.base + "/replica/segments"
+	if wait > 0 {
+		if max := c.hc.Timeout - 5*time.Second; max > 0 && wait > max {
+			wait = max
+		}
+		u += "?wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10) +
+			"&version=" + strconv.FormatInt(version, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}

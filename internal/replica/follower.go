@@ -49,6 +49,13 @@ type Config struct {
 	Primary string
 	// Poll is the manifest poll interval (default 500ms).
 	Poll time.Duration
+	// LongPoll asks the primary to hold each manifest request open until
+	// new appends land (bounded by this duration), cutting idle
+	// replication lag from the poll interval to roughly one round-trip.
+	// Zero defaults to the poll interval; negative disables long-polling
+	// (plain ticker polls, e.g. against primaries that ignore the
+	// parameters anyway).
+	LongPoll time.Duration
 	// ChunkBytes caps one ranged segment fetch (default 4 MiB).
 	ChunkBytes int64
 	// Logf receives operational messages. Nil means log.Printf.
@@ -135,9 +142,12 @@ type Follower struct {
 	pollErrors     atomic.Int64
 	resyncs        atomic.Int64
 
-	// lastCursor is the cursor as last persisted; touched only by the
-	// poll goroutine (and Stop's finalize after the loop has exited).
+	// lastCursor is the cursor as last persisted; manVersion the
+	// primary's append version as of the last manifest (the long-poll
+	// resume token). Touched only by the poll goroutine (and Stop's
+	// finalize after the loop has exited).
 	lastCursor wal.Cursor
+	manVersion int64
 
 	mu         sync.Mutex
 	gauges     Status // lag gauges + last poll/error; counters live in atomics
@@ -161,6 +171,12 @@ func New(cfg Config) (*Follower, error) {
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = DefaultPoll
+	}
+	if cfg.LongPoll == 0 {
+		cfg.LongPoll = cfg.Poll
+	}
+	if cfg.LongPoll < 0 {
+		cfg.LongPoll = 0
 	}
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = DefaultChunkBytes
@@ -292,11 +308,14 @@ func (f *Follower) WarmUp(target Target, horizonPoints int) (int, error) {
 	return len(rec.Series), nil
 }
 
-// Run polls the primary until ctx ends or Stop is called. Errors are
-// logged and surfaced in Status; the loop keeps retrying with the poll
-// interval as its backoff, so a dead primary just freezes the mirror
-// at its last replicated point — exactly what a promotion candidate
-// should hold.
+// Run polls the primary until ctx ends or Stop is called. With
+// long-polling (the default) the primary itself paces the loop: each
+// manifest request parks server-side until new appends land or the
+// long-poll window elapses, so a successful poll is followed
+// immediately by the next one. Errors are logged and surfaced in
+// Status; after one the loop falls back to the poll-interval ticker as
+// its backoff, so a dead primary just freezes the mirror at its last
+// replicated point — exactly what a promotion candidate should hold.
 func (f *Follower) Run(ctx context.Context) {
 	f.mu.Lock()
 	if f.stopped {
@@ -311,8 +330,21 @@ func (f *Follower) Run(ctx context.Context) {
 	t := time.NewTicker(f.cfg.Poll)
 	defer t.Stop()
 	for {
-		if err := f.PollOnce(ctx); err != nil && ctx.Err() == nil {
+		err := f.poll(ctx, f.cfg.LongPoll)
+		if err != nil && ctx.Err() == nil {
 			f.logf("replica: poll: %v", err)
+		}
+		if f.cfg.LongPoll > 0 && err == nil {
+			// The long-poll already waited server-side; just check for
+			// shutdown and go around again.
+			select {
+			case <-ctx.Done():
+				return
+			case <-f.stopc:
+				return
+			default:
+				continue
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -392,18 +424,25 @@ func (f *Follower) Status() Status {
 	return st
 }
 
-// PollOnce fetches the manifest, catches every shard up to its durable
-// watermark, persists the cursor, and refreshes the lag gauges. Run
-// calls it on the poll interval; tests drive it directly.
+// PollOnce fetches the manifest immediately (no long-poll wait),
+// catches every shard up to its durable watermark, persists the
+// cursor, and refreshes the lag gauges. Run drives the same logic
+// through the long-poll path; tests and one-shot callers use this.
 func (f *Follower) PollOnce(ctx context.Context) error {
+	return f.poll(ctx, 0)
+}
+
+// poll is PollOnce with an optional server-side long-poll wait.
+func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 	if f.target == nil {
 		return errors.New("replica: WarmUp before PollOnce")
 	}
-	man, err := f.client.Manifest(ctx)
+	man, err := f.client.ManifestWait(ctx, f.manVersion, wait)
 	if err != nil {
 		f.noteError(err)
 		return err
 	}
+	f.manVersion = man.Version
 	if man.Shards != f.spec.Shards {
 		err := fmt.Errorf("replica: primary shard count changed %d -> %d", f.spec.Shards, man.Shards)
 		f.noteError(err)

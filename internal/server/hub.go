@@ -52,6 +52,18 @@ type HubConfig struct {
 	// log before applying (so an acknowledged batch survives kill -9)
 	// and NewHub warm-restores every series the log recovers.
 	WAL *wal.Log
+	// OnFrame, when set, receives every frame a push emits, after the
+	// shard lock is released. Ownership of the frame transfers to the
+	// callback, which must Release it (directly or via downstream
+	// holders) — the broadcast layer's feed. Frames for one series
+	// arrive in order of emission from the pushing goroutine, but two
+	// pushes racing past the unlock may invoke the callback out of
+	// sequence order; consumers that care key on Frame.Sequence.
+	OnFrame func(series string, f *asap.Frame)
+	// OnDrop fires after a series is removed — LRU eviction on a
+	// primary, or a replicated tombstone on a follower — so push
+	// subscribers can be told the stream ended.
+	OnDrop func(series string)
 }
 
 // Hub routes per-series traffic to independent Streamers behind
@@ -183,14 +195,20 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 		created = true
 	}
 	e.lastUsed = h.clock.Add(1)
-	if f := e.st.PushBatch(values); f != nil {
-		// Ingest discards the emitted frame (readers fetch via Frame), so
-		// release it immediately: with every holder disciplined the
-		// refresh path recycles its values buffer through the frame pool
-		// and steady-state ingest stops allocating.
-		f.Release()
-	}
+	f := e.st.PushBatch(values)
 	sh.mu.Unlock()
+	if f != nil {
+		if h.cfg.OnFrame != nil {
+			// The broadcast layer takes ownership: it retains per holder
+			// and releases the emission when fan-out is done.
+			h.cfg.OnFrame(name, f)
+		} else {
+			// No subscribers possible: release immediately so the refresh
+			// path recycles its values buffer through the frame pool and
+			// steady-state ingest stops allocating.
+			f.Release()
+		}
+	}
 	if created && int(h.count.Add(1)) > h.cfg.MaxSeries && primary {
 		h.evictLRU(name)
 	}
@@ -231,6 +249,9 @@ func (h *Hub) Drop(name string) bool {
 	sh.mu.Unlock()
 	if existed {
 		h.count.Add(-1)
+		if h.cfg.OnDrop != nil {
+			h.cfg.OnDrop(name)
+		}
 	}
 	return existed
 }
@@ -289,11 +310,13 @@ func (h *Hub) evictLRU(keep string) {
 	if victimShard == nil {
 		return
 	}
+	evicted := false
 	victimShard.mu.Lock()
 	if e, ok := victimShard.series[victimName]; ok && e.lastUsed == victimUsed {
 		delete(victimShard.series, victimName)
 		h.count.Add(-1)
 		h.evictions.Add(1)
+		evicted = true
 		if w := h.wal.Load(); w != nil {
 			// Best-effort tombstone: without it a restart would resurrect
 			// the evicted series with its stale cumulative total, and a
@@ -303,6 +326,9 @@ func (h *Hub) evictLRU(keep string) {
 		}
 	}
 	victimShard.mu.Unlock()
+	if evicted && h.cfg.OnDrop != nil {
+		h.cfg.OnDrop(victimName)
+	}
 }
 
 // Frame returns the latest frame for the named series. The second
@@ -339,6 +365,60 @@ type SeriesStats struct {
 	Ratio     int
 }
 
+// statsOf snapshots one entry's counters; the caller holds the owning
+// shard's lock.
+func statsOf(e *entry) SeriesStats {
+	st := e.st.Stats()
+	return SeriesStats{
+		RawPoints:  st.RawPoints,
+		Panes:      st.Panes,
+		Searches:   st.Searches,
+		Candidates: st.Candidates,
+		Skipped:    st.SearchesSkipped,
+		Coalesced:  st.SearchesCoalesced,
+		Ratio:      e.st.Ratio(),
+	}
+}
+
+// StatsFor snapshots one series' counters, locking only that series'
+// shard — the /stats?series= fast path (Stats would lock every shard
+// and snapshot all series to answer for one). Like Stats it does not
+// count as an LRU touch.
+func (h *Hub) StatsFor(name string) (SeriesStats, bool) {
+	sh := h.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.series[name]
+	if e == nil {
+		return SeriesStats{}, false
+	}
+	return statsOf(e), true
+}
+
+// SeriesInfo is one line of the cheap series listing.
+type SeriesInfo struct {
+	Name      string
+	RawPoints int
+}
+
+// SeriesList returns every live series' name and raw-point count,
+// sorted by name — everything /series needs, without snapshotting the
+// full per-series counter set the way Stats does. Shards are locked
+// one at a time.
+func (h *Hub) SeriesList() []SeriesInfo {
+	list := make([]SeriesInfo, 0, h.Len())
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for name, e := range sh.series {
+			list = append(list, SeriesInfo{Name: name, RawPoints: e.st.Stats().RawPoints})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
 // Stats snapshots every live series' counters. Shards are locked one
 // at a time, so the snapshot is per-series consistent but not a global
 // point-in-time cut.
@@ -348,16 +428,7 @@ func (h *Hub) Stats() map[string]SeriesStats {
 		sh := &h.shards[i]
 		sh.mu.Lock()
 		for name, e := range sh.series {
-			st := e.st.Stats()
-			out[name] = SeriesStats{
-				RawPoints:  st.RawPoints,
-				Panes:      st.Panes,
-				Searches:   st.Searches,
-				Candidates: st.Candidates,
-				Skipped:    st.SearchesSkipped,
-				Coalesced:  st.SearchesCoalesced,
-				Ratio:      e.st.Ratio(),
-			}
+			out[name] = statsOf(e)
 		}
 		sh.mu.Unlock()
 	}

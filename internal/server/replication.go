@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/asap-go/asap"
@@ -46,6 +47,8 @@ func newFollower(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &Server{}
+	s.attachBroadcast(&cfg) // followers stream replicated frames too
 	f, err := replica.New(replica.Config{
 		Dir:     cfg.DataDir,
 		Primary: cfg.Follow,
@@ -87,7 +90,7 @@ func newFollower(cfg Config) (*Server, error) {
 	if restored > 0 {
 		log.Printf("replica: restored %d series from the local mirror %s", restored, cfg.DataDir)
 	}
-	s := &Server{cfg: cfg, hub: hub, lock: lock, follower: f}
+	s.cfg, s.hub, s.lock, s.follower = cfg, hub, lock, f
 	s.role.Store(roleFollower)
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
 	return s, nil
@@ -111,10 +114,46 @@ func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
 	return true
 }
 
+// notifier is a broadcast-once change signal: wait returns a channel
+// that bump closes (swapping in a fresh one), so any number of waiters
+// wake on the next change without polling. The channel carries no
+// payload — waiters re-check the versioned state they care about.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newNotifier() *notifier { return &notifier{ch: make(chan struct{})} }
+
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch
+}
+
+func (n *notifier) bump() {
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// maxReplicaWait caps how long a manifest long-poll may be held open,
+// keeping it safely under typical client/proxy timeouts.
+const maxReplicaWait = 25 * time.Second
+
 // handleReplicaSegments (GET) serves the replication manifest. 409
 // when this server has no write-ahead log to ship (memory-only, or a
 // follower that has not been promoted — chained followers are not
 // supported).
+//
+// With ?wait_ms= and ?version= it long-polls: when the primary's
+// manifest version still equals the follower's, the request parks
+// until new appends become durable (or the wait elapses), cutting
+// idle replication lag from the poll interval to roughly one
+// round-trip while idle followers cost one parked request instead of
+// a poll storm. The version moves on the WAL's durable watermark, not
+// on appends — the manifest only exposes fsynced bytes.
 func (s *Server) handleReplicaSegments(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -124,8 +163,50 @@ func (s *Server) handleReplicaSegments(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no write-ahead log to replicate (memory-only server or unpromoted follower)", http.StatusConflict)
 		return
 	}
+	q := r.URL.Query()
+	if waitMS, _ := strconv.Atoi(q.Get("wait_ms")); waitMS > 0 {
+		if have, err := strconv.ParseInt(q.Get("version"), 10, 64); err == nil {
+			wait := time.Duration(waitMS) * time.Millisecond
+			if wait > maxReplicaWait {
+				wait = maxReplicaWait
+			}
+			if !s.waitForAppend(r.Context(), have, wait) {
+				return // client went away; nobody is reading the response
+			}
+		}
+	}
+	// Load the version before listing: if an append slips between the
+	// two, the follower sees new data under an old version and simply
+	// re-polls — never the reverse (new version hiding unseen data).
+	version := s.appendVersion.Load()
+	man := buildPrimaryManifest(wl.Manifest(), s.hub.DefaultSeries(), s.cfg.Hub.Stream)
+	man.Version = version
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, buildPrimaryManifest(wl.Manifest(), s.hub.DefaultSeries(), s.cfg.Hub.Stream))
+	writeJSON(w, man)
+}
+
+// waitForAppend parks until the append version moves past have, the
+// wait elapses (returns true — respond with the unchanged manifest so
+// the client refreshes its lag gauges), or ctx ends (returns false).
+func (s *Server) waitForAppend(ctx context.Context, have int64, wait time.Duration) bool {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for s.appendVersion.Load() == have {
+		// Grab the signal channel before re-checking so a bump between
+		// the check and the select is never missed.
+		changed := s.walChanged.wait()
+		if s.appendVersion.Load() != have {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-deadline.C:
+			return true
+		case <-changed:
+		}
+	}
+	return true
 }
 
 // buildPrimaryManifest assembles the wire manifest a follower consumes
@@ -215,6 +296,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		SegmentBytes:  s.cfg.SegmentBytes,
 		FsyncEvery:    s.cfg.FsyncEvery,
 		HorizonPoints: horizon,
+		OnDurable:     s.noteDurable,
 	})
 	if err != nil {
 		// The mirror is intact and the tailer is stopped: stay a fenced,

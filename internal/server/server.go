@@ -10,7 +10,6 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,8 +26,11 @@ import (
 // Config.MaxIngestBytes is zero.
 const DefaultMaxIngestBytes = 32 << 20
 
-// shutdownTimeout bounds the graceful drain once Run's context ends.
-const shutdownTimeout = 5 * time.Second
+// DefaultDrainTimeout bounds the graceful drain once Run's context
+// ends, when Config.DrainTimeout is zero. Connections still open when
+// it expires (a stuck client that never reads) are force-closed: one
+// dead peer must never block shutdown forever.
+const DefaultDrainTimeout = 5 * time.Second
 
 // healthLagFloor: /healthz reports degraded once the WAL has unsynced
 // appends older than max(this floor, 10× the flush interval).
@@ -74,6 +76,21 @@ type Config struct {
 	// SnapshotSegments, when positive, triggers a compaction as soon as
 	// any shard holds at least this many sealed segments.
 	SnapshotSegments int
+	// MaxSubscribers caps concurrent GET /stream subscribers; beyond it
+	// new streams get 503 + Retry-After. Zero means
+	// DefaultMaxSubscribers.
+	MaxSubscribers int
+	// HeartbeatEvery is the SSE heartbeat-comment interval keeping
+	// idle streams (and the proxies between them) alive. Zero means
+	// DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+	// StallTimeout evicts a /stream subscriber whose pending frames
+	// have waited this long undrained (a peer that stopped reading),
+	// and bounds each SSE write. Zero means DefaultStallTimeout.
+	StallTimeout time.Duration
+	// DrainTimeout bounds the graceful connection drain at shutdown.
+	// Zero means DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
 
 // Server roles. A memory-only server still counts as primary: it
@@ -87,16 +104,22 @@ const (
 // Server owns a Hub (and optionally its write-ahead log or a
 // replication follower) and serves the asap-server HTTP API.
 type Server struct {
-	cfg      Config
-	hub      *Hub
-	sim      datasets.Spec
-	lock     *wal.DirLock
-	follower *replica.Follower
+	cfg       Config
+	hub       *Hub
+	sim       datasets.Spec
+	lock      *wal.DirLock
+	follower  *replica.Follower
+	broadcast *Broadcast
 
 	// wal is atomic because promotion attaches a log to a running
 	// follower while readers (stats, healthz) are in flight.
 	wal  atomic.Pointer[wal.Log]
 	role atomic.Int32
+
+	// appendVersion counts acknowledged WAL-visible appends; walChanged
+	// wakes /replica/segments long-polls parked on an older version.
+	appendVersion atomic.Int64
+	walChanged    *notifier
 
 	lastSnapshotNano atomic.Int64
 	autoSnapshots    atomic.Int64
@@ -132,6 +155,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Follow != "" {
 		return newFollower(cfg)
 	}
+	s := &Server{}
+	s.attachBroadcast(&cfg)
 	var wlog *wal.Log
 	var lock *wal.DirLock
 	if cfg.DataDir != "" {
@@ -152,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 			SegmentBytes:  cfg.SegmentBytes,
 			FsyncEvery:    cfg.FsyncEvery,
 			HorizonPoints: horizon,
+			OnDurable:     s.noteDurable,
 		})
 		if err != nil {
 			lock.Release()
@@ -167,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 		lock.Release()
 		return nil, err
 	}
-	s := &Server{cfg: cfg, hub: hub, lock: lock}
+	s.cfg, s.hub, s.lock = cfg, hub, lock
 	s.wal.Store(wlog)
 	s.role.Store(rolePrimary)
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
@@ -193,8 +219,36 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// attachBroadcast builds the broadcast registry and the replication
+// change signal, then wires the frame hooks into the hub. It must run
+// before NewHub(cfg.Hub) so the hub's first refresh already fans out.
+func (s *Server) attachBroadcast(cfg *Config) {
+	s.walChanged = newNotifier()
+	s.broadcast = newBroadcast(broadcastConfig{
+		maxSubscribers: cfg.MaxSubscribers,
+		stallTimeout:   cfg.StallTimeout,
+	})
+	cfg.Hub.OnFrame = s.broadcast.Publish
+	cfg.Hub.OnDrop = s.broadcast.PublishDrop
+}
+
+// noteDurable bumps the manifest version and wakes parked long-polls;
+// the WAL calls it when its durable watermark advances (wal.Config.
+// OnDurable). Keying on durability, not on appends, matters under
+// batched fsync: the manifest only exposes fsynced bytes, so an
+// append-time bump would wake a follower to an unchanged manifest and
+// park it again with no later signal — stuck a flush behind until its
+// fallback poll interval elapsed.
+func (s *Server) noteDurable() {
+	s.appendVersion.Add(1)
+	s.walChanged.bump()
+}
+
 // Hub exposes the underlying hub, mainly for tests and embedding.
 func (s *Server) Hub() *Hub { return s.hub }
+
+// Broadcast exposes the stream subscriber registry, mainly for tests.
+func (s *Server) Broadcast() *Broadcast { return s.broadcast }
 
 // curWAL returns the write-ahead log, nil when none is attached (a
 // memory-only server, or a follower before promotion).
@@ -226,11 +280,14 @@ func (s *Server) WALStats() (st wal.Stats, ok bool) {
 	return w.Stats(), true
 }
 
-// Close stops the replication follower (fsyncing its mirror), flushes
-// and closes the write-ahead log, and releases the data-dir lock.
-// Serve calls it on the way out; call it directly when driving the
-// Handler without Serve. Idempotent.
+// Close disconnects every /stream subscriber, stops the replication
+// follower (fsyncing its mirror), flushes and closes the write-ahead
+// log, and releases the data-dir lock. Serve calls it on the way out;
+// call it directly when driving the Handler without Serve. Idempotent.
 func (s *Server) Close() error {
+	if s.broadcast != nil {
+		s.broadcast.Shutdown()
+	}
 	if s.follower != nil {
 		s.follower.Stop()
 	}
@@ -250,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/plot.svg", s.handlePlot)
@@ -262,7 +320,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Run listens on addr and serves until ctx is cancelled, then drains
-// in-flight requests (bounded by shutdownTimeout) and stops the
+// in-flight requests (bounded by Config.DrainTimeout) and stops the
 // simulator goroutine before returning.
 func (s *Server) Run(ctx context.Context, addr string) error {
 	ln, err := net.Listen("tcp", addr)
@@ -311,9 +369,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 	select {
 	case <-ctx.Done():
-		shutCtx, shutCancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		// Disconnect the long-lived SSE streams first (their handlers see
+		// Done and return), so Shutdown only has to drain short requests.
+		s.broadcast.Shutdown()
+		drain := s.cfg.DrainTimeout
+		if drain <= 0 {
+			drain = DefaultDrainTimeout
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), drain)
 		defer shutCancel()
 		err := srv.Shutdown(shutCtx)
+		if err != nil {
+			// Drain deadline hit: force-close whatever is still open.
+			srv.Close()
+		}
 		<-errc // Serve has returned http.ErrServerClosed
 		wg.Wait()
 		return err
@@ -351,6 +420,8 @@ func (s *Server) seriesParam(r *http.Request) string {
 
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
+		// RFC 9110 §15.5.6: a 405 MUST carry the set of allowed methods.
+		w.Header().Set("Allow", method)
 		http.Error(w, method+" required", http.StatusMethodNotAllowed)
 		return false
 	}
@@ -525,19 +596,16 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	per := s.hub.Stats()
 	type seriesJSON struct {
 		Name      string `json:"name"`
 		RawPoints int    `json:"raw_points"`
 	}
-	names := make([]string, 0, len(per))
-	for name := range per {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	list := make([]seriesJSON, 0, len(names))
-	for _, name := range names {
-		list = append(list, seriesJSON{Name: name, RawPoints: per[name].RawPoints})
+	// SeriesList reads only the name and raw-point count per shard —
+	// much cheaper than a full Stats sweep on a busy hub.
+	infos := s.hub.SeriesList()
+	list := make([]seriesJSON, 0, len(infos))
+	for _, info := range infos {
+		list = append(list, seriesJSON{Name: info.Name, RawPoints: info.RawPoints})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, map[string]interface{}{"count": len(list), "series": list})
@@ -571,9 +639,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	per := s.hub.Stats()
 	if name := r.URL.Query().Get("series"); name != "" {
-		st, ok := per[name]
+		// Single-shard fast path: don't sweep (and lock) every shard to
+		// answer a question about one series.
+		st, ok := s.hub.StatsFor(name)
 		if !ok {
 			http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
 			return
@@ -582,6 +651,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, statsJSON(st))
 		return
 	}
+	per := s.hub.Stats()
 	var agg SeriesStats
 	perOut := make(map[string]seriesStatsJSON, len(per))
 	for name, st := range per {
@@ -606,6 +676,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"searches_coalesced": agg.Coalesced,
 		},
 		"series": perOut,
+	}
+	bst := s.broadcast.Stats()
+	out["stream"] = map[string]interface{}{
+		"subscribers": bst.Subscribers,
+		"subscribed":  bst.Subscribed,
+		"rejected":    bst.Rejected,
+		"published":   bst.Published,
+		"delivered":   bst.Delivered,
+		"coalesced":   bst.Coalesced,
+		"evicted":     bst.Evicted,
 	}
 	if wl := s.curWAL(); wl != nil {
 		wst := wl.Stats()
@@ -685,14 +765,34 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 
 var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
 <html><head><title>ASAP dashboard</title>
-<meta http-equiv="refresh" content="2">
 <style>body{font-family:sans-serif;margin:2em}</style></head>
 <body>
 <h2>ASAP streaming dashboard</h2>
-<p>Auto-smoothed view of series <b>{{.Selected}}</b>; refreshes every 2s.</p>
-<img src="/plot.svg?series={{.Selected}}" alt="waiting for data..."/>
+<p>Auto-smoothed view of series <b>{{.Selected}}</b>; frames pushed live
+over <a href="/stream?series={{.Selected}}">/stream</a>
+(<span id="st">connecting&hellip;</span>).</p>
+<img id="plot" src="/plot.svg?series={{.Selected}}" alt="waiting for data..."/>
 <p>Series:{{range .Names}} <a href="/?series={{.}}">{{.}}</a>{{else}} (none yet){{end}}</p>
 <p><a href="/frame?series={{.Selected}}">frame JSON</a> | <a href="/stats">stats JSON</a> | <a href="/series">series JSON</a></p>
+<script>
+(function () {
+	var series = {{.Selected}};
+	var img = document.getElementById("plot");
+	var st = document.getElementById("st");
+	var es = new EventSource("/stream?series=" + encodeURIComponent(series));
+	es.addEventListener("frame", function (ev) {
+		var f = JSON.parse(ev.data);
+		st.textContent = "live: frame #" + f.sequence + ", window " + f.window;
+		// seq busts the image cache; the plot endpoint ignores it.
+		img.src = "/plot.svg?series=" + encodeURIComponent(series) + "&seq=" + f.sequence;
+	});
+	es.addEventListener("dropped", function () {
+		st.textContent = "series dropped";
+		es.close();
+	});
+	es.onerror = function () { st.textContent = "reconnecting…"; };
+})();
+</script>
 </body></html>
 `))
 

@@ -233,14 +233,33 @@ func TestNewRejectsExcessiveSimulationRate(t *testing.T) {
 
 func TestMethodErrors(t *testing.T) {
 	_, ts := newTestServer(t, testConfig())
-	// GET on the write endpoint.
-	if code, _ := get(t, ts.URL+"/ingest"); code != 405 {
-		t.Errorf("GET /ingest status %d, want 405", code)
+	// GET on the write endpoint. RFC 9110 requires 405 responses to name
+	// the allowed methods.
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET /ingest status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("GET /ingest Allow = %q, want %q", allow, http.MethodPost)
 	}
 	// POST on every read endpoint.
-	for _, path := range []string{"/frame", "/series", "/stats", "/plot.svg", "/"} {
-		if code, _ := post(t, ts.URL+path, ""); code != 405 {
-			t.Errorf("POST %s status %d, want 405", path, code)
+	for _, path := range []string{"/frame", "/series", "/stats", "/plot.svg", "/stream", "/"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 405 {
+			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("POST %s Allow = %q, want %q", path, allow, http.MethodGet)
 		}
 	}
 }
@@ -520,7 +539,7 @@ func TestGracefulShutdown(t *testing.T) {
 		if err != nil {
 			t.Errorf("Serve returned %v after cancel, want nil", err)
 		}
-	case <-time.After(shutdownTimeout + 2*time.Second):
+	case <-time.After(DefaultDrainTimeout + 2*time.Second):
 		t.Fatal("Serve did not return after context cancel")
 	}
 	// The simulator fed the default series while running.

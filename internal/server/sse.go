@@ -1,0 +1,208 @@
+package server
+
+// GET /stream — live frame delivery over Server-Sent Events. The wire
+// contract (see docs/STREAMING.md):
+//
+//	event: frame        one smoothed frame, data = the /frame JSON,
+//	                    id = "<series>@<sequence>"
+//	event: dropped      the series was removed (LRU eviction or a
+//	                    replicated tombstone); data = {"series": ...}
+//	: hb                heartbeat comment on the configured interval
+//
+// ?series=a,b subscribes one connection to several series with
+// server-side fan-out. On connect each subscribed series' current
+// retained frame is sent unless the client's Last-Event-ID (or the
+// ?last_event_id= fallback for plain HTTP clients) shows it already
+// has it — the resume contract is "you always converge on the newest
+// frame", not "you replay the frames you missed": intermediate frames
+// a disconnected client skipped are gone by design (latest-wins
+// coalescing applies the same rule to connected-but-slow clients).
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// streamQueryLimit bounds the ?series= parameter.
+const streamQueryLimit = 16 << 10
+
+// parseStreamSeries resolves the ?series=a,b,c parameter into a
+// deduplicated subscription list, defaulting to the hub default.
+func (s *Server) parseStreamSeries(r *http.Request) ([]string, error) {
+	raw := r.URL.Query().Get("series")
+	if raw == "" {
+		return []string{s.hub.DefaultSeries()}, nil
+	}
+	if len(raw) > streamQueryLimit {
+		return nil, fmt.Errorf("series list longer than %d bytes", streamQueryLimit)
+	}
+	var names []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(raw, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if len(name) > maxSeriesNameBytes {
+			return nil, fmt.Errorf("series name longer than %d bytes", maxSeriesNameBytes)
+		}
+		if strings.ContainsFunc(name, isSeriesControlByte) {
+			return nil, fmt.Errorf("invalid series name %q", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty series list")
+	}
+	if len(names) > maxSeriesPerSubscriber {
+		return nil, fmt.Errorf("at most %d series per stream", maxSeriesPerSubscriber)
+	}
+	return names, nil
+}
+
+// parseLastEventID extracts per-series resume state from the SSE
+// Last-Event-ID header (or the ?last_event_id= fallback). The id
+// format is "<series>@<sequence>"; the sequence is everything after
+// the LAST '@' so series names containing '@' still round-trip.
+// Unparseable ids are ignored — the client just gets the current frame
+// again and dedupes by id.
+func parseLastEventID(r *http.Request) map[string]int {
+	id := r.Header.Get("Last-Event-ID")
+	if id == "" {
+		id = r.URL.Query().Get("last_event_id")
+	}
+	if id == "" {
+		return nil
+	}
+	i := strings.LastIndexByte(id, '@')
+	if i <= 0 {
+		return nil
+	}
+	seq, err := strconv.Atoi(id[i+1:])
+	if err != nil || seq < 0 {
+		return nil
+	}
+	return map[string]int{id[:i]: seq}
+}
+
+// handleStream (GET) is the push counterpart of GET /frame: an SSE
+// stream of every subscribed series' frames, coalesced to the newest
+// under load, with heartbeats and Last-Event-ID resume.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if _, ok := w.(http.Flusher); !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	names, err := s.parseStreamSeries(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sub, err := s.broadcast.Subscribe(names, parseLastEventID(r))
+	if err != nil {
+		if err == ErrSubscriberLimit {
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // intermediary proxies must not buffer
+	rc := http.NewResponseController(w)
+
+	// A stalled peer must fail its writes within the stall window so
+	// this goroutine can exit; registry-side eviction only unhooks the
+	// subscriber, it cannot unblock a Write. The failure is only
+	// observable through rc.Flush(): Write lands in the server's
+	// response buffer without touching the socket, and the legacy
+	// http.Flusher.Flush discards the deadline error.
+	writeTimeout := s.broadcast.stall
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultStallTimeout
+	}
+	armWrite := func() { _ = rc.SetWriteDeadline(time.Now().Add(writeTimeout)) }
+
+	// Tell EventSource clients how fast to reconnect, then flush the
+	// headers so the client sees the stream is live before any frame.
+	armWrite()
+	if _, err := fmt.Fprint(w, "retry: 1000\n\n"); err != nil {
+		return
+	}
+	if rc.Flush() != nil {
+		return
+	}
+
+	// Connect-time catch-up: the current retained frame of every
+	// subscribed series, routed through the same slots as live
+	// publishes so Last-Event-ID and racing refreshes dedupe cleanly.
+	for _, name := range names {
+		if f, ok := s.hub.Frame(name); ok && f != nil {
+			s.broadcast.CatchUp(sub, name, f) // hands over the frame reference
+		}
+	}
+
+	heartbeat := s.cfg.HeartbeatEvery
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeatEvery
+	}
+	tick := time.NewTicker(heartbeat)
+	defer tick.Stop()
+
+	ctx := r.Context()
+	var buf []*event
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.Done():
+			// Evicted as a slow consumer, or the server is draining.
+			armWrite()
+			fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+			_ = rc.Flush()
+			return
+		case <-tick.C:
+			armWrite()
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		case <-sub.notify:
+			buf = sub.take(buf[:0])
+			failed := false
+			for i, e := range buf {
+				if !failed {
+					armWrite()
+					if _, err := w.Write(e.sse()); err != nil {
+						failed = true
+					} else {
+						s.broadcast.delivered.Add(1)
+					}
+				}
+				e.release()
+				buf[i] = nil
+			}
+			if failed {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed wire event; heartbeat comments surface as
+// name "comment".
+type sseEvent struct {
+	name string
+	id   string
+	data string
+}
+
+// openStream connects to an SSE URL and parses events into a channel
+// (closed when the stream ends). The cancel function tears the
+// connection down.
+func openStream(t *testing.T, url string, hdr map[string]string) (<-chan sseEvent, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	ch := make(chan sseEvent, 256)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		var ev sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if ev != (sseEvent{}) {
+					ch <- ev
+					ev = sseEvent{}
+				}
+			case strings.HasPrefix(line, ":"):
+				ch <- sseEvent{name: "comment", data: strings.TrimSpace(line[1:])}
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "id: "):
+				ev.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	return ch, cancel
+}
+
+// nextFrame waits for the next "frame" event (skipping comments) and
+// decodes it.
+func nextFrame(t *testing.T, ch <-chan sseEvent, timeout time.Duration) (frameJSON, string) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed while waiting for a frame")
+			}
+			if ev.name != "frame" {
+				continue
+			}
+			var f frameJSON
+			if err := json.Unmarshal([]byte(ev.data), &f); err != nil {
+				t.Fatalf("frame event not JSON: %v (%q)", err, ev.data)
+			}
+			return f, ev.id
+		case <-deadline:
+			t.Fatal("no frame event within the deadline")
+		}
+	}
+}
+
+func TestStreamDeliversFramesExactlyOnce(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+
+	// Connect-time catch-up: the current retained frame arrives first.
+	f, id := nextFrame(t, ch, 2*time.Second)
+	cur, _ := s.Hub().Frame("cpu")
+	wantSeq := cur.Sequence
+	cur.Release()
+	if f.Sequence != wantSeq || f.Series != "cpu" || len(f.Values) == 0 {
+		t.Fatalf("catch-up frame = %+v, want sequence %d", f, wantSeq)
+	}
+	if id != fmt.Sprintf("cpu@%d", f.Sequence) {
+		t.Errorf("event id = %q, want cpu@%d", id, f.Sequence)
+	}
+
+	// Each further refresh arrives exactly once, in order.
+	seen := map[int]bool{f.Sequence: true}
+	last := f.Sequence
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL+"/ingest", sineBody("cpu", 100)) // one refresh per batch
+		f, _ := nextFrame(t, ch, 2*time.Second)
+		if seen[f.Sequence] {
+			t.Fatalf("sequence %d delivered twice", f.Sequence)
+		}
+		if f.Sequence <= last {
+			t.Fatalf("sequence went backwards: %d after %d", f.Sequence, last)
+		}
+		seen[f.Sequence] = true
+		last = f.Sequence
+	}
+}
+
+func TestStreamBurstConvergesOnNewest(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+	nextFrame(t, ch, 2*time.Second) // catch-up out of the way
+
+	// A 64-refresh burst. Coalescing may skip intermediates (that is the
+	// point); what the client must observe is a strictly increasing
+	// sequence that ends on the newest frame.
+	for i := 0; i < 64; i++ {
+		if err := s.Hub().PushBatch("cpu", sineValues(100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, _ := s.Hub().Frame("cpu")
+	newest := cur.Sequence
+	cur.Release()
+
+	last := 0
+	for last != newest {
+		f, _ := nextFrame(t, ch, 2*time.Second)
+		if f.Sequence <= last {
+			t.Fatalf("sequence not strictly increasing: %d after %d", f.Sequence, last)
+		}
+		if f.Sequence > newest {
+			t.Fatalf("sequence %d past the newest %d", f.Sequence, newest)
+		}
+		last = f.Sequence
+	}
+}
+
+func TestStreamLastEventIDResume(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+	cur, _ := s.Hub().Frame("cpu")
+	have := cur.Sequence
+	cur.Release()
+
+	// Header form: the client already holds the current frame, so no
+	// catch-up re-send — the next event is the next refresh.
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu",
+		map[string]string{"Last-Event-ID": fmt.Sprintf("cpu@%d", have)})
+	defer cancel()
+	post(t, ts.URL+"/ingest", sineBody("cpu", 100))
+	f, _ := nextFrame(t, ch, 2*time.Second)
+	if f.Sequence <= have {
+		t.Fatalf("resumed stream re-sent sequence %d (client had %d)", f.Sequence, have)
+	}
+
+	// Query-parameter fallback behaves identically; a stale token gets
+	// the current frame as catch-up.
+	ch2, cancel2 := openStream(t, ts.URL+fmt.Sprintf("/stream?series=cpu&last_event_id=cpu@%d", have-1), nil)
+	defer cancel2()
+	f2, _ := nextFrame(t, ch2, 2*time.Second)
+	if f2.Sequence < f.Sequence {
+		t.Fatalf("stale-token catch-up sequence %d, want >= %d", f2.Sequence, f.Sequence)
+	}
+}
+
+func TestStreamHeartbeat(t *testing.T) {
+	cfg := testConfig()
+	cfg.HeartbeatEvery = 30 * time.Millisecond
+	_, ts := newTestServer(t, cfg)
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed before a heartbeat")
+			}
+			if ev.name == "comment" {
+				return // heartbeat observed
+			}
+		case <-deadline:
+			t.Fatal("no heartbeat within 2s at a 30ms interval")
+		}
+	}
+}
+
+func TestStreamMultiSeriesFanIn(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("a", 600)+sineBody("b", 600))
+	ch, cancel := openStream(t, ts.URL+"/stream?series=a,b", nil)
+	defer cancel()
+	got := map[string]bool{}
+	for len(got) < 2 {
+		f, id := nextFrame(t, ch, 2*time.Second)
+		got[f.Series] = true
+		if !strings.HasPrefix(id, f.Series+"@") {
+			t.Fatalf("event id %q does not match series %q", id, f.Series)
+		}
+	}
+}
+
+func TestStreamDroppedEvent(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+	nextFrame(t, ch, 2*time.Second)
+	s.Hub().Drop("cpu")
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed before the dropped event")
+			}
+			if ev.name == "dropped" {
+				if !strings.Contains(ev.data, `"cpu"`) {
+					t.Fatalf("dropped data = %q", ev.data)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no dropped event after Hub.Drop")
+		}
+	}
+}
+
+func TestStreamSubscriberCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSubscribers = 1
+	_, ts := newTestServer(t, cfg)
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+	_, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+
+	resp, err := http.Get(ts.URL + "/stream?series=cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap stream status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+func TestStreamRejectsBadSeries(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for _, q := range []string{
+		"?series=a%00b", // control byte
+		"?series=,,,",   // empty list
+	} {
+		if code, _ := get(t, ts.URL+"/stream"+q); code != 400 {
+			t.Errorf("GET /stream%s status %d, want 400", q, code)
+		}
+	}
+}
+
+// TestStreamSlowConsumerDoesNotDelayOthers wedges one subscriber (it
+// never reads) while another keeps draining, and checks the slow one
+// is cut loose without the fast one missing the newest frames.
+func TestStreamSlowConsumerDoesNotDelayOthers(t *testing.T) {
+	cfg := testConfig()
+	cfg.StallTimeout = 100 * time.Millisecond
+	// Big frames (full-resolution window) so the wedged peer's kernel
+	// buffers fill within a few frames rather than absorbing the whole
+	// test's worth of output.
+	cfg.Hub.Stream.WindowPoints = 2000
+	cfg.Hub.Stream.Resolution = 2000
+	s, ts := newTestServer(t, cfg)
+	post(t, ts.URL+"/ingest", sineBody("cpu", 2000))
+
+	// The slow subscriber: a raw connection that sends the request and
+	// then never reads, so the handler's writes back up.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A tiny receive window makes the kernel stop absorbing the
+	// handler's writes after a few frames instead of trickling them
+	// into multi-megabyte buffers for the whole test.
+	if err := conn.(*net.TCPConn).SetReadBuffer(4096); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /stream?series=cpu HTTP/1.1\r\nHost: x\r\n\r\n")
+
+	fast, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+	nextFrame(t, fast, 2*time.Second)
+
+	waitSubs := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Broadcast().Subscribers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("subscribers = %d, want %d", s.Broadcast().Subscribers(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitSubs(2)
+
+	// Push frames until the wedged connection's buffers fill and the
+	// stall machinery (slot deadline or write deadline) cuts it.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Broadcast().Subscribers() == 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled subscriber never evicted")
+		}
+		if err := s.Hub().PushBatch("cpu", sineValues(100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSubs(1)
+
+	// The fast subscriber still converges on the newest frame.
+	cur, _ := s.Hub().Frame("cpu")
+	newest := cur.Sequence
+	cur.Release()
+	for f, _ := nextFrame(t, fast, 2*time.Second); f.Sequence < newest; f, _ = nextFrame(t, fast, 2*time.Second) {
+	}
+}
+
+// TestStreamShutdownDrain checks a live SSE connection does not hold
+// graceful shutdown to its drain deadline: Serve's drain disconnects
+// streams first and returns promptly.
+func TestStreamShutdownDrain(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	post(t, url+"/ingest", sineBody("cpu", 600))
+	ch, streamCancel := openStream(t, url+"/stream?series=cpu", nil)
+	defer streamCancel()
+	nextFrame(t, ch, 2*time.Second)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve returned %v after cancel, want nil", err)
+		}
+	case <-time.After(DefaultDrainTimeout + 2*time.Second):
+		t.Fatal("Serve did not return after context cancel with a live stream")
+	}
+	if took := time.Since(start); took > DefaultDrainTimeout {
+		t.Errorf("drain took %s with only an SSE stream open — streams must not hold the drain deadline", took)
+	}
+	// The client side sees the stream end.
+	for range ch {
+	}
+}

@@ -84,3 +84,16 @@ func (f *Frame) Release() {
 	}
 	b.release()
 }
+
+// Retain returns a copy of the frame carrying its own reference to the
+// pooled values buffer — the fan-out primitive: a holder that wants to
+// hand the same frame to N consumers retains N copies and each consumer
+// Releases its own. Call only on a frame whose reference is still live
+// (between emission and that handle's Release); a zero or released
+// frame is returned unchanged.
+func (f Frame) Retain() Frame {
+	if f.buf != nil {
+		f.buf.retain()
+	}
+	return f
+}

@@ -78,6 +78,11 @@ type Config struct {
 	// Logf receives operational messages (torn tails, dropped
 	// segments). Nil means log.Printf.
 	Logf func(format string, args ...interface{})
+	// OnDurable fires after a successful fsync advances a shard's
+	// durable watermark — the records it covered are now visible in
+	// Manifest and readable by replicas. May run under a shard lock:
+	// it must be fast and must not call back into the Log.
+	OnDurable func()
 }
 
 // RecoveryStats describes what the last Open rebuilt.
@@ -736,6 +741,9 @@ func (sh *shardLog) flushSyncLocked() error {
 	sh.syncSeq = sh.writeSeq
 	sh.syncedSize, sh.syncedRecords = sh.info.size, sh.info.records
 	sh.syncCond.Broadcast()
+	if sh.lg.cfg.OnDurable != nil {
+		sh.lg.cfg.OnDurable()
+	}
 	return nil
 }
 
@@ -786,6 +794,9 @@ func (sh *shardLog) groupCommitLocked() error {
 		if covered > sh.syncSeq {
 			sh.syncSeq = covered
 			sh.syncedSize, sh.syncedRecords = size, records
+			if sh.lg.cfg.OnDurable != nil {
+				sh.lg.cfg.OnDurable()
+			}
 		}
 		if sh.writeSeq == covered {
 			sh.needsSync = false

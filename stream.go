@@ -71,6 +71,21 @@ func (f *Frame) Release() {
 	f.Values = nil
 }
 
+// Retain returns a new Frame sharing this frame's values buffer and
+// carrying its own reference to it — the fan-out primitive: to hand one
+// emission to N consumers, retain N frames and let each consumer
+// Release its own when done. Call only while the receiver's reference
+// is live (before its Release); retaining a nil or released frame
+// returns it unchanged.
+func (f *Frame) Retain() *Frame {
+	if f == nil {
+		return nil
+	}
+	g := *f
+	g.inner = f.inner.Retain()
+	return &g
+}
+
 // StreamStats counts a Streamer's work.
 type StreamStats struct {
 	RawPoints  int
