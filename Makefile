@@ -1,8 +1,9 @@
 GO ?= go
 
-# Packages carrying the refresh-engine + broadcast benchmark suite.
-BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream ./internal/server
-BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced|BenchmarkBroadcastFanout)$$
+# Packages carrying the refresh-engine + broadcast + metrics benchmark
+# suite.
+BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream ./internal/server ./internal/obs
+BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced|BenchmarkBroadcastFanout|BenchmarkMetricsHotPath)$$
 
 # bench-gate knobs: fractional ns/op+B/op growth, absolute allocs/op
 # growth, and absolute B/op slack allowed over the committed
@@ -15,7 +16,7 @@ BENCH_BYTE_SLACK  ?= 1024
 # sharing clocks. allocs/op and B/op gate everywhere regardless.
 BENCH_TIME_GATE   ?= auto
 
-.PHONY: check vet build test race alloc-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check clean clean-data
+.PHONY: check vet build test race alloc-check obs-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -36,6 +37,14 @@ race:
 ## without the race detector so the counts reflect production builds.
 alloc-check:
 	$(GO) test -run 'Alloc' -v $(BENCH_PKGS)
+
+## obs-check: the observability acceptance suite under -race — the obs
+## registry and exposition format, the /metrics catalog golden file,
+## request-ID correlation, self-monitor end to end, the pprof listener,
+## and the instrumentation allocation contract.
+obs-check:
+	$(GO) test -race -v ./internal/obs/
+	$(GO) test -race -run 'Metrics|RequestID|StatsAggregate|SelfMonitor|Pprof' -v ./internal/server/
 
 ## bench: run the refresh-engine benchmark suite and (re)write the
 ## committed baseline BENCH_refresh.json.

@@ -59,13 +59,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/obs"
 	"github.com/asap-go/asap/internal/server"
 )
 
@@ -96,8 +97,21 @@ func main() {
 		heartbeatEvery = flag.Duration("heartbeat-every", server.DefaultHeartbeatEvery, "SSE heartbeat-comment interval on idle streams")
 		stallTimeout   = flag.Duration("stall-timeout", server.DefaultStallTimeout, "evict a /stream subscriber whose frames sat undrained this long")
 		drainTimeout   = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful connection drain bound at shutdown")
+
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error (debug adds per-request access lines)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060; empty = off)")
+		selfMonitor = flag.Bool("self-monitor", false, "ingest the server's own health gauges as __asap.* series and smooth them live")
+		selfEvery   = flag.Duration("self-monitor-every", time.Second, "self-monitor sampling interval")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logFormat, *logLevel, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	srv, err := server.New(server.Config{
 		Hub: server.HubConfig{
@@ -125,28 +139,38 @@ func main() {
 		HeartbeatEvery:   *heartbeatEvery,
 		StallTimeout:     *stallTimeout,
 		DrainTimeout:     *drainTimeout,
+		Logger:           logger,
+		PprofAddr:        *pprofAddr,
+		SelfMonitor:      *selfMonitor,
+		SelfMonitorEvery: *selfEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)
 		os.Exit(1)
 	}
 	if st, ok := srv.WALStats(); ok {
-		log.Printf("wal: %s: recovered %d series (%d points replayed, %d snapshots, %d corrupt records skipped) in %s",
-			*dataDir, st.Recovery.SeriesRecovered, st.Recovery.PointsReplayed,
-			st.Recovery.SnapshotsLoaded, st.Recovery.CorruptRecordsSkipped, st.Recovery.Duration)
+		logger.Info("wal recovered",
+			"dir", *dataDir,
+			"series", st.Recovery.SeriesRecovered,
+			"points_replayed", st.Recovery.PointsReplayed,
+			"snapshots", st.Recovery.SnapshotsLoaded,
+			"corrupt_skipped", st.Recovery.CorruptRecordsSkipped,
+			"duration", st.Recovery.Duration)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *simulate != "" {
-		log.Printf("simulating %s at %d pts/sec", *simulate, *rate)
+		logger.Info("simulating", "dataset", *simulate, "rate_pts_per_sec", *rate)
 	}
 	if *follow != "" {
-		log.Printf("following %s as a read-only replica (poll %s); POST /promote to take over", *follow, *pollEvery)
+		logger.Info("following primary as read-only replica; POST /promote to take over",
+			"primary", *follow, "poll_every", *pollEvery)
 	}
-	log.Printf("asap-server listening on %s (window %d pts, %d px)", *addr, *window, *res)
+	logger.Info("asap-server listening", "addr", *addr, "window_pts", *window, "resolution_px", *res)
 	if err := srv.Run(ctx, *addr); err != nil {
-		log.Fatal(err)
+		logger.Error("server exited", "error", err)
+		os.Exit(1)
 	}
 }

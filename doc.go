@@ -77,4 +77,16 @@
 // refresh. See docs/PERFORMANCE.md for the engine's design, the
 // allocation contract, and the measured baseline in BENCH_refresh.json
 // — which CI enforces via the `make bench-gate` regression gate.
+//
+// The server is observable end to end: GET /metrics serves Prometheus
+// text exposition from a zero-dependency registry (internal/obs) with
+// latency histograms across every layer — HTTP routes, WAL
+// append/fsync, smoothing refresh, SSE delivery, replication lag —
+// logging is structured (log/slog, -log-format=json, request-ID
+// correlation), -pprof-addr serves net/http/pprof on its own loopback
+// listener, and -self-monitor feeds the server's own request-rate and
+// fsync-latency gauges back through the hub as __asap.* series, so
+// the dashboard streams an ASAP-smoothed view of the server itself —
+// the paper's opening use case, applied reflexively. See
+// docs/OBSERVABILITY.md for the metric catalog and walkthroughs.
 package asap

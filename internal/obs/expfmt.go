@@ -1,0 +1,324 @@
+package obs
+
+// A minimal parser/validator for the Prometheus text exposition
+// format — enough to machine-check what /metrics serves (the golden
+// tests and `make obs-check` use it) without depending on the real
+// client library. It validates:
+//
+//   - HELP/TYPE comment syntax, known TYPE values, and TYPE-before-
+//     samples ordering per family;
+//   - metric and label name syntax and label-value escape sequences;
+//   - that every sample belongs to a declared family (histogram
+//     samples may use the _bucket/_sum/_count suffixes);
+//   - histogram shape: an le label on every _bucket, cumulative bucket
+//     counts monotone in ascending le order, a closing +Inf bucket
+//     that equals _count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpoSample is one parsed sample line.
+type ExpoSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ExpoFamily is one parsed metric family: its TYPE, optional HELP, and
+// samples in input order.
+type ExpoFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ExpoSample
+}
+
+var expoTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ParseExposition parses and validates a text-exposition document,
+// returning the families keyed by name. Any format violation is an
+// error naming the offending line.
+func ParseExposition(r io.Reader) (map[string]*ExpoFamily, error) {
+	families := make(map[string]*ExpoFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(families, sample.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+// parseComment handles "# HELP name text" and "# TYPE name type";
+// other comments are ignored.
+func parseComment(line string, families map[string]*ExpoFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q in %s", name, fields[1])
+	}
+	fam := families[name]
+	if fam == nil {
+		fam = &ExpoFamily{Name: name}
+		families[name] = fam
+	}
+	if fields[1] == "HELP" {
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+		return nil
+	}
+	if len(fields) != 4 || !expoTypes[fields[3]] {
+		return fmt.Errorf("unknown TYPE %q for %s", strings.Join(fields[3:], " "), name)
+	}
+	if fam.Type != "" {
+		return fmt.Errorf("duplicate TYPE for %s", name)
+	}
+	if len(fam.Samples) > 0 {
+		return fmt.Errorf("TYPE for %s after its samples", name)
+	}
+	fam.Type = fields[3]
+	return nil
+}
+
+// familyFor resolves the family a sample belongs to: its exact name,
+// or — for histogram/summary component samples — the name with the
+// _bucket/_sum/_count suffix stripped.
+func familyFor(families map[string]*ExpoFamily, sample string) *ExpoFamily {
+	if f := families[sample]; f != nil && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		if f := families[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+			if suffix == "_bucket" && f.Type != "histogram" {
+				continue
+			}
+			return f
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (ExpoSample, error) {
+	s := ExpoSample{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if rest[i] == '{' {
+		var err error
+		rest, err = parseLabels(rest[i+1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q", s.Name)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes `key="value",...}` (the caller ate the opening
+// brace), undoing the \\, \", and \n escapes, and returns what follows
+// the closing brace.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("malformed label block near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !labelRe.MatchString(key) && key != "le" {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %s value must be quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated value for label %s", key)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c != '\\' {
+				val.WriteByte(c)
+				continue
+			}
+			if rest == "" {
+				return "", fmt.Errorf("dangling escape in label %s", key)
+			}
+			switch rest[0] {
+			case '\\':
+				val.WriteByte('\\')
+			case '"':
+				val.WriteByte('"')
+			case 'n':
+				val.WriteByte('\n')
+			default:
+				return "", fmt.Errorf("unknown escape \\%c in label %s", rest[0], key)
+			}
+			rest = rest[1:]
+		}
+		if _, dup := out[key]; dup {
+			return "", fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// validateHistogram checks one histogram family's shape across every
+// distinct constant-label series it holds.
+func validateHistogram(fam *ExpoFamily) error {
+	type group struct {
+		les    []float64
+		counts map[float64]float64
+		count  float64
+		hasCnt bool
+	}
+	groups := make(map[string]*group)
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + labels[k] + ";")
+		}
+		return b.String()
+	}
+	for _, s := range fam.Samples {
+		g := groups[keyOf(s.Labels)]
+		if g == nil {
+			g = &group{counts: make(map[float64]float64)}
+			groups[keyOf(s.Labels)] = g
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad le %q", leStr)
+			}
+			g.les = append(g.les, le)
+			g.counts[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count, g.hasCnt = s.Value, true
+		}
+	}
+	for _, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("no buckets")
+		}
+		sort.Float64s(g.les)
+		inf := g.les[len(g.les)-1]
+		if !math.IsInf(inf, 1) {
+			return fmt.Errorf("missing +Inf bucket")
+		}
+		prev := math.Inf(-1)
+		last := 0.0
+		for _, le := range g.les {
+			if le == prev {
+				return fmt.Errorf("duplicate le %v", le)
+			}
+			if c := g.counts[le]; c < last {
+				return fmt.Errorf("bucket counts not monotone at le=%v (%v < %v)", le, c, last)
+			} else {
+				last = c
+			}
+			prev = le
+		}
+		if !g.hasCnt {
+			return fmt.Errorf("missing _count")
+		}
+		if g.counts[inf] != g.count {
+			return fmt.Errorf("_count %v != +Inf bucket %v", g.count, g.counts[inf])
+		}
+	}
+	return nil
+}

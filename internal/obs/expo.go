@@ -1,0 +1,106 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4): one HELP/TYPE
+// pair per family, samples beneath, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expositionContentType is the Content-Type of the 0.0.4 text format.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in text exposition
+// format, families sorted by name, series in registration order.
+// Collectors run first (once), then every value function is read under
+// the registry lock — value functions must not re-enter the registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fn := range r.collectors {
+		fn()
+	}
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name + s.labels + " " + formatValue(s.value()) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram series into its exposition
+// lines. Bucket cumulative counts come from a single snapshot read, so
+// they are monotone by construction even under concurrent observers.
+func writeHistogram(bw *bufio.Writer, name string, s series) {
+	cum, total, sum := s.hist.snapshot()
+	for i, ub := range s.hist.upper {
+		bw.WriteString(name + "_bucket" + withLabel(s.labels, `le="`+formatValue(ub)+`"`) +
+			" " + strconv.FormatInt(cum[i], 10) + "\n")
+	}
+	bw.WriteString(name + "_bucket" + withLabel(s.labels, `le="+Inf"`) +
+		" " + strconv.FormatInt(total, 10) + "\n")
+	bw.WriteString(name + "_sum" + s.labels + " " + formatValue(sum) + "\n")
+	bw.WriteString(name + "_count" + s.labels + " " + strconv.FormatInt(total, 10) + "\n")
+}
+
+// withLabel merges one extra rendered label pair into a pre-rendered
+// constant label block.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line per the exposition format (backslash
+// and newline only; quotes are legal in help text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns the GET /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", expositionContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,354 @@
+// Package obs is the zero-dependency observability layer behind
+// asap-server: a metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text-format exposition, a minimal
+// exposition-format parser for validation, and structured logging
+// helpers built on log/slog with request-ID correlation.
+//
+// The design constraints mirror the refresh engine's: the hot path —
+// Counter.Add, Gauge.Set, Histogram.Observe — is allocation-free and
+// lock-free (plain atomics), so instrumenting the WAL append path, the
+// refresh engine, and the broadcast fan-out costs a few nanoseconds and
+// zero garbage. All instrument methods are nil-receiver safe, so a
+// layer whose metrics were never wired (tests, benchmarks, library use)
+// pays a single predictable branch instead of needing its own guards.
+//
+// Registration is startup-time and static: metric names are validated
+// and duplicates panic immediately, the same contract as an invalid
+// flag. Scrapes are best-effort point-in-time reads of the atomics —
+// a histogram scraped concurrently with observers may be internally
+// skewed by in-flight observations, but bucket cumulative sums are
+// computed from one read per bucket and are therefore always monotone.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name=value pair attached to a metric at
+// registration. Series-identity labels (route, code) are constant per
+// registered instrument; obs has no dynamic label lookup by design —
+// callers pre-register the small, bounded label sets they need, which
+// is what keeps the hot path allocation-free.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Opts names a metric: the full exposition name (convention:
+// asap_<layer>_<name>_<unit>), a help line, and optional constant
+// labels.
+type Opts struct {
+	Name   string
+	Help   string
+	Labels []Label
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; nil receivers are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; negative n is ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready; nil receivers are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; safe for concurrent Add/Set).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations.
+// Buckets are upper bounds (exclusive of +Inf, which is implicit);
+// Observe is a linear scan over them plus two atomic adds, so keep
+// bucket counts modest (≤ ~24) on hot paths. Nil receivers are no-ops.
+type Histogram struct {
+	upper  []float64 // ascending; +Inf bucket is counts[len(upper)]
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds — the base unit every
+// *_seconds histogram uses.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot reads one count per bucket and returns the cumulative
+// counts (per exposition bucket, +Inf last), total, and sum.
+func (h *Histogram) snapshot() (cum []int64, total int64, sum float64) {
+	cum = make([]int64, len(h.counts))
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return cum, total, math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n exponentially spaced bucket upper bounds
+// starting at start and growing by factor — the usual shape for
+// latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// series is one registered time series within a family: its rendered
+// label set plus the value source (exactly one of value / hist).
+type series struct {
+	labels string // pre-rendered `{k="v",...}`, or ""
+	value  func() float64
+	hist   *Histogram
+}
+
+// family groups every series registered under one metric name; the
+// exposition emits one HELP/TYPE pair per family.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []series
+	seen   map[string]bool // label-set dedup
+}
+
+// Registry holds registered metrics and renders them in Prometheus
+// text exposition format. All methods are safe for concurrent use;
+// registration is expected at startup, scraping at runtime.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// register validates o against the registry and returns the family,
+// panicking on misuse (registration is static, startup-time code — a
+// bad name is a programming error, not a runtime condition).
+func (r *Registry) register(o Opts, kind metricKind, s series) *family {
+	if !nameRe.MatchString(o.Name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", o.Name))
+	}
+	labels, key := renderLabels(o.Labels)
+	s.labels = labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[o.Name]
+	if f == nil {
+		f = &family{name: o.Name, help: o.Help, kind: kind, seen: make(map[string]bool)}
+		r.families[o.Name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", o.Name, kind, f.kind))
+	}
+	if f.seen[key] {
+		panic(fmt.Sprintf("obs: duplicate metric %q%s", o.Name, labels))
+	}
+	f.seen[key] = true
+	f.series = append(f.series, s)
+	return f
+}
+
+// renderLabels renders constant labels into the exposition form and a
+// canonical (sorted) dedup key.
+func renderLabels(labels []Label) (rendered, key string) {
+	if len(labels) == 0 {
+		return "", ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	out := "{"
+	for i, l := range sorted {
+		if !labelRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	out += "}"
+	return out, out
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(o Opts) *Counter {
+	c := &Counter{}
+	r.register(o, kindCounter, series{value: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at each
+// scrape — the bridge for subsystems that already maintain their own
+// atomic counters (WAL stats, broadcast stats) without double counting.
+func (r *Registry) CounterFunc(o Opts, fn func() float64) {
+	r.register(o, kindCounter, series{value: fn})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(o Opts) *Gauge {
+	g := &Gauge{}
+	r.register(o, kindGauge, series{value: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at each scrape.
+func (r *Registry) GaugeFunc(o Opts, fn func() float64) {
+	r.register(o, kindGauge, series{value: fn})
+}
+
+// Histogram registers and returns a new histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(o Opts, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", o.Name))
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q: bucket %v must be finite", o.Name, b))
+		}
+		if i > 0 && buckets[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram %q: buckets must be strictly ascending", o.Name))
+		}
+	}
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+	r.register(o, kindHistogram, series{hist: h})
+	return h
+}
+
+// AddCollector registers fn to run at the start of every exposition —
+// the hook for refreshing snapshot-style gauges (e.g. one sweep over
+// the hub's per-series stats feeding several CounterFuncs) exactly
+// once per scrape instead of once per metric.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}

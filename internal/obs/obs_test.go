@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Opts{Name: "test_total", Help: "h"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge(Opts{Name: "test_gauge"})
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Opts{Name: "test_seconds"}, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4 (NaN dropped)", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.555) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.555", got)
+	}
+	cum, total, _ := h.snapshot()
+	want := []int64{1, 2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"invalid name", func(r *Registry) { r.Counter(Opts{Name: "bad-name"}) }},
+		{"invalid label", func(r *Registry) {
+			r.Counter(Opts{Name: "ok_total", Labels: []Label{{Key: "bad-key", Value: "v"}}})
+		}},
+		{"duplicate series", func(r *Registry) {
+			r.Counter(Opts{Name: "dup_total"})
+			r.Counter(Opts{Name: "dup_total"})
+		}},
+		{"kind mismatch", func(r *Registry) {
+			r.Counter(Opts{Name: "kind_total"})
+			r.Gauge(Opts{Name: "kind_total"})
+		}},
+		{"empty buckets", func(r *Registry) { r.Histogram(Opts{Name: "h_seconds"}, nil) }},
+		{"descending buckets", func(r *Registry) { r.Histogram(Opts{Name: "h_seconds"}, []float64{1, 0.5}) }},
+		{"non-finite bucket", func(r *Registry) { r.Histogram(Opts{Name: "h_seconds"}, []float64{1, math.Inf(1)}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestSameFamilyDistinctLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(Opts{Name: "reqs_total", Labels: []Label{{Key: "route", Value: "/a"}}})
+	b := r.Counter(Opts{Name: "reqs_total", Labels: []Label{{Key: "route", Value: "/b"}}})
+	a.Inc()
+	b.Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE reqs_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line, got:\n%s", out)
+	}
+	if !strings.Contains(out, `reqs_total{route="/a"} 1`) || !strings.Contains(out, `reqs_total{route="/b"} 2`) {
+		t.Fatalf("missing series:\n%s", out)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Opts{Name: "rt_requests_total", Help: "requests", Labels: []Label{{Key: "code", Value: "200"}}})
+	c.Add(7)
+	g := r.Gauge(Opts{Name: "rt_in_flight", Help: "in flight"})
+	g.Set(3)
+	h := r.Histogram(Opts{Name: "rt_latency_seconds", Help: "latency"}, []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	r.GaugeFunc(Opts{Name: "rt_func_gauge"}, func() float64 { return 42 })
+	collected := false
+	r.AddCollector(func() { collected = true })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !collected {
+		t.Fatal("collector did not run")
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition failed validation: %v\n%s", err, buf.String())
+	}
+	if f := fams["rt_requests_total"]; f == nil || f.Type != "counter" || f.Help != "requests" {
+		t.Fatalf("bad counter family: %+v", f)
+	} else if f.Samples[0].Value != 7 || f.Samples[0].Labels["code"] != "200" {
+		t.Fatalf("bad counter sample: %+v", f.Samples[0])
+	}
+	if f := fams["rt_func_gauge"]; f == nil || f.Samples[0].Value != 42 {
+		t.Fatalf("bad func gauge: %+v", f)
+	}
+	f := fams["rt_latency_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("bad histogram family: %+v", f)
+	}
+	var infBucket, count float64
+	for _, s := range f.Samples {
+		if s.Labels["le"] == "+Inf" {
+			infBucket = s.Value
+		}
+		if s.Name == "rt_latency_seconds_count" {
+			count = s.Value
+		}
+	}
+	if infBucket != 3 || count != 3 {
+		t.Fatalf("+Inf bucket %v, count %v, want 3", infBucket, count)
+	}
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	nasty := "a\\b\"c\nd"
+	c := r.Counter(Opts{Name: "esc_total", Help: "line1\nline2", Labels: []Label{{Key: "series", Value: nasty}}})
+	c.Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	got := fams["esc_total"].Samples[0].Labels["series"]
+	if got != nasty {
+		t.Fatalf("label round-trip = %q, want %q", got, nasty)
+	}
+	if fams["esc_total"].Help != `line1\nline2` {
+		t.Fatalf("help not escaped: %q", fams["esc_total"].Help)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"untyped sample", "foo_total 1\n"},
+		{"bad type", "# TYPE x gaugee\nx 1\n"},
+		{"type after samples", "# TYPE x gauge\nx 1\n# TYPE x gauge\n"},
+		{"bad value", "# TYPE x gauge\nx one\n"},
+		{"unterminated label", "# TYPE x gauge\nx{a=\"b 1\n"},
+		{"bad escape", "# TYPE x gauge\nx{a=\"\\q\"} 1\n"},
+		{"duplicate label", "# TYPE x gauge\nx{a=\"1\",a=\"2\"} 1\n"},
+		{"non-monotone buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" + "h_sum 1\nh_count 3\n"},
+		{"missing +Inf", "# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n" + "h_sum 1\nh_count 5\n"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\n" + "h_sum 1\nh_count 4\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseExposition(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("expected error for:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Opts{Name: "x_total"}).Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != expositionContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if _, err := ParseExposition(resp.Body); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Opts{Name: "alloc_total"})
+	g := r.Gauge(Opts{Name: "alloc_gauge"})
+	h := r.Histogram(Opts{Name: "alloc_seconds"}, ExpBuckets(0.0001, 4, 12))
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.002)
+		h.ObserveDuration(3 * time.Millisecond)
+		nilH.Observe(1)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger("json", "warn", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info line leaked past warn level: %s", out)
+	}
+	if !strings.Contains(out, `"msg":"kept"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Fatalf("json output malformed: %s", out)
+	}
+	if _, err := NewLogger("xml", "", &buf); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if _, err := NewLogger("", "loud", &buf); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("request IDs must be unique: %q", a)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Fatalf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context should have no ID, got %q", got)
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := NewLogger("text", "info", &buf)
+	logf := Printf(l, 0, "wal") // slog.LevelInfo == 0
+	logf("segment %d rotated", 7)
+	out := buf.String()
+	if !strings.Contains(out, "segment 7 rotated") || !strings.Contains(out, "subsystem=wal") {
+		t.Fatalf("adapter output: %s", out)
+	}
+	Printf(nil, 0, "x")("must not panic")
+}

@@ -68,6 +68,7 @@ type event struct {
 	series string
 	seq    int
 	frame  *asap.Frame
+	at     time.Time // publish (or catch-up) time, for delivery latency
 	refs   atomic.Int32
 	once   sync.Once
 	data   []byte
@@ -409,6 +410,7 @@ func (b *Broadcast) PublishDrop(series string) {
 func (b *Broadcast) publish(e *event) {
 	b.published.Add(1)
 	now := time.Now()
+	e.at = now
 	var evicted []*subscriber
 	b.mu.RLock()
 	for sub := range b.bySeries[e.series] {
@@ -432,7 +434,8 @@ func (b *Broadcast) CatchUp(sub *subscriber, series string, f *asap.Frame) {
 		return
 	}
 	e := newFrameEvent(series, f)
-	if sub.offer(e, time.Now()) {
+	e.at = time.Now()
+	if sub.offer(e, e.at) {
 		b.remove(sub, true)
 	}
 	e.release()

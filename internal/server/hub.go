@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/fnv"
@@ -64,6 +65,10 @@ type HubConfig struct {
 	// primary, or a replicated tombstone on a follower — so push
 	// subscribers can be told the stream ended.
 	OnDrop func(series string)
+	// metrics, when non-nil, receives refresh-duration observations.
+	// Unexported by design: the owning Server wires it (same package);
+	// external HubConfig literals leave the hub uninstrumented.
+	metrics *hubMetrics
 }
 
 // Hub routes per-series traffic to independent Streamers behind
@@ -195,7 +200,19 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 		created = true
 	}
 	e.lastUsed = h.clock.Add(1)
+	// Refresh timing brackets the streamer push alone and is recorded
+	// only when it emitted a frame — the refresh path, not the cheap
+	// buffer-append pushes between refreshes. Two clock reads, no
+	// allocation, so the PR 3/5 zero-alloc refresh discipline holds
+	// with instrumentation on.
+	var pushStart time.Time
+	if h.cfg.metrics != nil {
+		pushStart = time.Now()
+	}
 	f := e.st.PushBatch(values)
+	if h.cfg.metrics != nil && f != nil {
+		h.cfg.metrics.refreshSeconds.ObserveDuration(time.Since(pushStart))
+	}
 	sh.mu.Unlock()
 	if f != nil {
 		if h.cfg.OnFrame != nil {

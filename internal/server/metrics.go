@@ -1,0 +1,472 @@
+package server
+
+// The server's observability surface: one obs.Registry holding every
+// layer's metrics, exposed at GET /metrics in Prometheus text format
+// (see docs/OBSERVABILITY.md for the catalog).
+//
+// Instrument discipline mirrors the refresh engine's: hot paths (wal
+// append/fsync, hub refresh, broadcast delivery) observe into
+// preallocated atomic histograms — no labels looked up, no allocation.
+// Everything that is already counted elsewhere (hub stats, broadcast
+// counters, WAL stats, replica lag gauges) is exported through
+// CounterFunc/GaugeFunc over a snapshot the collector refreshes once
+// per scrape, so a scrape costs one sweep per layer instead of one per
+// metric.
+//
+// All five layers' families are always registered — a memory-only
+// primary still exposes asap_wal_* and asap_replica_* at zero — so
+// dashboards and the acceptance checks see a stable catalog regardless
+// of the server's mode.
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"github.com/asap-go/asap/internal/obs"
+	"github.com/asap-go/asap/internal/replica"
+	"github.com/asap-go/asap/internal/wal"
+)
+
+// routePatterns is the full route table; Handler() builds the mux from
+// it and newServerMetrics pre-registers every route's instruments, so
+// the hot path never creates a label set.
+var routePatterns = []string{
+	"/", "/ingest", "/frame", "/stream", "/series", "/stats", "/plot.svg",
+	"/healthz", "/snapshot", "/metrics",
+	"/replica/segments", "/replica/segment", "/promote",
+}
+
+// statusClasses are the exported status-class label values, indexed by
+// status/100.
+var statusClasses = [6]string{"unknown", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeMetrics is one route's pre-registered instruments.
+type routeMetrics struct {
+	byClass  [6]*obs.Counter
+	duration *obs.Histogram
+}
+
+// hubMetrics is the hub-level stream instrumentation, wired through the
+// unexported HubConfig.metrics field.
+type hubMetrics struct {
+	// refreshSeconds observes the PushBatch call time of every push
+	// that emitted a frame — the refresh path, including the batch
+	// append that triggered it.
+	refreshSeconds *obs.Histogram
+}
+
+// serverMetrics owns the registry plus the collector-refreshed
+// snapshots the Func metrics read. Snapshot fields are written by the
+// collector and read by value funcs, both under the registry lock.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	inFlight *obs.Gauge
+	routes   map[string]*routeMetrics
+	// requests counts every HTTP request regardless of route — the
+	// self-monitor's rate source. Unregistered: /metrics already
+	// exposes the per-route split.
+	requests *obs.Counter
+
+	hub      *hubMetrics
+	wal      *wal.Metrics
+	delivery *obs.Histogram
+
+	// Collector-refreshed snapshots (valid only during a scrape).
+	agg      SeriesStats
+	seriesN  int
+	fill     float64
+	bstats   BroadcastStats
+	walStats wal.Stats
+	walOn    bool
+	fstatus  replica.Status
+	fOn      bool
+}
+
+// newServerMetrics registers every instrument-backed family. The
+// Func-backed families need a constructed Server and are registered by
+// bind.
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:      reg,
+		routes:   make(map[string]*routeMetrics, len(routePatterns)),
+		requests: &obs.Counter{},
+	}
+
+	m.inFlight = reg.Gauge(obs.Opts{
+		Name: "asap_http_in_flight_requests",
+		Help: "HTTP requests currently being served.",
+	})
+	durBuckets := obs.ExpBuckets(0.0005, 2.5, 12) // 0.5ms .. ~12s
+	for _, route := range routePatterns {
+		rm := &routeMetrics{
+			duration: reg.Histogram(obs.Opts{
+				Name:   "asap_http_request_duration_seconds",
+				Help:   "HTTP request latency by route (streaming routes measure connection lifetime).",
+				Labels: []obs.Label{{Key: "route", Value: route}},
+			}, durBuckets),
+		}
+		for class := 1; class < len(statusClasses); class++ {
+			rm.byClass[class] = reg.Counter(obs.Opts{
+				Name: "asap_http_requests_total",
+				Help: "HTTP requests served by route and status class.",
+				Labels: []obs.Label{
+					{Key: "route", Value: route},
+					{Key: "code", Value: statusClasses[class]},
+				},
+			})
+		}
+		m.routes[route] = rm
+	}
+
+	m.hub = &hubMetrics{
+		refreshSeconds: reg.Histogram(obs.Opts{
+			Name: "asap_stream_refresh_duration_seconds",
+			Help: "Hub push time for pushes that emitted a smoothed frame (the refresh path).",
+		}, obs.ExpBuckets(1e-6, 4, 12)),
+	}
+	m.wal = &wal.Metrics{
+		AppendSeconds: reg.Histogram(obs.Opts{
+			Name: "asap_wal_append_duration_seconds",
+			Help: "WAL append latency, including the group-commit fsync wait in strict mode.",
+		}, obs.ExpBuckets(1e-6, 4, 12)),
+		FsyncSeconds: reg.Histogram(obs.Opts{
+			Name: "asap_wal_fsync_duration_seconds",
+			Help: "WAL fsync latency.",
+		}, obs.ExpBuckets(1e-5, 4, 12)),
+		FsyncBatchRecords: reg.Histogram(obs.Opts{
+			Name: "asap_wal_fsync_batch_records",
+			Help: "Records made durable per fsync (the group-commit coalescing factor).",
+		}, []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+	}
+	m.delivery = reg.Histogram(obs.Opts{
+		Name: "asap_broadcast_delivery_duration_seconds",
+		Help: "Publish-to-flush latency of frames delivered over GET /stream.",
+	}, obs.ExpBuckets(1e-5, 4, 12))
+	return m
+}
+
+// bind registers the Func-backed families over s and the collector
+// that snapshots each layer once per scrape.
+func (m *serverMetrics) bind(s *Server) {
+	reg := m.reg
+	windowPoints := s.cfg.Hub.Stream.WindowPoints
+	reg.AddCollector(func() {
+		per := s.hub.Stats()
+		var agg SeriesStats
+		fill := 0.0
+		for _, st := range per {
+			agg.RawPoints += st.RawPoints
+			agg.Panes += st.Panes
+			agg.Searches += st.Searches
+			agg.Candidates += st.Candidates
+			agg.Skipped += st.Skipped
+			agg.Coalesced += st.Coalesced
+			if windowPoints > 0 {
+				f := float64(st.RawPoints) / float64(windowPoints)
+				if f > 1 {
+					f = 1
+				}
+				fill += f
+			}
+		}
+		m.agg, m.seriesN = agg, len(per)
+		m.fill = 0
+		if len(per) > 0 {
+			m.fill = fill / float64(len(per))
+		}
+		m.bstats = s.broadcast.Stats()
+		if wl := s.curWAL(); wl != nil {
+			m.walStats, m.walOn = wl.Stats(), true
+		} else {
+			m.walStats, m.walOn = wal.Stats{}, false
+		}
+		// After promotion the follower gauges freeze at their pre-promote
+		// values; report zeros rather than misread the new primary as a
+		// lagging replica (same rule as /stats).
+		if s.follower != nil && s.role.Load() != rolePrimary {
+			m.fstatus, m.fOn = s.follower.Status(), true
+		} else {
+			m.fstatus, m.fOn = replica.Status{}, false
+		}
+	})
+
+	// --- stream layer (hub aggregates over live series; evicting a
+	// series drops its share, which scrapes see as a counter reset) ---
+	reg.GaugeFunc(obs.Opts{Name: "asap_stream_series",
+		Help: "Live series in the hub."},
+		func() float64 { return float64(m.seriesN) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_stream_window_fill_ratio",
+		Help: "Mean fraction of the visualization window filled across live series."},
+		func() float64 { return m.fill })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_raw_points_total",
+		Help: "Raw points ingested across live series."},
+		func() float64 { return float64(m.agg.RawPoints) })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_panes_total",
+		Help: "Preaggregation panes completed across live series."},
+		func() float64 { return float64(m.agg.Panes) })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_searches_total",
+		Help: "Smoothing-parameter searches run across live series."},
+		func() float64 { return float64(m.agg.Searches) })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_searches_skipped_total",
+		Help: "Refreshes served from the cached search result (no new pane)."},
+		func() float64 { return float64(m.agg.Skipped) })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_searches_coalesced_total",
+		Help: "Refresh deadlines folded into a single batch-tail search."},
+		func() float64 { return float64(m.agg.Coalesced) })
+	reg.CounterFunc(obs.Opts{Name: "asap_stream_candidates_total",
+		Help: "Candidate windows evaluated across live series."},
+		func() float64 { return float64(m.agg.Candidates) })
+
+	// --- server role / eviction ---
+	reg.CounterFunc(obs.Opts{Name: "asap_server_evictions_total",
+		Help: "Series removed by the LRU cap."},
+		func() float64 { return float64(s.hub.Evictions()) })
+	for _, rl := range []struct {
+		name string
+		val  int32
+	}{{"primary", rolePrimary}, {"follower", roleFollower}, {"promoting", rolePromoting}} {
+		reg.GaugeFunc(obs.Opts{Name: "asap_server_role",
+			Help:   "Server role; 1 on the active role's series.",
+			Labels: []obs.Label{{Key: "role", Value: rl.name}}},
+			func() float64 {
+				if s.role.Load() == rl.val {
+					return 1
+				}
+				return 0
+			})
+	}
+
+	// --- wal layer ---
+	reg.GaugeFunc(obs.Opts{Name: "asap_wal_enabled",
+		Help: "1 when a write-ahead log is attached (durability on)."},
+		func() float64 {
+			if m.walOn {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(obs.Opts{Name: "asap_wal_durable_lag_seconds",
+		Help: "Age of the oldest acknowledged append not yet fsynced."},
+		func() float64 { return m.walStats.FlushLag.Seconds() })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_appended_records_total",
+		Help: "Records appended to the WAL."},
+		func() float64 { return float64(m.walStats.AppendedRecords) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_appended_points_total",
+		Help: "Points appended to the WAL."},
+		func() float64 { return float64(m.walStats.AppendedPoints) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_syncs_total",
+		Help: "Successful WAL fsyncs."},
+		func() float64 { return float64(m.walStats.Syncs) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_sync_errors_total",
+		Help: "Failed WAL flushes or fsyncs."},
+		func() float64 { return float64(m.walStats.SyncErrors) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_rotations_total",
+		Help: "WAL segment rotations."},
+		func() float64 { return float64(m.walStats.Rotations) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_segments_dropped_total",
+		Help: "Sealed segments reclaimed by retention."},
+		func() float64 { return float64(m.walStats.SegmentsDropped) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_snapshots_total",
+		Help: "WAL compaction snapshots taken."},
+		func() float64 { return float64(m.walStats.Snapshots) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_auto_snapshots_total",
+		Help: "Background snapshots taken by the scheduler."},
+		func() float64 { return float64(s.autoSnapshots.Load()) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_auto_snapshot_errors_total",
+		Help: "Background snapshots that failed."},
+		func() float64 { return float64(s.autoSnapshotErrs.Load()) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_wal_last_snapshot_age_seconds",
+		Help: "Time since the last WAL snapshot (or server start)."},
+		func() float64 {
+			return time.Since(time.Unix(0, s.lastSnapshotNano.Load())).Seconds()
+		})
+
+	// --- broadcast layer ---
+	reg.GaugeFunc(obs.Opts{Name: "asap_broadcast_subscribers",
+		Help: "Currently connected GET /stream subscribers."},
+		func() float64 { return float64(m.bstats.Subscribers) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_subscribed_total",
+		Help: "Accepted stream subscriptions."},
+		func() float64 { return float64(m.bstats.Subscribed) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_rejected_total",
+		Help: "Subscriptions refused by the subscriber cap."},
+		func() float64 { return float64(m.bstats.Rejected) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_published_total",
+		Help: "Events (frames and drops) offered to the subscriber registry."},
+		func() float64 { return float64(m.bstats.Published) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_delivered_total",
+		Help: "Events written to stream subscribers."},
+		func() float64 { return float64(m.bstats.Delivered) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_coalesced_total",
+		Help: "Pending events superseded by a newer frame before delivery."},
+		func() float64 { return float64(m.bstats.Coalesced) })
+	reg.CounterFunc(obs.Opts{Name: "asap_broadcast_evicted_total",
+		Help: "Subscribers cut for stalling past the deadline."},
+		func() float64 { return float64(m.bstats.Evicted) })
+
+	// --- replica layer ---
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_active",
+		Help: "1 while this server replicates a primary (follower role)."},
+		func() float64 {
+			if m.fOn {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_bootstrapped",
+		Help: "1 once every shard finished bootstrap."},
+		func() float64 {
+			if m.fstatus.Bootstrapped {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_synced",
+		Help: "1 when the last poll succeeded with zero lag."},
+		func() float64 {
+			if m.fstatus.Synced {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_segments_behind",
+		Help: "Segments the follower still has to apply."},
+		func() float64 { return float64(m.fstatus.SegmentsBehind) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_records_behind",
+		Help: "Records the follower still has to apply."},
+		func() float64 { return float64(m.fstatus.RecordsBehind) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_bytes_behind",
+		Help: "Durable bytes the follower still has to fetch."},
+		func() float64 { return float64(m.fstatus.BytesBehind) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_replica_last_poll_age_seconds",
+		Help: "Time since the last successful manifest poll (0 before the first)."},
+		func() float64 {
+			if m.fstatus.LastPoll.IsZero() {
+				return 0
+			}
+			return time.Since(m.fstatus.LastPoll).Seconds()
+		})
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_polls_total",
+		Help: "Manifest polls attempted."},
+		func() float64 { return float64(m.fstatus.Polls) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_poll_errors_total",
+		Help: "Manifest polls that failed."},
+		func() float64 { return float64(m.fstatus.PollErrors) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_resyncs_total",
+		Help: "Shards re-bootstrapped from a primary snapshot after a chain gap."},
+		func() float64 { return float64(m.fstatus.Resyncs) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_records_applied_total",
+		Help: "Replicated records applied through the hub."},
+		func() float64 { return float64(m.fstatus.RecordsApplied) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_points_applied_total",
+		Help: "Replicated points applied through the hub."},
+		func() float64 { return float64(m.fstatus.PointsApplied) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_bytes_fetched_total",
+		Help: "Segment bytes fetched from the primary."},
+		func() float64 { return float64(m.fstatus.BytesFetched) })
+}
+
+// statusRecorder captures the response status for the request metrics
+// while staying transparent to the streaming machinery: FlushError
+// (which http.ResponseController prefers over the legacy Flusher, and
+// which must surface write-deadline errors for SSE stall detection)
+// delegates through a controller on the wrapped writer, and Unwrap
+// lets SetWriteDeadline resolve down the chain.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) FlushError() error {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return http.NewResponseController(r.ResponseWriter).Flush()
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// cleanRequestID reports whether an incoming X-Request-ID is safe to
+// echo into logs and headers.
+func cleanRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// instrument wraps one route's handler with the HTTP layer: request-ID
+// assignment (honoring a clean incoming X-Request-ID), the in-flight
+// gauge, the per-route latency histogram and status-class counters,
+// and a debug-level access log line carrying the request ID.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.metrics.routes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if !cleanRequestID(rid) {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+
+		rec := &statusRecorder{ResponseWriter: w}
+		s.metrics.requests.Inc()
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		s.metrics.inFlight.Add(-1)
+
+		status := rec.status
+		if status == 0 {
+			// The handler wrote nothing; net/http will answer 200.
+			status = http.StatusOK
+		}
+		class := status / 100
+		if class < 1 || class > 5 {
+			class = 0
+		}
+		if c := rm.byClass[class]; c != nil {
+			c.Inc()
+		}
+		rm.duration.ObserveDuration(dur)
+		s.log().LogAttrs(r.Context(), slog.LevelDebug, "http",
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", status),
+			slog.Int64("duration_us", dur.Microseconds()),
+			slog.String("request_id", rid),
+		)
+	}
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// scrape fetches GET /metrics and returns the parsed exposition, which
+// ParseExposition has already validated (HELP/TYPE discipline, label
+// syntax, monotone histogram buckets).
+func scrape(t *testing.T, url string) map[string]*obs.ExpoFamily {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q, want 0.0.4 exposition", ct)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	return fams
+}
+
+// sampleValue finds one sample by name and exact label subset match.
+func sampleValue(fams map[string]*obs.ExpoFamily, family, sample string, labels map[string]string) (float64, bool) {
+	fam := fams[family]
+	if fam == nil {
+		return 0, false
+	}
+next:
+	for _, s := range fam.Samples {
+		if s.Name != sample {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+func TestMetricsCoverAllLayers(t *testing.T) {
+	cfg := testConfig()
+	cfg.DataDir = t.TempDir()
+	cfg.FsyncEvery = 0 // strict: every ingest fsyncs, so WAL histograms fill
+	_, ts := newTestServer(t, cfg)
+
+	post(t, ts.URL+"/ingest", sineBody("cpu", 500))
+	get(t, ts.URL+"/frame?series=cpu")
+	fams := scrape(t, ts.URL)
+
+	// One representative family per instrumented layer, plus shape checks.
+	for _, name := range []string{
+		"asap_http_requests_total",
+		"asap_http_request_duration_seconds",
+		"asap_http_in_flight_requests",
+		"asap_stream_refresh_duration_seconds",
+		"asap_stream_raw_points_total",
+		"asap_wal_append_duration_seconds",
+		"asap_wal_fsync_duration_seconds",
+		"asap_wal_fsync_batch_records",
+		"asap_wal_appended_points_total",
+		"asap_broadcast_delivery_duration_seconds",
+		"asap_broadcast_subscribers",
+		"asap_replica_active",
+		"asap_replica_records_behind",
+	} {
+		if fams[name] == nil {
+			t.Errorf("family %s missing from scrape", name)
+		}
+	}
+
+	if v, ok := sampleValue(fams, "asap_stream_raw_points_total", "asap_stream_raw_points_total", nil); !ok || v != 500 {
+		t.Errorf("asap_stream_raw_points_total = %v, %v; want 500", v, ok)
+	}
+	if v, ok := sampleValue(fams, "asap_wal_enabled", "asap_wal_enabled", nil); !ok || v != 1 {
+		t.Errorf("asap_wal_enabled = %v, %v; want 1", v, ok)
+	}
+	if v, ok := sampleValue(fams, "asap_http_requests_total", "asap_http_requests_total",
+		map[string]string{"route": "/ingest", "code": "2xx"}); !ok || v < 1 {
+		t.Errorf(`asap_http_requests_total{route="/ingest",code="2xx"} = %v, %v; want >= 1`, v, ok)
+	}
+	// The ingest fsynced in strict mode, so the WAL histograms observed.
+	if v, ok := sampleValue(fams, "asap_wal_fsync_duration_seconds", "asap_wal_fsync_duration_seconds_count", nil); !ok || v < 1 {
+		t.Errorf("fsync histogram count = %v, %v; want >= 1", v, ok)
+	}
+	// The frame-emitting ingest exercised the refresh histogram.
+	if v, ok := sampleValue(fams, "asap_stream_refresh_duration_seconds", "asap_stream_refresh_duration_seconds_count", nil); !ok || v < 1 {
+		t.Errorf("refresh histogram count = %v, %v; want >= 1", v, ok)
+	}
+	// A memory-only follower-less primary still reports the replica
+	// layer, at zero.
+	if v, ok := sampleValue(fams, "asap_replica_active", "asap_replica_active", nil); !ok || v != 0 {
+		t.Errorf("asap_replica_active = %v, %v; want 0", v, ok)
+	}
+	if v, ok := sampleValue(fams, "asap_server_role", "asap_server_role",
+		map[string]string{"role": "primary"}); !ok || v != 1 {
+		t.Errorf(`asap_server_role{role="primary"} = %v, %v; want 1`, v, ok)
+	}
+}
+
+func TestMetricsDeliveryHistogramOnStream(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/ingest", sineBody("cpu", 600))
+
+	ch, cancel := openStream(t, ts.URL+"/stream?series=cpu", nil)
+	defer cancel()
+	nextFrame(t, ch, 2*time.Second) // catch-up frame
+	post(t, ts.URL+"/ingest", sineBody("cpu", 100))
+	nextFrame(t, ch, 2*time.Second) // live frame: publish→flush observed
+
+	fams := scrape(t, ts.URL)
+	if v, ok := sampleValue(fams, "asap_broadcast_delivery_duration_seconds",
+		"asap_broadcast_delivery_duration_seconds_count", nil); !ok || v < 1 {
+		t.Errorf("delivery histogram count = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := sampleValue(fams, "asap_broadcast_subscribers", "asap_broadcast_subscribers", nil); !ok || v != 1 {
+		t.Errorf("asap_broadcast_subscribers = %v, %v; want 1", v, ok)
+	}
+}
+
+// TestMetricsGoldenCatalog pins the full family catalog (name + type)
+// so a PR that drops or retypes a metric fails visibly. Regenerate with
+// go test ./internal/server -run Golden -update.
+func TestMetricsGoldenCatalog(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	fams := scrape(t, ts.URL)
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %s\n", name, fams[name].Type)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics_families.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric catalog drifted from %s (regenerate with -update):\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}
+
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	code, _ := post(t, ts.URL+"/metrics", "")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", code)
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	// No incoming ID: one is generated.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	gen := resp.Header.Get("X-Request-ID")
+	if gen == "" || !cleanRequestID(gen) {
+		t.Errorf("generated X-Request-ID = %q", gen)
+	}
+
+	do := func(id string) string {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		req.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-ID")
+	}
+	// A clean incoming ID is honored end to end.
+	if got := do("trace-abc-123"); got != "trace-abc-123" {
+		t.Errorf("clean incoming ID echoed as %q", got)
+	}
+	// A hostile one (header injection, over-long) is replaced.
+	if got := do(strings.Repeat("x", 65)); got == strings.Repeat("x", 65) || !cleanRequestID(got) {
+		t.Errorf("over-long incoming ID echoed as %q", got)
+	}
+}
+
+// TestStatsAggregateNoSeries pins the /stats aggregate (no ?series=)
+// document shape: top-level counters, the aggregate block, per-series
+// breakdown, and the stream (broadcast) section that is always present.
+func TestStatsAggregateNoSeries(t *testing.T) {
+	cfg := testConfig()
+	cfg.DataDir = t.TempDir()
+	_, ts := newTestServer(t, cfg)
+	post(t, ts.URL+"/ingest", sineBody("cpu", 300)+sineBody("disk", 200))
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	for _, key := range []string{"series_count", "evictions", "role", "aggregate", "series", "stream", "wal"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stats aggregate missing %q", key)
+		}
+	}
+	var agg map[string]int
+	if err := json.Unmarshal(st["aggregate"], &agg); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"raw_points", "panes", "searches", "candidates", "searches_skipped", "searches_coalesced"} {
+		if _, ok := agg[key]; !ok {
+			t.Errorf("aggregate missing %q", key)
+		}
+	}
+	if agg["raw_points"] != 500 {
+		t.Errorf("aggregate raw_points = %d, want 500", agg["raw_points"])
+	}
+	var wals map[string]json.RawMessage
+	if err := json.Unmarshal(st["wal"], &wals); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wals["appended_points"]; !ok {
+		t.Error("wal section missing appended_points")
+	}
+}
+
+// TestSelfMonitorStreamsOwnSeries runs the self-monitor loop against a
+// small window and watches its __asap.* series come out the other end
+// of the full pipeline: hub, frame, and live SSE delivery.
+func TestSelfMonitorStreamsOwnSeries(t *testing.T) {
+	cfg := Config{
+		Hub: HubConfig{
+			Stream: asap.StreamConfig{
+				WindowPoints: 16,
+				Resolution:   8,
+				RefreshEvery: 1,
+			},
+		},
+		SelfMonitor:      true,
+		SelfMonitorEvery: 10 * time.Millisecond,
+	}
+	s, ts := newTestServer(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.selfMonitorLoop(ctx) // Serve() starts this under -self-monitor
+
+	// Each poll is itself a request, so the request-rate series keeps
+	// moving; wait for a smoothed frame to materialize.
+	deadline := time.After(10 * time.Second)
+	for {
+		code, _ := get(t, ts.URL+"/frame?series="+selfSeriesRequests)
+		if code == 200 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no %s frame after 10s", selfSeriesRequests)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// The series is ordinary: it lists, and it streams live.
+	if _, body := get(t, ts.URL+"/series"); !strings.Contains(body, selfSeriesRequests) {
+		t.Errorf("/series does not list %s: %s", selfSeriesRequests, body)
+	}
+	ch, cancelStream := openStream(t, ts.URL+"/stream?series="+selfSeriesRequests, nil)
+	defer cancelStream()
+	f, _ := nextFrame(t, ch, 5*time.Second)
+	if f.Series != selfSeriesRequests || len(f.Values) == 0 {
+		t.Errorf("streamed self-monitor frame = %+v", f)
+	}
+}
+
+// TestSelfMonitorIdleOnFollower: a follower must not push local series
+// (its hub state must stay bit-identical to the replicated stream).
+func TestSelfMonitorIdleOnFollower(t *testing.T) {
+	cfg := Config{
+		Hub: HubConfig{
+			Stream: asap.StreamConfig{WindowPoints: 16, Resolution: 8, RefreshEvery: 1},
+		},
+		SelfMonitorEvery: 5 * time.Millisecond,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.role.Store(roleFollower)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.selfMonitorLoop(ctx)
+	time.Sleep(100 * time.Millisecond)
+	if names := s.Hub().SeriesNames(); len(names) != 0 {
+		t.Errorf("follower self-monitor created series %v", names)
+	}
+}
+
+func TestPprofSeparateListener(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop, err := s.servePprof(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	addr := s.PprofAddr()
+	if addr == "" {
+		t.Fatal("PprofAddr empty after servePprof")
+	}
+	code, body := get(t, "http://"+addr+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("pprof index = %d %.60q", code, body)
+	}
+	// The main mux must never grow profiling routes.
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != 404 {
+		t.Errorf("main mux /debug/pprof/ status %d, want 404", code)
+	}
+}
+
+// TestMetricsInstrumentationAllocs proves the instrumentation adds no
+// allocations to the hot paths (picked up by make alloc-check).
+func TestMetricsInstrumentationAllocs(t *testing.T) {
+	m := newServerMetrics()
+	if n := testing.AllocsPerRun(1000, func() {
+		m.requests.Inc()
+		m.inFlight.Add(1)
+		m.hub.refreshSeconds.ObserveDuration(time.Microsecond)
+		m.wal.AppendSeconds.Observe(1e-6)
+		m.wal.FsyncBatchRecords.Observe(8)
+		m.delivery.ObserveDuration(time.Millisecond)
+		m.inFlight.Add(-1)
+	}); n != 0 {
+		t.Errorf("instrument hot path allocates %v/op, want 0", n)
+	}
+
+	// The instrumented hub refresh allocates no more than the bare one.
+	push := func(h *Hub) float64 {
+		batch := make([]float64, 100) // one refresh per batch under testConfig
+		// Warm up pools and the window ring before measuring.
+		for i := 0; i < 5; i++ {
+			h.PushBatch("cpu", batch)
+		}
+		return testing.AllocsPerRun(50, func() { h.PushBatch("cpu", batch) })
+	}
+	bareCfg := testConfig().Hub
+	bare, err := NewHub(bareCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instCfg := testConfig().Hub
+	instCfg.metrics = m.hub
+	inst, err := NewHub(instCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db, di := push(bare), push(inst); di > db {
+		t.Errorf("instrumented refresh allocates %v/op vs %v/op bare", di, db)
+	}
+}
+
+// BenchmarkMetricsHotPath is the bench-gate entry
+// (BENCH_refresh.json): the instrument primitives and the instrumented
+// hub refresh path, which must stay allocation-free.
+func BenchmarkMetricsHotPath(bm *testing.B) {
+	bm.Run("observe", func(b *testing.B) {
+		m := newServerMetrics()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.hub.refreshSeconds.ObserveDuration(time.Microsecond)
+		}
+	})
+	bm.Run("http-count", func(b *testing.B) {
+		m := newServerMetrics()
+		rm := m.routes["/ingest"]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.requests.Inc()
+			m.inFlight.Add(1)
+			rm.byClass[2].Inc()
+			rm.duration.Observe(0.001)
+			m.inFlight.Add(-1)
+		}
+	})
+	bm.Run("refresh-instrumented", func(b *testing.B) {
+		m := newServerMetrics()
+		cfg := testConfig().Hub
+		cfg.metrics = m.hub
+		h, err := NewHub(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]float64, 100) // one refresh per batch
+		for i := 0; i < 5; i++ {
+			h.PushBatch("cpu", batch)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.PushBatch("cpu", batch)
+		}
+	})
+}

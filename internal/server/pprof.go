@@ -1,0 +1,40 @@
+package server
+
+// Profiling endpoint, deliberately off the main mux: net/http/pprof
+// exposes heap contents and CPU profiles, so it only ever binds its
+// own listener (Config.PprofAddr, expected to be loopback) and its
+// own explicit mux — importing net/http/pprof for its handlers
+// without touching http.DefaultServeMux.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// servePprof starts the profiling listener and returns a stop func
+// that Serve defers; the listener also dies with ctx.
+func (s *Server) servePprof(ctx context.Context, addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Handler:     mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	s.pprofAddr.Store(ln.Addr().String())
+	s.log().Info("pprof listening", "addr", ln.Addr().String())
+	go func() { _ = srv.Serve(ln) }()
+	return func() {
+		_ = srv.Close()
+		s.pprofAddr.Store("")
+	}, nil
+}

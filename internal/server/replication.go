@@ -17,7 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/asap-go/asap"
+	"github.com/asap-go/asap/internal/obs"
 	"github.com/asap-go/asap/internal/replica"
 	"github.com/asap-go/asap/internal/wal"
 )
@@ -47,12 +48,13 @@ func newFollower(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{}
+	s := &Server{logger: cfg.Logger, metrics: newServerMetrics()}
 	s.attachBroadcast(&cfg) // followers stream replicated frames too
 	f, err := replica.New(replica.Config{
 		Dir:     cfg.DataDir,
 		Primary: cfg.Follow,
 		Poll:    cfg.FollowPoll,
+		Logf:    obs.Printf(s.log(), slog.LevelInfo, "replica"),
 	})
 	if err != nil {
 		lock.Release()
@@ -72,6 +74,7 @@ func newFollower(cfg Config) (*Server, error) {
 	}
 	cfg.Hub.DefaultSeries = spec.DefaultSeries
 	cfg.Hub.WAL = nil
+	cfg.Hub.metrics = s.metrics.hub
 	hub, err := NewHub(cfg.Hub)
 	if err != nil {
 		lock.Release()
@@ -88,11 +91,13 @@ func newFollower(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	if restored > 0 {
-		log.Printf("replica: restored %d series from the local mirror %s", restored, cfg.DataDir)
+		s.log().Info("replica warm-restored from local mirror",
+			"subsystem", "replica", "series", restored, "dir", cfg.DataDir)
 	}
 	s.cfg, s.hub, s.lock, s.follower = cfg, hub, lock, f
 	s.role.Store(roleFollower)
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
+	s.metrics.bind(s)
 	return s, nil
 }
 
@@ -182,7 +187,7 @@ func (s *Server) handleReplicaSegments(w http.ResponseWriter, r *http.Request) {
 	man := buildPrimaryManifest(wl.Manifest(), s.hub.DefaultSeries(), s.cfg.Hub.Stream)
 	man.Version = version
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, man)
+	s.writeJSON(w, r, man)
 }
 
 // waitForAppend parks until the append version moves past have, the
@@ -297,6 +302,8 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		FsyncEvery:    s.cfg.FsyncEvery,
 		HorizonPoints: horizon,
 		OnDurable:     s.noteDurable,
+		Logf:          obs.Printf(s.log(), slog.LevelInfo, "wal"),
+		Metrics:       s.metrics.wal,
 	})
 	if err != nil {
 		// The mirror is intact and the tailer is stopped: stay a fenced,
@@ -307,16 +314,19 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := wlog.Recover() // the hub already holds this state, applied live
 	if got, have := len(rec.Series), s.hub.Len(); got != have {
-		log.Printf("promote: WAL recovery found %d series, hub serves %d (tombstone/torn-tail drift)", got, have)
+		s.log().Warn("promote: WAL recovery and hub disagree (tombstone/torn-tail drift)",
+			"request_id", obs.RequestIDFrom(r.Context()), "wal_series", got, "hub_series", have)
 	}
 	s.wal.Store(wlog)
 	s.hub.SetWAL(wlog)
 	s.role.Store(rolePrimary)
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
-	log.Printf("promoted: now primary over %s (%d series, %d records replayed in %s)",
-		s.cfg.DataDir, s.hub.Len(), rec.Stats.RecordsReplayed, rec.Stats.Duration)
+	s.log().Info("promoted to primary",
+		"request_id", obs.RequestIDFrom(r.Context()), "dir", s.cfg.DataDir,
+		"series", s.hub.Len(), "records_replayed", rec.Stats.RecordsReplayed,
+		"replay_duration", rec.Stats.Duration)
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]interface{}{
+	s.writeJSON(w, r, map[string]interface{}{
 		"promoted":         true,
 		"series":           s.hub.Len(),
 		"records_replayed": rec.Stats.RecordsReplayed,
@@ -364,7 +374,7 @@ func (s *Server) snapshotLoop(ctx context.Context) {
 		}
 		if _, err := wl.Snapshot(); err != nil {
 			s.autoSnapshotErrs.Add(1)
-			log.Printf("background snapshot: %v", err)
+			s.log().Warn("background snapshot failed", "error", err)
 			continue
 		}
 		s.autoSnapshots.Add(1)

@@ -1,0 +1,91 @@
+package server
+
+// Self-monitoring: the server ingests its own health gauges as
+// ordinary series and smooths them with ASAP — the paper's opening
+// use case (operators watching server load over time, Rong & Bailis
+// VLDB'17 §1) applied to the server itself. Each tick samples the obs
+// instruments, converts them to per-interval rates, and pushes one
+// point per series through Hub.PushBatch, so the __asap.* series get
+// the full pipeline: WAL durability, smoothing, /stream fan-out, and
+// the dashboard.
+
+import (
+	"context"
+	"time"
+)
+
+// Self-monitor series names. The "__asap." prefix keeps them visually
+// distinct from user series; they are otherwise ordinary (durable,
+// replicated, streamable).
+const (
+	selfSeriesRequests = "__asap.requests_per_sec"
+	selfSeriesIngest   = "__asap.ingest_points_per_sec"
+	selfSeriesFsync    = "__asap.wal_fsync_ms"
+)
+
+// selfMonitorLoop samples the server's own instruments every
+// SelfMonitorEvery (default 1s) and feeds them back through the hub.
+// It only pushes while this server is the primary: a follower's hub
+// must stay bit-identical to the replicated stream, and after
+// promotion the loop picks up on the next tick.
+func (s *Server) selfMonitorLoop(ctx context.Context) {
+	every := s.cfg.SelfMonitorEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+
+	type sample struct {
+		at       time.Time
+		requests int64
+		points   int64
+		fsyncSum float64
+		fsyncN   int64
+	}
+	take := func() sample {
+		sm := sample{at: time.Now(), requests: s.metrics.requests.Value()}
+		sm.points = int64(s.ingestedPoints())
+		sm.fsyncSum = s.metrics.wal.FsyncSeconds.Sum()
+		sm.fsyncN = s.metrics.wal.FsyncSeconds.Count()
+		return sm
+	}
+	prev := take()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if s.role.Load() != rolePrimary {
+			prev = take() // keep the baseline fresh for promotion
+			continue
+		}
+		cur := take()
+		dt := cur.at.Sub(prev.at).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		_ = s.hub.PushBatch(selfSeriesRequests,
+			[]float64{float64(cur.requests-prev.requests) / dt})
+		_ = s.hub.PushBatch(selfSeriesIngest,
+			[]float64{float64(cur.points-prev.points) / dt})
+		if n := cur.fsyncN - prev.fsyncN; n > 0 {
+			// Mean fsync latency over the interval, in milliseconds.
+			_ = s.hub.PushBatch(selfSeriesFsync,
+				[]float64{(cur.fsyncSum - prev.fsyncSum) / float64(n) * 1e3})
+		}
+		prev = cur
+	}
+}
+
+// ingestedPoints sums raw points across live series — the ingest-rate
+// numerator. A full stats sweep per tick is fine at 1 Hz; the rate is
+// a delta, so series eviction at worst dents one interval.
+func (s *Server) ingestedPoints() int {
+	total := 0
+	for _, st := range s.hub.Stats() {
+		total += st.RawPoints
+	}
+	return total
+}

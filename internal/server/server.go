@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -16,6 +16,7 @@ import (
 
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/datasets"
+	"github.com/asap-go/asap/internal/obs"
 	"github.com/asap-go/asap/internal/plot"
 	"github.com/asap-go/asap/internal/replica"
 	"github.com/asap-go/asap/internal/stats"
@@ -91,6 +92,22 @@ type Config struct {
 	// DrainTimeout bounds the graceful connection drain at shutdown.
 	// Zero means DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// Logger receives structured operational logs. Nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// PprofAddr, when non-empty, serves net/http/pprof on its own
+	// listener at this address — never on the main mux, so profiling
+	// stays off any port exposed to clients. Use a loopback address
+	// (e.g. "127.0.0.1:6060").
+	PprofAddr string
+	// SelfMonitor feeds the server's own health gauges back through the
+	// hub as __asap.* series (requests/sec, ingest points/sec, fsync
+	// latency), so the dashboard streams an ASAP-smoothed view of the
+	// server itself. Active only while this server is the primary.
+	SelfMonitor bool
+	// SelfMonitorEvery is the self-monitor sampling interval. Zero
+	// means 1s.
+	SelfMonitorEvery time.Duration
 }
 
 // Server roles. A memory-only server still counts as primary: it
@@ -110,6 +127,12 @@ type Server struct {
 	lock      *wal.DirLock
 	follower  *replica.Follower
 	broadcast *Broadcast
+	metrics   *serverMetrics
+	logger    *slog.Logger
+
+	// pprofAddr holds the profiling listener's resolved address (":0"
+	// in tests) once Serve has it listening; empty otherwise.
+	pprofAddr atomic.Value // string
 
 	// wal is atomic because promotion attaches a log to a running
 	// follower while readers (stats, healthz) are in flight.
@@ -155,8 +178,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Follow != "" {
 		return newFollower(cfg)
 	}
-	s := &Server{}
+	s := &Server{logger: cfg.Logger, metrics: newServerMetrics()}
 	s.attachBroadcast(&cfg)
+	cfg.Hub.metrics = s.metrics.hub
 	var wlog *wal.Log
 	var lock *wal.DirLock
 	if cfg.DataDir != "" {
@@ -178,6 +202,8 @@ func New(cfg Config) (*Server, error) {
 			FsyncEvery:    cfg.FsyncEvery,
 			HorizonPoints: horizon,
 			OnDurable:     s.noteDurable,
+			Logf:          obs.Printf(s.log(), slog.LevelInfo, "wal"),
+			Metrics:       s.metrics.wal,
 		})
 		if err != nil {
 			lock.Release()
@@ -197,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 	s.wal.Store(wlog)
 	s.role.Store(rolePrimary)
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
+	s.metrics.bind(s)
 	if cfg.Simulate != "" {
 		spec, ok := datasets.ByName(cfg.Simulate)
 		if !ok {
@@ -242,6 +269,25 @@ func (s *Server) attachBroadcast(cfg *Config) {
 func (s *Server) noteDurable() {
 	s.appendVersion.Add(1)
 	s.walChanged.bump()
+}
+
+// log returns the configured structured logger, or slog's default.
+func (s *Server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
+}
+
+// Metrics exposes the server's observability registry — the /metrics
+// source, also usable for embedding-side instruments.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// PprofAddr returns the profiling listener's resolved address once
+// Serve has it listening ("" when disabled or not yet up).
+func (s *Server) PprofAddr() string {
+	addr, _ := s.pprofAddr.Load().(string)
+	return addr
 }
 
 // Hub exposes the underlying hub, mainly for tests and embedding.
@@ -301,21 +347,32 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Handler returns the full asap-server route table.
+// Handler returns the full asap-server route table, every route
+// wrapped in the HTTP instrumentation middleware (request IDs, the
+// in-flight gauge, per-route latency and status-class metrics). The
+// patterns must stay in sync with routePatterns (metrics.go), which
+// pre-registers each route's instruments.
 func (s *Server) Handler() http.Handler {
+	metricsHandler := s.metrics.reg.Handler()
+	handlers := map[string]http.HandlerFunc{
+		"/":                 s.handleIndex,
+		"/ingest":           s.handleIngest,
+		"/frame":            s.handleFrame,
+		"/stream":           s.handleStream,
+		"/series":           s.handleSeries,
+		"/stats":            s.handleStats,
+		"/plot.svg":         s.handlePlot,
+		"/healthz":          s.handleHealthz,
+		"/snapshot":         s.handleSnapshot,
+		"/metrics":          metricsHandler.ServeHTTP,
+		"/replica/segments": s.handleReplicaSegments,
+		"/replica/segment":  s.handleReplicaSegment,
+		"/promote":          s.handlePromote,
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/frame", s.handleFrame)
-	mux.HandleFunc("/stream", s.handleStream)
-	mux.HandleFunc("/series", s.handleSeries)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/plot.svg", s.handlePlot)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/replica/segments", s.handleReplicaSegments)
-	mux.HandleFunc("/replica/segment", s.handleReplicaSegment)
-	mux.HandleFunc("/promote", s.handlePromote)
+	for _, route := range routePatterns {
+		mux.HandleFunc(route, s.instrument(route, handlers[route]))
+	}
 	return mux
 }
 
@@ -358,6 +415,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer wg.Done()
 			s.snapshotLoop(ctx)
 		}()
+	}
+	if s.cfg.SelfMonitor {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.selfMonitorLoop(ctx)
+		}()
+	}
+	if s.cfg.PprofAddr != "" {
+		stopPprof, err := s.servePprof(ctx, s.cfg.PprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
 	}
 
 	srv := &http.Server{
@@ -524,7 +595,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body["status"] = status
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	writeJSON(w, body)
+	s.writeJSON(w, r, body)
 }
 
 // handleSnapshot (POST) compacts the WAL into a fresh checkpoint so
@@ -548,7 +619,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lastSnapshotNano.Store(time.Now().UnixNano())
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]interface{}{
+	s.writeJSON(w, r, map[string]interface{}{
 		"series":           res.Series,
 		"points":           res.Points,
 		"segments_removed": res.SegmentsRemoved,
@@ -586,7 +657,7 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "null")
 		return
 	}
-	writeJSON(w, frameJSON{
+	s.writeJSON(w, r, frameJSON{
 		Series: name, Values: f.Values, Window: f.Window, Roughness: f.Roughness,
 		Kurtosis: f.Kurtosis, SeedReused: f.SeedReused, Sequence: f.Sequence,
 	})
@@ -608,7 +679,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		list = append(list, seriesJSON{Name: info.Name, RawPoints: info.RawPoints})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]interface{}{"count": len(list), "series": list})
+	s.writeJSON(w, r, map[string]interface{}{"count": len(list), "series": list})
 }
 
 type seriesStatsJSON struct {
@@ -648,7 +719,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, statsJSON(st))
+		s.writeJSON(w, r, statsJSON(st))
 		return
 	}
 	per := s.hub.Stats()
@@ -731,7 +802,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out["replication"] = repl
 	}
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, out)
+	s.writeJSON(w, r, out)
 }
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
@@ -810,12 +881,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		Names    []string
 	}{Selected: s.seriesParam(r), Names: s.hub.SeriesNames()})
 	if err != nil {
-		log.Printf("dashboard render: %v", err)
+		s.log().Warn("dashboard render failed",
+			"route", "/", "request_id", obs.RequestIDFrom(r.Context()), "error", err)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON encodes v onto the response. Encode failures (almost
+// always a peer that hung up mid-body) are logged with the route and
+// request ID rather than silently dropped, so a client seeing a
+// truncated body can be correlated server-side.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+		s.log().Warn("encode response failed",
+			"route", r.URL.Path, "request_id", obs.RequestIDFrom(r.Context()), "error", err)
 	}
 }

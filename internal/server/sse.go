@@ -185,6 +185,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-sub.notify:
 			buf = sub.take(buf[:0])
 			failed := false
+			var oldest time.Time // oldest publish time in this drain
 			for i, e := range buf {
 				if !failed {
 					armWrite()
@@ -192,6 +193,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 						failed = true
 					} else {
 						s.broadcast.delivered.Add(1)
+						if oldest.IsZero() || e.at.Before(oldest) {
+							oldest = e.at
+						}
 					}
 				}
 				e.release()
@@ -202,6 +206,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			if rc.Flush() != nil {
 				return
+			}
+			// Delivery latency = publish → flushed to the socket, one
+			// observation per drain, pinned to its oldest frame.
+			if !oldest.IsZero() {
+				s.metrics.delivery.ObserveDuration(time.Since(oldest))
 			}
 		}
 	}

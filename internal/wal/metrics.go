@@ -1,0 +1,22 @@
+package wal
+
+import "github.com/asap-go/asap/internal/obs"
+
+// Metrics holds the wal's hot-path instruments. The server registers
+// them in its obs.Registry and hands them in via Config.Metrics; a nil
+// Metrics (library use, most tests) keeps the append path free of
+// clock reads entirely. Counter-style stats (syncs, rotations,
+// retention drops) are not duplicated here — the server exports them
+// as CounterFuncs over Stats(), which the Log already maintains.
+type Metrics struct {
+	// AppendSeconds observes the wall time of each Append call —
+	// encode + buffered write, plus the group-commit fsync wait in
+	// strict mode.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes each fsync (both the batched flusher's and
+	// group-commit leaders').
+	FsyncSeconds *obs.Histogram
+	// FsyncBatchRecords observes how many records each fsync made
+	// durable — the group-commit coalescing factor.
+	FsyncBatchRecords *obs.Histogram
+}

@@ -1,0 +1,45 @@
+package wal
+
+import (
+	"testing"
+
+	"github.com/asap-go/asap/internal/obs"
+)
+
+// TestMetricsObserved wires a Metrics into a strict-mode log and checks
+// that appends land in all three histograms: append latency, fsync
+// latency, and the per-fsync batch size.
+func TestMetricsObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		AppendSeconds:     reg.Histogram(obs.Opts{Name: "t_append_seconds"}, obs.ExpBuckets(1e-6, 10, 8)),
+		FsyncSeconds:      reg.Histogram(obs.Opts{Name: "t_fsync_seconds"}, obs.ExpBuckets(1e-6, 10, 8)),
+		FsyncBatchRecords: reg.Histogram(obs.Opts{Name: "t_batch_records"}, []float64{1, 8, 64}),
+	}
+	l, err := Open(Config{Dir: t.TempDir(), Shards: 1, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Recover()
+
+	for i := 0; i < 3; i++ {
+		if err := l.Append("cpu", []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.AppendSeconds.Count(); got != 3 {
+		t.Fatalf("append observations = %d, want 3", got)
+	}
+	if m.FsyncSeconds.Count() == 0 {
+		t.Fatal("no fsync observations in strict mode")
+	}
+	if m.FsyncBatchRecords.Count() != m.FsyncSeconds.Count() {
+		t.Fatalf("batch observations %d != fsync observations %d",
+			m.FsyncBatchRecords.Count(), m.FsyncSeconds.Count())
+	}
+	// Sequential strict appends are one record per fsync.
+	if sum := m.FsyncBatchRecords.Sum(); sum < 3 {
+		t.Fatalf("batch record sum = %v, want >= 3", sum)
+	}
+}

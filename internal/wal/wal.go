@@ -83,6 +83,10 @@ type Config struct {
 	// Manifest and readable by replicas. May run under a shard lock:
 	// it must be fast and must not call back into the Log.
 	OnDurable func()
+	// Metrics, when non-nil, receives append/fsync latency and
+	// group-commit batch-size observations. Nil keeps the append path
+	// free of clock reads.
+	Metrics *Metrics
 }
 
 // RecoveryStats describes what the last Open rebuilt.
@@ -271,6 +275,19 @@ func (l *Log) Recover() Recovery {
 // error it stays wedged (every Append fails) until the process
 // restarts and recovery reseals its segments.
 func (l *Log) Append(series string, values []float64) error {
+	m := l.cfg.Metrics
+	if m == nil {
+		return l.append(series, values)
+	}
+	// No defer closure: keeping the timing wrapper flat is what keeps
+	// the instrumented append allocation-free.
+	start := time.Now()
+	err := l.append(series, values)
+	m.AppendSeconds.ObserveDuration(time.Since(start))
+	return err
+}
+
+func (l *Log) append(series string, values []float64) error {
 	if len(values) == 0 {
 		return nil
 	}
@@ -731,9 +748,19 @@ func (sh *shardLog) flushSyncLocked() error {
 		sh.lg.syncErrors.Add(1)
 		return err
 	}
+	m := sh.lg.cfg.Metrics
+	pending := sh.writeSeq - sh.syncSeq
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	if err := sh.active.Sync(); err != nil {
 		sh.lg.syncErrors.Add(1)
 		return err
+	}
+	if m != nil {
+		m.FsyncSeconds.ObserveDuration(time.Since(start))
+		m.FsyncBatchRecords.Observe(float64(pending))
 	}
 	sh.lg.syncs.Add(1)
 	sh.needsSync = false
@@ -778,10 +805,20 @@ func (sh *shardLog) groupCommitLocked() error {
 			return err
 		}
 		covered, size, records := sh.writeSeq, sh.info.size, sh.info.records
+		batch := covered - sh.syncSeq // captured under the lock: syncSeq is stable while syncing
 		f := sh.active
 		sh.syncing = true
 		sh.mu.Unlock()
+		m := sh.lg.cfg.Metrics
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		err := f.Sync()
+		if m != nil && err == nil {
+			m.FsyncSeconds.ObserveDuration(time.Since(start))
+			m.FsyncBatchRecords.Observe(float64(batch))
+		}
 		sh.mu.Lock()
 		sh.syncing = false
 		if err != nil {
