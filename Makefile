@@ -16,7 +16,7 @@ BENCH_BYTE_SLACK  ?= 1024
 # sharing clocks. allocs/op and B/op gate everywhere regardless.
 BENCH_TIME_GATE   ?= auto
 
-.PHONY: check vet build test race alloc-check obs-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check clean clean-data
+.PHONY: check vet build test race alloc-check obs-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check chaos-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -83,6 +83,19 @@ failover-check:
 ## and the replica manifest long-poll.
 stream-check:
 	$(GO) test -race -run 'Stream|Broadcast|LongPoll' -v ./internal/server/
+
+## chaos-check: the fault-injection acceptance suite under -race — the
+## scripted-fault filesystem itself, WAL degraded-mode recovery (fsync
+## failure, ENOSPC mid-rotation, torn flushes, bounded reopen give-up,
+## strict-mode rollback), the torn-write recovery matrix (truncate at
+## every byte of the last record), and the server-level scenarios:
+## degraded shard still serving reads/SSE with ingest 503 + Retry-After
+## and /readyz (not /healthz) flipping, plus a flapping primary under a
+## tailing follower that retries without ever resyncing.
+chaos-check:
+	$(GO) test -race -v ./internal/faultfs/
+	$(GO) test -race -run 'Chaos|TornWriteMatrix' -v ./internal/wal/
+	$(GO) test -race -run 'Chaos' -v ./internal/server/
 
 ## fuzz: run the ingest line-protocol fuzzer for a short burst.
 fuzz:

@@ -18,8 +18,13 @@
 //	GET  /stats[?series=NAME]   aggregate + per-series + WAL +
 //	                            replication counters
 //	GET  /plot.svg?series=NAME  SVG of the current frame
-//	GET  /healthz               hub size, WAL flush lag, last recovery,
-//	                            replication health
+//	GET  /healthz               liveness: always 200 while the process
+//	                            serves; body carries WAL + replication
+//	                            diagnostics
+//	GET  /readyz                readiness: 503 + Retry-After while WAL
+//	                            shards are degraded/wedged, flush lag is
+//	                            excessive, or replication is stale (see
+//	                            docs/RESILIENCE.md)
 //	POST /snapshot              compact the WAL into a fresh checkpoint
 //	GET  /replica/segments      replication manifest (WAL shipping)
 //	GET  /replica/segment       ranged segment/snapshot bytes
@@ -41,6 +46,14 @@
 // locked (flock) so two servers can never share one log. Background
 // compaction runs on -snapshot-interval and/or once any shard holds
 // -snapshot-segments sealed segments.
+//
+// A write or fsync failure degrades the affected WAL shard instead of
+// wedging it: reads keep serving from memory, ingest to that shard
+// answers 503 + Retry-After, and a background loop retries reopening
+// the segment with capped exponential backoff until durability is
+// restored — or until -wal-reopen-retries attempts are exhausted
+// (0 retries forever; negative wedges on the first failure). See
+// docs/RESILIENCE.md.
 //
 // With -follow URL the server is a read-only replica of that primary:
 // it mirrors the primary's WAL into -data-dir (polling every
@@ -86,6 +99,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "write-ahead log directory for durable ingest (empty = memory only)")
 		fsyncEvery   = flag.Duration("fsync-every", 100*time.Millisecond, "batch WAL fsyncs on this interval (0 = fsync every append, group-committed)")
 		segmentBytes = flag.Int64("segment-bytes", 8<<20, "rotate WAL segments at this size")
+		reopenTries  = flag.Int("wal-reopen-retries", 0, "reopen attempts before a degraded WAL shard wedges (0 = retry forever, negative = wedge immediately)")
 		maxBody      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "largest accepted POST /ingest body (413 beyond)")
 
 		follow       = flag.String("follow", "", "replicate this primary's WAL and serve read-only (requires -data-dir)")
@@ -130,6 +144,7 @@ func main() {
 		DataDir:          *dataDir,
 		FsyncEvery:       *fsyncEvery,
 		SegmentBytes:     *segmentBytes,
+		WALReopenRetries: *reopenTries,
 		MaxIngestBytes:   *maxBody,
 		Follow:           *follow,
 		FollowPoll:       *pollEvery,

@@ -65,6 +65,19 @@
 // kill-the-primary failover without losing restart equivalence. See
 // the Replication section of docs/DURABILITY.md.
 //
+// Failure is first-class: a WAL shard whose disk starts failing
+// degrades instead of wedging — reads and open SSE streams keep
+// serving from memory, ingest into the shard answers 503 with
+// Retry-After, and a background loop reopens the segment with capped
+// backoff until durability returns (bounded by -wal-reopen-retries).
+// Liveness and readiness are split (/healthz is always 200 while the
+// process serves; /readyz gates traffic), follower polls retry a
+// restarting primary with backoff and transient-vs-fatal
+// classification instead of resyncing, and the whole failure matrix
+// runs under -race against a scripted fault-injecting filesystem
+// (internal/faultfs) via `make chaos-check`. See docs/RESILIENCE.md
+// for the failure-mode table and the /healthz-vs-/readyz contract.
+//
 // The streaming refresh path is allocation-free at steady state: each
 // per-series operator owns a planned real-input FFT, a reusable ACF
 // analyzer, and search/smoothing buffers; emitted frames ride pooled

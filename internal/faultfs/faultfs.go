@@ -1,0 +1,250 @@
+// Package faultfs wraps a vfs.FS with deterministic, scripted I/O
+// faults so the failure paths of the write-ahead log can be tested
+// instead of imagined: an fsync that fails on exactly the Nth call, a
+// short (torn) write, ENOSPC on segment creation, or injected per-op
+// latency. Every fault that fires is counted, so tests assert exactly
+// what was exercised rather than hoping the right syscall failed.
+//
+// Faults are matched by operation and an optional path substring, and
+// fire either on the Nth matching call (one-shot) or on every matching
+// call while armed (optionally bounded by Count). Clear disarms all
+// faults — the "operator fixed the disk" moment in a recovery test.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/asap-go/asap/internal/vfs"
+)
+
+// ErrInjected is the default error returned by a fault with no Err of
+// its own. Injected faults are never wrapped: what the code under test
+// sees is exactly what the script configured.
+var ErrInjected = errors.New("faultfs: injected I/O error")
+
+// Op names one filesystem operation class a Fault can target.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // FS.OpenFile
+	OpRead     Op = "read"     // FS.ReadFile
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpClose    Op = "close"    // File.Close
+	OpRemove   Op = "remove"   // FS.Remove
+	OpRename   Op = "rename"   // FS.Rename
+	OpTruncate Op = "truncate" // FS.Truncate
+)
+
+// Fault is one scripted fault.
+type Fault struct {
+	// Op selects the operation class the fault applies to.
+	Op Op
+	// Path, when non-empty, restricts the fault to calls whose path
+	// contains it as a substring (for Rename, either path).
+	Path string
+	// Nth fires the fault on exactly the Nth matching call (1-based)
+	// and never again. Zero means every matching call fires, subject
+	// to Count.
+	Nth int
+	// Count bounds how many times an Nth==0 fault fires; zero means
+	// unlimited (until Clear).
+	Count int
+	// Err is the error to inject. Nil means ErrInjected — unless the
+	// fault is latency-only (Latency set, ShortWrite zero), which
+	// delays without failing.
+	Err error
+	// ShortWrite, for OpWrite, writes only this many bytes through to
+	// the underlying file before returning the error — a torn write.
+	ShortWrite int
+	// Latency delays the matching call before anything else happens.
+	Latency time.Duration
+}
+
+// latencyOnly reports whether the fault injects delay but no error.
+func (f Fault) latencyOnly() bool {
+	return f.Err == nil && f.Latency > 0 && f.ShortWrite == 0
+}
+
+type armed struct {
+	Fault
+	seen int // matching calls observed
+	hits int // times fired
+}
+
+// FS wraps an inner vfs.FS with scripted faults. Safe for concurrent
+// use; the zero value is not usable — construct with New.
+type FS struct {
+	inner vfs.FS
+
+	mu     sync.Mutex
+	faults []*armed
+	calls  map[Op]int
+	fired  map[Op]int
+}
+
+// New wraps inner (nil means the real filesystem) with an injector
+// holding no faults; until Inject is called it is transparent.
+func New(inner vfs.FS) *FS {
+	if inner == nil {
+		inner = vfs.OS
+	}
+	return &FS{inner: inner, calls: make(map[Op]int), fired: make(map[Op]int)}
+}
+
+// Inject arms one fault. Multiple armed faults are evaluated in
+// injection order; the first that fires with an error wins, while
+// latency from every firing fault accumulates.
+func (f *FS) Inject(ft Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &armed{Fault: ft})
+}
+
+// Clear disarms every fault. Counters are preserved.
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// Calls reports how many op calls have been observed (faulted or not).
+func (f *FS) Calls(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// Fired reports how many faults have fired for op.
+func (f *FS) Fired(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[op]
+}
+
+// outcome is the combined result of evaluating all armed faults
+// against one call.
+type outcome struct {
+	err     error
+	short   int
+	latency time.Duration
+}
+
+func (f *FS) eval(op Op, path string) outcome {
+	f.mu.Lock()
+	f.calls[op]++
+	var o outcome
+	for _, a := range f.faults {
+		if a.Op != op {
+			continue
+		}
+		if a.Path != "" && !strings.Contains(path, a.Path) {
+			continue
+		}
+		a.seen++
+		if a.Nth > 0 {
+			if a.seen != a.Nth {
+				continue
+			}
+		} else if a.Count > 0 && a.hits >= a.Count {
+			continue
+		}
+		a.hits++
+		f.fired[op]++
+		o.latency += a.Latency
+		if a.latencyOnly() {
+			continue
+		}
+		if o.err == nil {
+			o.err = a.Err
+			if o.err == nil {
+				o.err = ErrInjected
+			}
+			o.short = a.ShortWrite
+		}
+	}
+	f.mu.Unlock()
+	if o.latency > 0 {
+		time.Sleep(o.latency)
+	}
+	return o
+}
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	if o := f.eval(OpOpen, name); o.err != nil {
+		return nil, o.err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: inner, fs: f, path: name}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if o := f.eval(OpRead, name); o.err != nil {
+		return nil, o.err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FS) Remove(name string) error {
+	if o := f.eval(OpRemove, name); o.err != nil {
+		return o.err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if o := f.eval(OpRename, oldpath+"\x00"+newpath); o.err != nil {
+		return o.err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	if o := f.eval(OpTruncate, name); o.err != nil {
+		return o.err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// file wraps one open file with the injector's write/sync/close faults.
+type file struct {
+	inner vfs.File
+	fs    *FS
+	path  string
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	o := w.fs.eval(OpWrite, w.path)
+	if o.err != nil {
+		if o.short > 0 && o.short < len(p) {
+			n, err := w.inner.Write(p[:o.short])
+			if err != nil {
+				return n, err
+			}
+			return n, o.err // torn: a prefix landed, then the device failed
+		}
+		return 0, o.err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if o := w.fs.eval(OpSync, w.path); o.err != nil {
+		return o.err
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error {
+	if o := w.fs.eval(OpClose, w.path); o.err != nil {
+		return o.err
+	}
+	return w.inner.Close()
+}

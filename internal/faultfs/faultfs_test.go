@@ -1,0 +1,154 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/asap-go/asap/internal/vfs"
+)
+
+func openRW(t *testing.T, fs *FS, path string) vfs.File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestNthSyncFails: a one-shot fault fires on exactly the Nth matching
+// call, and the call before and after pass through.
+func TestNthSyncFails(t *testing.T) {
+	ffs := New(nil)
+	ffs.Inject(Fault{Op: OpSync, Nth: 2})
+	f := openRW(t, ffs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if got := ffs.Fired(OpSync); got != 1 {
+		t.Errorf("Fired(sync) = %d, want 1", got)
+	}
+	if got := ffs.Calls(OpSync); got != 3 {
+		t.Errorf("Calls(sync) = %d, want 3", got)
+	}
+}
+
+// TestShortWrite: a torn write lands exactly ShortWrite bytes and
+// reports the injected error; the file holds only the prefix.
+func TestShortWrite(t *testing.T) {
+	ffs := New(nil)
+	ffs.Inject(Fault{Op: OpWrite, Nth: 1, ShortWrite: 3})
+	path := filepath.Join(t.TempDir(), "torn")
+	f := openRW(t, ffs, path)
+
+	n, err := f.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hel" {
+		t.Fatalf("file holds %q, want the 3-byte torn prefix", data)
+	}
+}
+
+// TestPathFilterAndCustomError: faults match by substring and surface
+// the scripted error verbatim (here ENOSPC on segment creation).
+func TestPathFilterAndCustomError(t *testing.T) {
+	ffs := New(nil)
+	ffs.Inject(Fault{Op: OpOpen, Path: "seg-", Err: syscall.ENOSPC})
+	dir := t.TempDir()
+
+	if _, err := ffs.OpenFile(filepath.Join(dir, "seg-001.wal"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("segment open = %v, want ENOSPC", err)
+	}
+	f, err := ffs.OpenFile(filepath.Join(dir, "snap-001.snap"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("non-matching open: %v", err)
+	}
+	f.Close()
+	if got := ffs.Fired(OpOpen); got != 1 {
+		t.Errorf("Fired(open) = %d, want 1", got)
+	}
+}
+
+// TestClearHeals: after Clear, previously-armed every-call faults stop
+// firing and counters survive.
+func TestClearHeals(t *testing.T) {
+	ffs := New(nil)
+	ffs.Inject(Fault{Op: OpSync})
+	f := openRW(t, ffs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed sync %d = %v", i, err)
+		}
+	}
+	ffs.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-Clear sync: %v", err)
+	}
+	if got := ffs.Fired(OpSync); got != 3 {
+		t.Errorf("Fired(sync) = %d after Clear, want 3 preserved", got)
+	}
+}
+
+// TestCountBound: an every-call fault with Count fires at most Count
+// times.
+func TestCountBound(t *testing.T) {
+	ffs := New(nil)
+	ffs.Inject(Fault{Op: OpRemove, Count: 2})
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if err := ffs.Remove(filepath.Join(dir, "x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("remove %d = %v, want injected", i, err)
+		}
+	}
+	err := ffs.Remove(filepath.Join(dir, "x"))
+	if errors.Is(err, ErrInjected) {
+		t.Fatalf("remove 3 still injected after Count=2")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("remove 3 = %v, want the real ENOENT", err)
+	}
+}
+
+// TestTruncateFault covers the op used by degraded-shard reopen.
+func TestTruncateFault(t *testing.T) {
+	ffs := New(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, ffs, path)
+	if _, err := f.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ffs.Inject(Fault{Op: OpTruncate, Nth: 1})
+	if err := ffs.Truncate(path, 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate 1 = %v, want injected", err)
+	}
+	if err := ffs.Truncate(path, 2); err != nil {
+		t.Fatalf("truncate 2: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "ab" {
+		t.Fatalf("file = %q after truncate", data)
+	}
+}

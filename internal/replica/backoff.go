@@ -1,0 +1,31 @@
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retryBackoff returns the pause before retry number `failures` (1 is
+// the first retry): capped exponential growth from base to max with
+// the upper half jittered, so a fleet of followers cut off by the same
+// primary restart does not reconnect in lockstep.
+func retryBackoff(base, max time.Duration, failures int) time.Duration {
+	if base <= 0 {
+		base = DefaultPoll
+	}
+	if max < base {
+		max = base
+	}
+	if failures < 1 {
+		failures = 1
+	}
+	if failures > 30 {
+		failures = 30
+	}
+	d := base << uint(failures-1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

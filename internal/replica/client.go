@@ -31,6 +31,106 @@ import (
 // and, if it lost records, resyncs from the newest snapshot.
 var ErrGone = errors.New("replica: file gone on primary")
 
+// Per-request deadlines. The client deliberately has no flat
+// http.Client.Timeout: a long-poll manifest request legitimately idles
+// for its full server-side hold, while a segment chunk should never
+// take anywhere near that. Each request instead gets its own context
+// deadline sized to what it is doing.
+const (
+	// manifestGrace bounds a manifest round-trip beyond any server-side
+	// long-poll hold the client asked for.
+	manifestGrace = 10 * time.Second
+	// maxManifestWait caps the server-side hold requested per long-poll.
+	maxManifestWait = 25 * time.Second
+	// fetchTimeout bounds one ranged chunk fetch.
+	fetchTimeout = 30 * time.Second
+)
+
+// HTTPError is a non-2xx replication response. It keeps the status
+// code for transient-vs-fatal classification and the server's
+// Retry-After hint (zero when absent) so retry loops can pace
+// themselves to the primary's own estimate — e.g. a restarting primary
+// answering 503 while its WAL replays.
+type HTTPError struct {
+	Op         string
+	StatusCode int
+	Status     string
+	RetryAfter time.Duration
+	Body       string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("replica: %s: %s: %.200s", e.Op, e.Status, e.Body)
+}
+
+// Transient reports whether err is worth retrying in place: the
+// primary may be restarting, overloaded, or briefly unreachable, and a
+// follower that backs off and retries rides it out without abandoning
+// its incremental position. Fatal errors — protocol or configuration
+// mismatches the primary will keep returning — are not.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false // the caller gave up, not the primary
+	}
+	if errors.Is(err, ErrGone) || errors.Is(err, errDesync) {
+		return false // handled structurally (resync), not by retrying
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		switch {
+		case he.StatusCode >= 500:
+			return true // includes 503 from a degraded/restarting primary
+		case he.StatusCode == http.StatusTooManyRequests,
+			he.StatusCode == http.StatusRequestTimeout:
+			return true
+		default:
+			return false
+		}
+	}
+	// Everything else — connection refused/reset, DNS hiccups, our own
+	// per-request deadline expiring — is network weather.
+	return true
+}
+
+// RetryAfterHint extracts the server's Retry-After from err, or zero.
+func RetryAfterHint(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (the only
+// form our servers emit; HTTP-date forms are ignored).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// httpError builds the HTTPError for a non-2xx response, consuming a
+// bounded prefix of the body for the message.
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return &HTTPError{
+		Op:         op,
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		RetryAfter: parseRetryAfter(resp),
+		Body:       string(body),
+	}
+}
+
 // StreamSpec is the primary's streaming configuration, carried in the
 // manifest so a follower builds byte-identical operators without
 // trusting its own flags to match.
@@ -76,7 +176,8 @@ func NewClient(primary string) (*Client, error) {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}, nil
+	// No flat client timeout — see the per-request deadline constants.
+	return &Client{base: base, hc: &http.Client{}}, nil
 }
 
 // Primary returns the base URL the client replicates from.
@@ -90,18 +191,21 @@ func (c *Client) Manifest(ctx context.Context) (*PrimaryManifest, error) {
 // ManifestWait is Manifest with long-polling: with wait > 0 the
 // primary holds the request open until its append version moves past
 // version (or wait elapses), so an idle follower learns of new appends
-// in one round-trip instead of a poll interval. The wait is clamped
-// under the client timeout; primaries that ignore the parameters just
-// answer immediately.
+// in one round-trip instead of a poll interval. The request carries
+// its own deadline — the requested hold plus a round-trip grace — so a
+// hung primary cannot park the follower forever; primaries that ignore
+// the parameters just answer immediately.
 func (c *Client) ManifestWait(ctx context.Context, version int64, wait time.Duration) (*PrimaryManifest, error) {
 	u := c.base + "/replica/segments"
+	if wait > maxManifestWait {
+		wait = maxManifestWait
+	}
 	if wait > 0 {
-		if max := c.hc.Timeout - 5*time.Second; max > 0 && wait > max {
-			wait = max
-		}
 		u += "?wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10) +
 			"&version=" + strconv.FormatInt(version, 10)
 	}
+	ctx, cancel := context.WithTimeout(ctx, wait+manifestGrace)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
@@ -112,8 +216,7 @@ func (c *Client) ManifestWait(ctx context.Context, version int64, wait time.Dura
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("replica: manifest: %s: %.200s", resp.Status, body)
+		return nil, httpError("manifest", resp)
 	}
 	var m PrimaryManifest
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
@@ -134,6 +237,8 @@ func (c *Client) FetchRange(ctx context.Context, shard int, name string, off, le
 		return nil, nil
 	}
 	u := fmt.Sprintf("%s/replica/segment?shard=%d&name=%s", c.base, shard, url.QueryEscape(name))
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
@@ -161,7 +266,6 @@ func (c *Client) FetchRange(ctx context.Context, shard int, name string, off, le
 	case http.StatusNotFound:
 		return nil, fmt.Errorf("%w: %s shard %d", ErrGone, name, shard)
 	default:
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("replica: fetch %s: %s: %.200s", name, resp.Status, body)
+		return nil, httpError("fetch "+name, resp)
 	}
 }

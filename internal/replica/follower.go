@@ -17,9 +17,10 @@ import (
 
 // Defaults for Config fields left zero.
 const (
-	DefaultPoll       = 500 * time.Millisecond
-	DefaultChunkBytes = 4 << 20
-	minChunkBytes     = 1 << 12
+	DefaultPoll            = 500 * time.Millisecond
+	DefaultChunkBytes      = 4 << 20
+	minChunkBytes          = 1 << 12
+	DefaultRetryMaxBackoff = 15 * time.Second
 )
 
 // errDesync reports local replica state that can no longer be a prefix
@@ -58,6 +59,11 @@ type Config struct {
 	LongPoll time.Duration
 	// ChunkBytes caps one ranged segment fetch (default 4 MiB).
 	ChunkBytes int64
+	// RetryMaxBackoff caps the exponential backoff between retries
+	// after failed polls (default 15s). The backoff starts at Poll and
+	// doubles per consecutive failure, jittered; a Retry-After from the
+	// primary overrides it when longer.
+	RetryMaxBackoff time.Duration
 	// Logf receives operational messages. Nil means log.Printf.
 	Logf func(format string, args ...interface{})
 }
@@ -91,6 +97,10 @@ type Status struct {
 	Polls          int64
 	PollErrors     int64
 	Resyncs        int64
+	// Retries counts backed-off retry pauses Run has taken after
+	// transient failures — a follower riding out a primary restart
+	// accumulates retries but, crucially, no Resyncs.
+	Retries int64
 	LastPoll       time.Time // last successful poll
 	LastError      string
 }
@@ -141,6 +151,7 @@ type Follower struct {
 	polls          atomic.Int64
 	pollErrors     atomic.Int64
 	resyncs        atomic.Int64
+	retries        atomic.Int64
 
 	// lastCursor is the cursor as last persisted; manVersion the
 	// primary's append version as of the last manifest (the long-poll
@@ -183,6 +194,9 @@ func New(cfg Config) (*Follower, error) {
 	}
 	if cfg.ChunkBytes < minChunkBytes {
 		cfg.ChunkBytes = minChunkBytes
+	}
+	if cfg.RetryMaxBackoff <= 0 {
+		cfg.RetryMaxBackoff = DefaultRetryMaxBackoff
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -312,10 +326,16 @@ func (f *Follower) WarmUp(target Target, horizonPoints int) (int, error) {
 // long-polling (the default) the primary itself paces the loop: each
 // manifest request parks server-side until new appends land or the
 // long-poll window elapses, so a successful poll is followed
-// immediately by the next one. Errors are logged and surfaced in
-// Status; after one the loop falls back to the poll-interval ticker as
-// its backoff, so a dead primary just freezes the mirror at its last
-// replicated point — exactly what a promotion candidate should hold.
+// immediately by the next one.
+//
+// Failed polls retry with capped exponential backoff (Poll doubling up
+// to RetryMaxBackoff, jittered), honoring any Retry-After the primary
+// sent — so a follower rides out a primary restart holding its
+// incremental position (Retries climbs, Resyncs does not) and the
+// mirror freezes at its last replicated point, exactly what a
+// promotion candidate should hold. Fatal errors (protocol or
+// configuration mismatches the primary will keep returning) skip
+// straight to the maximum backoff instead of hammering.
 func (f *Follower) Run(ctx context.Context) {
 	f.mu.Lock()
 	if f.stopped {
@@ -327,16 +347,32 @@ func (f *Follower) Run(ctx context.Context) {
 	f.mu.Unlock()
 	defer close(f.runDone)
 	defer f.finalOnce.Do(f.finalize)
-	t := time.NewTicker(f.cfg.Poll)
-	defer t.Stop()
+	failures := 0
 	for {
 		err := f.poll(ctx, f.cfg.LongPoll)
 		if err != nil && ctx.Err() == nil {
 			f.logf("replica: poll: %v", err)
 		}
-		if f.cfg.LongPoll > 0 && err == nil {
-			// The long-poll already waited server-side; just check for
-			// shutdown and go around again.
+		var pause time.Duration
+		if err == nil {
+			failures = 0
+			if f.cfg.LongPoll <= 0 {
+				pause = f.cfg.Poll // plain polling: the interval paces us
+			}
+			// else: the long-poll already waited server-side; go again.
+		} else {
+			failures++
+			f.retries.Add(1)
+			if Transient(err) {
+				pause = retryBackoff(f.cfg.Poll, f.cfg.RetryMaxBackoff, failures)
+			} else {
+				pause = f.cfg.RetryMaxBackoff
+			}
+			if ra := RetryAfterHint(err); ra > pause {
+				pause = ra
+			}
+		}
+		if pause <= 0 {
 			select {
 			case <-ctx.Done():
 				return
@@ -346,12 +382,15 @@ func (f *Follower) Run(ctx context.Context) {
 				continue
 			}
 		}
+		timer := time.NewTimer(pause)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return
 		case <-f.stopc:
+			timer.Stop()
 			return
-		case <-t.C:
+		case <-timer.C:
 		}
 	}
 }
@@ -421,6 +460,7 @@ func (f *Follower) Status() Status {
 	st.Polls = f.polls.Load()
 	st.PollErrors = f.pollErrors.Load()
 	st.Resyncs = f.resyncs.Load()
+	st.Retries = f.retries.Load()
 	return st
 }
 

@@ -33,7 +33,7 @@ import (
 // the hot path never creates a label set.
 var routePatterns = []string{
 	"/", "/ingest", "/frame", "/stream", "/series", "/stats", "/plot.svg",
-	"/healthz", "/snapshot", "/metrics",
+	"/healthz", "/readyz", "/snapshot", "/metrics",
 	"/replica/segments", "/replica/segment", "/promote",
 }
 
@@ -283,6 +283,18 @@ func (m *serverMetrics) bind(s *Server) {
 		func() float64 {
 			return time.Since(time.Unix(0, s.lastSnapshotNano.Load())).Seconds()
 		})
+	reg.GaugeFunc(obs.Opts{Name: "asap_wal_degraded_shards",
+		Help: "WAL shards currently degraded (durability broken, background reopen retrying)."},
+		func() float64 { return float64(m.walStats.DegradedShards) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_wal_wedged_shards",
+		Help: "WAL shards wedged permanently (reopen retries exhausted or disabled)."},
+		func() float64 { return float64(m.walStats.WedgedShards) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_reopen_attempts_total",
+		Help: "Reopen attempts made for degraded WAL shards."},
+		func() float64 { return float64(m.walStats.ReopenAttempts) })
+	reg.CounterFunc(obs.Opts{Name: "asap_wal_reopen_recoveries_total",
+		Help: "Degraded WAL shards successfully reopened (durability restored)."},
+		func() float64 { return float64(m.walStats.ReopenRecoveries) })
 
 	// --- broadcast layer ---
 	reg.GaugeFunc(obs.Opts{Name: "asap_broadcast_subscribers",
@@ -358,6 +370,9 @@ func (m *serverMetrics) bind(s *Server) {
 	reg.CounterFunc(obs.Opts{Name: "asap_replica_resyncs_total",
 		Help: "Shards re-bootstrapped from a primary snapshot after a chain gap."},
 		func() float64 { return float64(m.fstatus.Resyncs) })
+	reg.CounterFunc(obs.Opts{Name: "asap_replica_retries_total",
+		Help: "Backed-off retry pauses after failed polls (riding out a primary outage)."},
+		func() float64 { return float64(m.fstatus.Retries) })
 	reg.CounterFunc(obs.Opts{Name: "asap_replica_records_applied_total",
 		Help: "Replicated records applied through the hub."},
 		func() float64 { return float64(m.fstatus.RecordsApplied) })

@@ -103,7 +103,9 @@ func newFollower(cfg Config) (*Server, error) {
 
 // rejectWriteOnFollower fences write endpoints while this server is
 // not the primary: 503 with the primary's URL in both the Location
-// header and the body, so clients and proxies can fail over.
+// header and the body, so clients and proxies can fail over, plus a
+// Retry-After hint — a client that stays put (e.g. mid-promotion) can
+// retry here shortly instead of treating the fence as terminal.
 func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
 	if s.role.Load() == rolePrimary {
 		return false
@@ -114,6 +116,7 @@ func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
 	}
 	w.Header().Set("Location", primary)
 	w.Header().Set("X-ASAP-Primary", primary)
+	w.Header().Set("Retry-After", readyRetryAfter)
 	http.Error(w, fmt.Sprintf("read-only follower; write to the primary at %s (or POST /promote here)", primary),
 		http.StatusServiceUnavailable)
 	return true
@@ -295,16 +298,8 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	wlog, err := wal.Open(wal.Config{
-		Dir:           s.cfg.DataDir,
-		Shards:        s.follower.Spec().Shards,
-		SegmentBytes:  s.cfg.SegmentBytes,
-		FsyncEvery:    s.cfg.FsyncEvery,
-		HorizonPoints: horizon,
-		OnDurable:     s.noteDurable,
-		Logf:          obs.Printf(s.log(), slog.LevelInfo, "wal"),
-		Metrics:       s.metrics.wal,
-	})
+	wlog, err := wal.Open(walOpenConfig(s.cfg, s.follower.Spec().Shards, horizon,
+		s.noteDurable, obs.Printf(s.log(), slog.LevelInfo, "wal"), s.metrics.wal))
 	if err != nil {
 		// The mirror is intact and the tailer is stopped: stay a fenced,
 		// stale read replica and let the operator retry the promotion.

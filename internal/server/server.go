@@ -33,9 +33,14 @@ const DefaultMaxIngestBytes = 32 << 20
 // dead peer must never block shutdown forever.
 const DefaultDrainTimeout = 5 * time.Second
 
-// healthLagFloor: /healthz reports degraded once the WAL has unsynced
+// healthLagFloor: /readyz reports unready once the WAL has unsynced
 // appends older than max(this floor, 10× the flush interval).
 const healthLagFloor = 5 * time.Second
+
+// readyRetryAfter is the Retry-After hint (seconds) sent with 503s
+// that a client should ride out in place: a degraded WAL shard being
+// reopened, an unready follower, a fenced write endpoint.
+const readyRetryAfter = "1"
 
 // Config configures a Server: the hub it fronts plus the optional
 // built-in simulator.
@@ -59,6 +64,17 @@ type Config struct {
 	// FsyncEvery batches WAL fsyncs on this interval; 0 fsyncs on every
 	// append (strict durability, slower ingest).
 	FsyncEvery time.Duration
+	// WALReopenRetries bounds the reopen attempts a degraded WAL shard
+	// gets before it wedges permanently: 0 retries forever, negative
+	// disables degraded mode entirely (the first durability failure
+	// wedges the shard). See wal.Config.ReopenRetries.
+	WALReopenRetries int
+	// walFS and the reopen backoff overrides are test hooks: they let
+	// the chaos suite inject scripted filesystem faults and compress the
+	// reopen schedule without exporting knobs operators should not touch.
+	walFS               wal.FS
+	walReopenBackoff    time.Duration
+	walReopenMaxBackoff time.Duration
 	// MaxIngestBytes caps one POST /ingest body; larger bodies get 413.
 	// Zero means DefaultMaxIngestBytes.
 	MaxIngestBytes int64
@@ -149,6 +165,26 @@ type Server struct {
 	autoSnapshotErrs atomic.Int64
 }
 
+// walOpenConfig assembles the wal.Config shared by both WAL attach
+// points — New and promotion — so the durability, fault-injection, and
+// reopen knobs cannot drift between them.
+func walOpenConfig(cfg Config, shards, horizon int, onDurable func(), logf func(string, ...interface{}), m *wal.Metrics) wal.Config {
+	return wal.Config{
+		Dir:              cfg.DataDir,
+		Shards:           shards,
+		SegmentBytes:     cfg.SegmentBytes,
+		FsyncEvery:       cfg.FsyncEvery,
+		HorizonPoints:    horizon,
+		OnDurable:        onDurable,
+		Logf:             logf,
+		Metrics:          m,
+		FS:               cfg.walFS,
+		ReopenRetries:    cfg.WALReopenRetries,
+		ReopenBackoff:    cfg.walReopenBackoff,
+		ReopenMaxBackoff: cfg.walReopenMaxBackoff,
+	}
+}
+
 // walHorizon sizes WAL retention for a stream config: enough raw tail
 // to rebuild a Streamer's aggregated ring (capacity panes of ratio
 // points; stream.New clamps capacity to >= 4) plus the partial pane and
@@ -195,16 +231,8 @@ func New(cfg Config) (*Server, error) {
 		if lock, err = wal.LockDir(cfg.DataDir); err != nil {
 			return nil, err
 		}
-		wlog, err = wal.Open(wal.Config{
-			Dir:           cfg.DataDir,
-			Shards:        shards,
-			SegmentBytes:  cfg.SegmentBytes,
-			FsyncEvery:    cfg.FsyncEvery,
-			HorizonPoints: horizon,
-			OnDurable:     s.noteDurable,
-			Logf:          obs.Printf(s.log(), slog.LevelInfo, "wal"),
-			Metrics:       s.metrics.wal,
-		})
+		wlog, err = wal.Open(walOpenConfig(cfg, shards, horizon,
+			s.noteDurable, obs.Printf(s.log(), slog.LevelInfo, "wal"), s.metrics.wal))
 		if err != nil {
 			lock.Release()
 			return nil, err
@@ -363,6 +391,7 @@ func (s *Server) Handler() http.Handler {
 		"/stats":            s.handleStats,
 		"/plot.svg":         s.handlePlot,
 		"/healthz":          s.handleHealthz,
+		"/readyz":           s.handleReadyz,
 		"/snapshot":         s.handleSnapshot,
 		"/metrics":          metricsHandler.ServeHTTP,
 		"/replica/segments": s.handleReplicaSegments,
@@ -523,29 +552,67 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	npts, nseries, err := s.hub.Apply(pts)
 	if err != nil {
-		// Durability failure: everything before the failing series was
-		// logged and applied; the remainder was dropped. 500 tells the
-		// client the batch did not fully land.
+		// Everything before the failing series was logged and applied;
+		// the remainder was dropped. A degraded shard is a retryable
+		// condition — the WAL is already reopening it in the background —
+		// so answer 503 + Retry-After; anything else is a 500.
+		if errors.Is(err, wal.ErrDegraded) {
+			w.Header().Set("Retry-After", readyRetryAfter)
+			http.Error(w, fmt.Sprintf("ingest unavailable after %d points (WAL shard degraded, retry): %v", npts, err),
+				http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, fmt.Sprintf("ingest failed after %d points: %v", npts, err), http.StatusInternalServerError)
 		return
 	}
 	fmt.Fprintf(w, "ingested %d points across %d series\n", npts, nseries)
 }
 
-// handleHealthz (GET) is the load-balancer check: hub size, WAL flush
-// lag, and last-recovery status. It answers 200 "ok" normally and 503
-// "degraded" when acknowledged WAL appends have waited too long for
-// their fsync (a stalled or failing disk), or — on a follower — when
-// replication has not completed a successful poll recently.
+// handleHealthz (GET) is pure liveness: the process is up and serving
+// HTTP, so it always answers 200. Degraded durability or lagging
+// replication deliberately do NOT flip it — reads (/frame, /plot.svg,
+// /stream) keep working from memory through those conditions, and a
+// liveness-driven restart would destroy the very state that makes
+// degraded mode graceful. Traffic gating belongs to /readyz. The body
+// still carries the full diagnostic detail (WAL counters, recovery
+// stats, replication lag) for humans and dashboards.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	status, code := "ok", http.StatusOK
-	body := map[string]interface{}{
-		"series":    s.hub.Len(),
-		"evictions": s.hub.Evictions(),
-		"role":      s.Role(),
+	body := s.healthBody()
+	body["status"] = "ok"
+	w.Header().Set("Content-Type", "application/json")
+	s.writeJSON(w, r, body)
+}
+
+// handleReadyz (GET) is readiness: should a load balancer send traffic
+// here right now? 503 + Retry-After when the WAL has degraded or
+// wedged shards, when acknowledged appends have waited too long for
+// their fsync (a stalled disk), or — on a follower — when replication
+// has not completed a successful poll recently. The body lists the
+// specific reasons so an operator can tell a reopening shard from a
+// dead primary at a glance.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	var reasons []string
+	if wl := s.curWAL(); wl != nil {
+		st := wl.Stats()
+		if st.DegradedShards > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d WAL shard(s) degraded, reopen in progress", st.DegradedShards))
+		}
+		if st.WedgedShards > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d WAL shard(s) wedged", st.WedgedShards))
+		}
+		threshold := healthLagFloor
+		if t := 10 * s.cfg.FsyncEvery; t > threshold {
+			threshold = t
+		}
+		if st.FlushLag > threshold {
+			reasons = append(reasons, fmt.Sprintf("WAL flush lag %s exceeds %s", st.FlushLag, threshold))
+		}
 	}
 	if s.follower != nil && s.role.Load() != rolePrimary {
 		fst := s.follower.Status()
@@ -553,14 +620,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if t := 10 * s.cfg.FollowPoll; t > stale {
 			stale = t
 		}
-		if !fst.Bootstrapped || fst.LastPoll.IsZero() || time.Since(fst.LastPoll) > stale {
-			status, code = "degraded", http.StatusServiceUnavailable
+		if !fst.Bootstrapped {
+			reasons = append(reasons, "replication bootstrap incomplete")
+		} else if fst.LastPoll.IsZero() || time.Since(fst.LastPoll) > stale {
+			reasons = append(reasons, fmt.Sprintf("no successful replication poll within %s", stale))
 		}
+	}
+	body := s.healthBody()
+	if len(reasons) == 0 {
+		body["status"] = "ready"
+		w.Header().Set("Content-Type", "application/json")
+		s.writeJSON(w, r, body)
+		return
+	}
+	body["status"] = "unready"
+	body["reasons"] = reasons
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", readyRetryAfter)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	s.writeJSON(w, r, body)
+}
+
+// healthBody is the diagnostic payload /healthz and /readyz share.
+func (s *Server) healthBody() map[string]interface{} {
+	body := map[string]interface{}{
+		"series":    s.hub.Len(),
+		"evictions": s.hub.Evictions(),
+		"role":      s.Role(),
+	}
+	if s.follower != nil && s.role.Load() != rolePrimary {
+		fst := s.follower.Status()
 		body["replication"] = map[string]interface{}{
 			"primary":         fst.Primary,
 			"synced":          fst.Synced,
 			"records_behind":  fst.RecordsBehind,
 			"segments_behind": fst.SegmentsBehind,
+			"retries":         fst.Retries,
 			"last_error":      fst.LastError,
 		}
 	}
@@ -568,19 +663,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["wal"] = map[string]interface{}{"enabled": false}
 	} else {
 		st := wl.Stats()
-		threshold := healthLagFloor
-		if t := 10 * s.cfg.FsyncEvery; t > threshold {
-			threshold = t
-		}
-		if st.FlushLag > threshold {
-			status, code = "degraded", http.StatusServiceUnavailable
-		}
 		body["wal"] = map[string]interface{}{
-			"enabled":         true,
-			"flush_lag_ms":    st.FlushLag.Milliseconds(),
-			"appended_points": st.AppendedPoints,
-			"syncs":           st.Syncs,
-			"sync_errors":     st.SyncErrors,
+			"enabled":           true,
+			"flush_lag_ms":      st.FlushLag.Milliseconds(),
+			"appended_points":   st.AppendedPoints,
+			"syncs":             st.Syncs,
+			"sync_errors":       st.SyncErrors,
+			"degraded_shards":   st.DegradedShards,
+			"wedged_shards":     st.WedgedShards,
+			"reopen_attempts":   st.ReopenAttempts,
+			"reopen_recoveries": st.ReopenRecoveries,
 			"last_recovery": map[string]interface{}{
 				"series":                  st.Recovery.SeriesRecovered,
 				"snapshots_loaded":        st.Recovery.SnapshotsLoaded,
@@ -592,10 +684,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			},
 		}
 	}
-	body["status"] = status
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	s.writeJSON(w, r, body)
+	return body
 }
 
 // handleSnapshot (POST) compacts the WAL into a fresh checkpoint so
@@ -614,6 +703,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := wl.Snapshot()
 	if err != nil {
+		if errors.Is(err, wal.ErrDegraded) {
+			w.Header().Set("Retry-After", readyRetryAfter)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -793,6 +887,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"bytes_fetched":   fst.BytesFetched,
 			"polls":           fst.Polls,
 			"poll_errors":     fst.PollErrors,
+			"retries":         fst.Retries,
 			"resyncs":         fst.Resyncs,
 			"last_error":      fst.LastError,
 		}

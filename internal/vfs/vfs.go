@@ -1,0 +1,59 @@
+// Package vfs is the minimal filesystem seam the write-ahead log's
+// mutation path goes through. Production code uses OS (the real
+// filesystem); tests wrap it with internal/faultfs to inject scripted
+// I/O faults — failed fsyncs, torn writes, ENOSPC — deterministically.
+// The seam lives in its own package so both the WAL and the fault
+// injector can depend on it without an import cycle.
+//
+// The interface is deliberately narrow: only the operations whose
+// failure the WAL must survive are behind it. Read-only serving paths
+// (replica segment streaming) and open-time bookkeeping (wal.meta,
+// directory scans, flock) stay on package os — faults there either
+// fail Open outright or are covered by the record-level corruption
+// tolerance in replay.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File behavior the WAL's write path needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem mutations behind the WAL: segment and
+// snapshot creation, appends (through File), fsync, atomic-rename
+// publication, deletion, and the truncate used to cut an unsynced tail
+// off a damaged active segment.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return a bare nil, not a non-nil interface wrapping a nil
+		// *os.File.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }

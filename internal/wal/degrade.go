@@ -1,0 +1,322 @@
+package wal
+
+// This file holds the degraded-shard machinery: what happens between a
+// durability failure and either recovery or the terminal wedge. A
+// failed write or fsync no longer wedges a shard forever — the shard
+// degrades (appends fail fast with ErrDegraded, reads are untouched)
+// while a background loop retries reopening the segment with capped
+// exponential backoff. A successful reopen truncates the damaged file
+// back to its last durable prefix, seals that prefix, opens a fresh
+// segment, re-lands the acknowledged-but-not-yet-durable records held
+// in the shard's pending buffer, fsyncs, and clears degradation. See
+// docs/RESILIENCE.md.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// degradeLocked transitions the shard into the degraded state (or, with
+// ReopenRetries < 0 or the log closing, straight to the terminal
+// wedge). Called with sh.mu held, with cause being the durability
+// failure from op. Returns the error appends should surface; if the
+// shard already failed, the earlier error wins.
+func (sh *shardLog) degradeLocked(op string, cause error) error {
+	if sh.failed != nil {
+		return sh.failed
+	}
+	lg := sh.lg
+	if lg.cfg.ReopenRetries < 0 || lg.closed.Load() {
+		sh.failed = cause
+		sh.terminal = true
+		lg.logf("wal: shard %d: %s failed, shard wedged: %v", sh.id, op, cause)
+		return sh.failed
+	}
+	sh.failed = fmt.Errorf("%w (shard %d, %s: %v)", ErrDegraded, sh.id, op, cause)
+	sh.degraded = true
+	sh.degradedSince = time.Now()
+	sh.reopenAttempts = 0
+	sh.nextReopen = time.Now().Add(lg.reopenDelay(0))
+	if lg.cfg.FsyncEvery == 0 {
+		// Strict mode: an append is only acknowledged once its records
+		// are durable, so everything still pending was reported failed to
+		// its caller — re-landing it would resurrect unacknowledged data.
+		// Undo the totals those records bumped, then discard them.
+		sh.undoPendingTotalsLocked(0)
+		sh.dropPendingLocked(len(sh.pending))
+	}
+	lg.logf("wal: shard %d: %s failed, shard degraded (%d pending records held for reopen): %v",
+		sh.id, op, len(sh.pending), cause)
+	lg.wakeReopen()
+	return sh.failed
+}
+
+// rollbackPendingLocked trims the pending tail back to mark — the
+// failing call's own records, which were never acknowledged — undoing
+// their totals updates in reverse write order. A rotation inside the
+// call may already have cleared pending entirely (those records became
+// durable and stand); the clamp handles that.
+func (sh *shardLog) rollbackPendingLocked(mark int) {
+	if mark >= len(sh.pending) {
+		return
+	}
+	sh.undoPendingTotalsLocked(mark)
+	sh.pendingBuf = sh.pendingBuf[:sh.pending[mark].off]
+	sh.pending = sh.pending[:mark]
+}
+
+// undoPendingTotalsLocked restores sh.totals to its state before
+// pending[from] was written by undoing entries newest-first — exact
+// for any interleaving of appends and tombstones, since sh.mu
+// serialized the original updates.
+func (sh *shardLog) undoPendingTotalsLocked(from int) {
+	for i := len(sh.pending) - 1; i >= from; i-- {
+		p := &sh.pending[i]
+		if p.hadPrev {
+			sh.totals[p.name] = p.prevTotal
+		} else {
+			delete(sh.totals, p.name)
+		}
+	}
+}
+
+// dropPendingLocked discards the oldest n pending records — they are
+// durable (covered by an fsync) or, at degradation time in strict
+// mode, known unacknowledged. The byte buffer is compacted in place so
+// both slices keep their capacity for reuse.
+func (sh *shardLog) dropPendingLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(sh.pending) {
+		sh.pending = sh.pending[:0]
+		sh.pendingBuf = sh.pendingBuf[:0]
+		return
+	}
+	rest := sh.pending[n:]
+	base := rest[0].off
+	copy(sh.pendingBuf, sh.pendingBuf[base:])
+	sh.pendingBuf = sh.pendingBuf[:len(sh.pendingBuf)-base]
+	sh.pending = append(sh.pending[:0], rest...)
+	for i := range sh.pending {
+		sh.pending[i].off -= base
+	}
+}
+
+// wakeReopen nudges the reopen loop without blocking.
+func (l *Log) wakeReopen() {
+	if l.reopenKick == nil {
+		return
+	}
+	select {
+	case l.reopenKick <- struct{}{}:
+	default:
+	}
+}
+
+// reopenDelay returns the backoff before attempt number `failures`+1:
+// capped exponential growth from ReopenBackoff to ReopenMaxBackoff,
+// with the upper half jittered so shards degraded by the same disk
+// event don't retry in lockstep.
+func (l *Log) reopenDelay(failures int) time.Duration {
+	base, max := l.cfg.ReopenBackoff, l.cfg.ReopenMaxBackoff
+	if failures > 30 {
+		failures = 30
+	}
+	d := base << uint(failures)
+	if d <= 0 || d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// reopenLoop runs for the life of the log (unless ReopenRetries < 0):
+// it sleeps until the earliest scheduled reopen among degraded shards,
+// or until a degradation kicks it awake, and attempts every due shard.
+func (l *Log) reopenLoop() {
+	defer close(l.reopenDone)
+	for {
+		wait, any := l.reopenWait()
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if any {
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-l.reopenStop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-l.reopenKick:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timerC:
+			for _, sh := range l.shards {
+				sh.tryReopen()
+			}
+		}
+	}
+}
+
+// reopenWait reports how long until the earliest scheduled reopen
+// attempt; any is false when no shard is degraded.
+func (l *Log) reopenWait() (wait time.Duration, any bool) {
+	now := time.Now()
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if sh.degraded {
+			d := sh.nextReopen.Sub(now)
+			if d < 0 {
+				d = 0
+			}
+			if !any || d < wait {
+				wait, any = d, true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return wait, any
+}
+
+// tryReopen attempts one scheduled reopen if the shard is degraded and
+// due. On success the shard leaves the degraded state with every
+// acknowledged record durable again; on failure the next attempt is
+// scheduled with backoff, or — after ReopenRetries consecutive
+// failures — the shard wedges permanently.
+func (sh *shardLog) tryReopen() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lg := sh.lg
+	if !sh.degraded || lg.closed.Load() || time.Now().Before(sh.nextReopen) {
+		return
+	}
+	// A group-commit leader could still be in flight from before the
+	// degradation; never touch the handle under it.
+	for sh.syncing {
+		sh.syncCond.Wait()
+	}
+	if !sh.degraded {
+		return
+	}
+	sh.reopenAttempts++
+	lg.reopenAttempts.Add(1)
+	err := sh.reopenLocked()
+	if err == nil {
+		n := sh.reopenAttempts
+		sh.degraded, sh.failed = false, nil
+		sh.degradedSince = time.Time{}
+		sh.reopenAttempts = 0
+		lg.reopenRecoveries.Add(1)
+		lg.logf("wal: shard %d: reopened after %d attempt(s), durability restored", sh.id, n)
+		sh.syncCond.Broadcast()
+		return
+	}
+	if max := lg.cfg.ReopenRetries; max > 0 && sh.reopenAttempts >= max {
+		sh.degraded = false
+		sh.terminal = true
+		sh.failed = fmt.Errorf("wal: shard %d wedged after %d reopen attempts, last: %v", sh.id, sh.reopenAttempts, err)
+		lg.logf("wal: shard %d: giving up after %d reopen attempts: %v", sh.id, sh.reopenAttempts, err)
+		sh.syncCond.Broadcast()
+		return
+	}
+	delay := lg.reopenDelay(sh.reopenAttempts)
+	sh.nextReopen = time.Now().Add(delay)
+	lg.logf("wal: shard %d: reopen attempt %d failed (next in %s): %v", sh.id, sh.reopenAttempts, delay, err)
+}
+
+// reopenLocked rebuilds a writable, durable active segment for a
+// degraded shard. Called with sh.mu held. The procedure is idempotent
+// across partial failures:
+//
+//  1. If an active handle remains, close it. Its durable prefix
+//     (syncedSize bytes, fsync-covered and possibly already served to
+//     replicas) is preserved: the file is truncated to exactly that
+//     size, replayed to rebuild retention metadata, and sealed. A file
+//     with no durable bytes is removed and its sequence number reused,
+//     keeping the segment chain contiguous either way.
+//  2. A fresh active segment is opened.
+//  3. The pending records — acknowledged to callers but never covered
+//     by an fsync — are rewritten into it verbatim and fsynced.
+//
+// Any step failing leaves state a later attempt handles: a truncate or
+// reseal failure keeps the old handle for retry; a failure after the
+// fresh segment opened leaves it with zero durable bytes, so the next
+// attempt removes it and reuses its sequence.
+func (sh *shardLog) reopenLocked() error {
+	lg := sh.lg
+	if sh.active != nil {
+		sh.active.Close() // best effort: the handle may already be poisoned
+		if sh.syncedSize > 0 {
+			if err := lg.fs.Truncate(sh.info.path, sh.syncedSize); err != nil {
+				return fmt.Errorf("truncate %s to durable prefix: %w", sh.info.path, err)
+			}
+			info := segmentInfo{seq: sh.info.seq, path: sh.info.path, counts: make(map[string]int64)}
+			records, _, validSize, err := replaySegment(lg.fs, sh.info.path, func(series string, total int64, values []float64) {
+				if total == 0 && len(values) == 0 {
+					if info.tombs == nil {
+						info.tombs = make(map[string]bool)
+					}
+					info.tombs[series] = true
+				} else {
+					info.counts[series] += int64(len(values))
+					delete(info.tombs, series)
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("reseal %s: %w", sh.info.path, err)
+			}
+			info.size, info.records = validSize, int64(records)
+			sh.sealed = append(sh.sealed, info)
+			sh.nextSeq = sh.info.seq + 1
+		} else {
+			if err := lg.fs.Remove(sh.info.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("remove %s: %w", sh.info.path, err)
+			}
+			sh.nextSeq = sh.info.seq
+		}
+		sh.active, sh.bw = nil, nil
+	}
+	if err := sh.openActiveLocked(); err != nil {
+		return err
+	}
+	for i := range sh.pending {
+		p := &sh.pending[i]
+		rec := sh.pendingBuf[p.off : p.off+p.n]
+		if _, err := sh.bw.Write(rec); err != nil {
+			return err
+		}
+		sh.info.size += int64(len(rec))
+		sh.info.records++
+		if p.tomb {
+			if sh.info.tombs == nil {
+				sh.info.tombs = make(map[string]bool)
+			}
+			sh.info.tombs[p.name] = true
+		} else {
+			sh.info.counts[p.name] += int64(p.points)
+			delete(sh.info.tombs, p.name)
+		}
+	}
+	if err := sh.bw.Flush(); err != nil {
+		return err
+	}
+	if err := sh.active.Sync(); err != nil {
+		return err
+	}
+	lg.syncs.Add(1)
+	sh.needsSync = false
+	sh.dirtySince = time.Time{}
+	sh.syncSeq = sh.writeSeq
+	sh.syncedSize, sh.syncedRecords = sh.info.size, sh.info.records
+	sh.dropPendingLocked(len(sh.pending))
+	if lg.cfg.OnDurable != nil {
+		lg.cfg.OnDurable()
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package wal
+
+// Fault-matrix tests for graceful degradation: every scenario injects
+// a scripted I/O fault through internal/faultfs, asserts the shard
+// degrades instead of wedging, heals the fault, and verifies the
+// recovered log is bit-identical to what an unfaulted run would hold.
+// Run via make chaos-check.
+
+import (
+	"errors"
+	"math"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap/internal/faultfs"
+)
+
+// chaosConfig is testConfig plus an injector and a fast reopen
+// schedule so recovery tests finish in milliseconds.
+func chaosConfig(dir string, ffs *faultfs.FS) Config {
+	cfg := testConfig(dir)
+	cfg.Shards = 1
+	cfg.FS = ffs
+	cfg.SegmentBytes = DefaultSegmentBytes // no incidental rotation
+	cfg.ReopenBackoff = time.Millisecond
+	cfg.ReopenMaxBackoff = 20 * time.Millisecond
+	return cfg
+}
+
+func waitRecovered(t *testing.T, l *Log) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := l.Stats()
+		if st.DegradedShards == 0 && st.WedgedShards == 0 && st.ReopenRecoveries > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("shard never recovered: %+v", l.Stats())
+}
+
+// requireSeries asserts the recovered series has exactly the given
+// tail (bit-for-bit) and cumulative total.
+func requireSeries(t *testing.T, rec Recovery, name string, wantTail []float64, wantTotal int64) {
+	t.Helper()
+	st := rec.Series[name]
+	if st == nil {
+		t.Fatalf("series %q lost", name)
+	}
+	if st.Total != wantTotal {
+		t.Fatalf("%q total = %d, want %d", name, st.Total, wantTotal)
+	}
+	if len(st.Tail) != len(wantTail) {
+		t.Fatalf("%q tail = %d points, want %d", name, len(st.Tail), len(wantTail))
+	}
+	for i := range wantTail {
+		if math.Float64bits(st.Tail[i]) != math.Float64bits(wantTail[i]) {
+			t.Fatalf("%q tail[%d] = %v, want %v", name, i, st.Tail[i], wantTail[i])
+		}
+	}
+}
+
+// TestChaosFsyncFailThenRecover: batched mode, every acknowledged
+// record is still in the pending buffer when the fsync fails. The
+// shard must degrade (ErrDegraded, not a wedge), refuse new appends,
+// then — once the fault clears — reopen and re-land the acknowledged
+// tail so a restart recovers exactly what an unfaulted run would.
+func TestChaosFsyncFailThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = time.Hour // Sync() drives fsync deterministically
+	l := openTest(t, cfg)
+
+	if err := l.Append("s", seq(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("s", seq(10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpSync, Err: syscall.EIO})
+	if err := l.Sync(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Sync under fault = %v, want ErrDegraded", err)
+	}
+	if ffs.Fired(faultfs.OpSync) == 0 {
+		t.Fatal("fsync fault never fired")
+	}
+	if err := l.Append("s", seq(1, 999)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Append while degraded = %v, want ErrDegraded", err)
+	}
+	if st := l.Stats(); st.DegradedShards != 1 || st.WedgedShards != 0 {
+		t.Fatalf("Stats = %+v, want exactly one degraded shard", st)
+	}
+
+	ffs.Clear() // the disk comes back
+	waitRecovered(t, l)
+	if err := l.Append("s", seq(5, 200)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, testConfigShards1(dir))
+	defer l2.Close()
+	want := append(append(seq(20, 0), seq(10, 100)...), seq(5, 200)...)
+	requireSeries(t, l2.Recover(), "s", want, 35)
+}
+
+// TestChaosEnospcMidRotation: the disk fills exactly when rotation
+// creates the next segment. The failing append is unacknowledged and
+// must leave no trace; after the fault clears the shard recovers with
+// a contiguous segment chain.
+func TestChaosEnospcMidRotation(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = time.Hour
+	cfg.SegmentBytes = 1 << 10 // rotate quickly
+	l := openTest(t, cfg)
+
+	if err := l.Append("s", seq(100, 0)); err != nil { // ~850 bytes
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpOpen, Path: segmentPrefix, Err: syscall.ENOSPC})
+	err := l.Append("s", seq(100, 1000)) // would rotate
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("rotating append under ENOSPC = %v, want ErrDegraded", err)
+	}
+	if ffs.Fired(faultfs.OpOpen) == 0 {
+		t.Fatal("open fault never fired")
+	}
+
+	ffs.Clear()
+	waitRecovered(t, l)
+	if err := l.Append("s", seq(100, 1000)); err != nil { // client retry succeeds
+		t.Fatalf("retried append after recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, testConfigShards1(dir))
+	defer l2.Close()
+	rec := l2.Recover()
+	want := append(seq(100, 0), seq(100, 1000)...)
+	requireSeries(t, rec, "s", want, 200)
+	if rec.Stats.CorruptRecordsSkipped != 0 {
+		t.Errorf("recovery skipped %d records; the chain should be clean", rec.Stats.CorruptRecordsSkipped)
+	}
+}
+
+// TestChaosTornFlushRecovers: the flush lands only a prefix of a
+// record (a torn write) before failing. The reopen must truncate the
+// damage back to the durable watermark and re-land the acknowledged
+// tail from memory.
+func TestChaosTornFlushRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = time.Hour
+	l := openTest(t, cfg)
+
+	if err := l.Append("s", seq(15, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil { // durable prefix on disk
+		t.Fatal(err)
+	}
+	if err := l.Append("s", seq(15, 100)); err != nil { // acked, buffered
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpWrite, Path: segmentPrefix, ShortWrite: 7, Err: syscall.EIO})
+	if err := l.Sync(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Sync with torn write = %v, want ErrDegraded", err)
+	}
+
+	ffs.Clear()
+	waitRecovered(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, testConfigShards1(dir))
+	defer l2.Close()
+	rec := l2.Recover()
+	want := append(seq(15, 0), seq(15, 100)...)
+	requireSeries(t, rec, "s", want, 30)
+	if rec.Stats.CorruptRecordsSkipped != 0 {
+		t.Errorf("recovery skipped %d records; reopen should have cut the torn bytes", rec.Stats.CorruptRecordsSkipped)
+	}
+}
+
+// TestChaosReopenGiveUpWedges: with ReopenRetries bounded and the
+// fault never clearing, the shard exhausts its retries and falls back
+// to the terminal wedge — and the error callers see stops being
+// retryable.
+func TestChaosReopenGiveUpWedges(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = time.Hour
+	cfg.ReopenRetries = 2
+	l := openTest(t, cfg)
+	defer l.Close()
+
+	if err := l.Append("s", seq(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpSync, Err: syscall.EIO})
+	if err := l.Sync(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Sync = %v, want ErrDegraded", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := l.Stats(); st.WedgedShards == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := l.Stats()
+	if st.WedgedShards != 1 || st.DegradedShards != 0 {
+		t.Fatalf("Stats = %+v, want one wedged shard", st)
+	}
+	if st.ReopenAttempts != 2 {
+		t.Errorf("ReopenAttempts = %d, want exactly ReopenRetries=2", st.ReopenAttempts)
+	}
+	err := l.Append("s", seq(1, 0))
+	if err == nil || errors.Is(err, ErrDegraded) {
+		t.Fatalf("Append on wedged shard = %v, want a terminal (non-retryable) error", err)
+	}
+}
+
+// TestChaosStrictModeFailedAppendLeavesNoTrace: in strict mode a
+// failed append was never acknowledged, so after recovery the log must
+// hold no trace of it — not its points, and not a phantom bump of the
+// cumulative total (which would misalign sequence numbers forever).
+func TestChaosStrictModeFailedAppendLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = 0 // strict: ack == durable
+	l := openTest(t, cfg)
+
+	if err := l.Append("s", seq(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpSync, Nth: 1})
+	if err := l.Append("s", seq(5, 500)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("strict append under fsync fault = %v, want ErrDegraded", err)
+	}
+
+	ffs.Clear()
+	waitRecovered(t, l)
+	if err := l.Append("s", seq(7, 100)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, testConfigShards1(dir))
+	defer l2.Close()
+	// The failed 5-point batch must be absent and the total must be
+	// 17, not 22 — exactly as if the failed call never happened.
+	want := append(seq(10, 0), seq(7, 100)...)
+	requireSeries(t, l2.Recover(), "s", want, 17)
+}
+
+// TestChaosReopenDisabled: ReopenRetries < 0 restores the historical
+// wedge-on-first-failure behavior.
+func TestChaosReopenDisabled(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	cfg := chaosConfig(dir, ffs)
+	cfg.FsyncEvery = time.Hour
+	cfg.ReopenRetries = -1
+	l := openTest(t, cfg)
+	defer l.Close()
+
+	if err := l.Append("s", seq(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpSync, Err: syscall.EIO})
+	err := l.Sync()
+	if err == nil || errors.Is(err, ErrDegraded) {
+		t.Fatalf("Sync = %v, want the raw terminal error", err)
+	}
+	if st := l.Stats(); st.WedgedShards != 1 || st.DegradedShards != 0 {
+		t.Fatalf("Stats = %+v, want an immediate wedge", st)
+	}
+}
+
+// testConfigShards1 is testConfig pinned to one shard so reopened
+// directories match the chaos configs above.
+func testConfigShards1(dir string) Config {
+	cfg := testConfig(dir)
+	cfg.Shards = 1
+	return cfg
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // fuzzFile writes data where replaySegment/readSnapshot expect a file.
@@ -36,7 +38,7 @@ func FuzzReplay(f *testing.F) {
 	// Valid snapshot bytes fed to the segment reader (and vice versa)
 	// must be rejected by magic, not misparsed.
 	snapDir := f.TempDir()
-	if _, _, _, err := writeSnapshot(snapDir, 7, map[string]*SeriesState{
+	if _, _, _, err := writeSnapshot(vfs.OS, snapDir, 7, map[string]*SeriesState{
 		"s": {Tail: []float64{1, 2}, Total: 9},
 	}); err != nil {
 		f.Fatal(err)
@@ -50,7 +52,7 @@ func FuzzReplay(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := fuzzFile(t, data)
 
-		records, skipped, validSize, err := replaySegment(path, func(series string, total int64, values []float64) {
+		records, skipped, validSize, err := replaySegment(vfs.OS, path, func(series string, total int64, values []float64) {
 			if series == "" {
 				t.Fatal("replay surfaced an empty series name")
 			}
@@ -69,7 +71,7 @@ func FuzzReplay(f *testing.F) {
 		}
 
 		state := make(map[string]*SeriesState)
-		if _, skipped, _, err := readSnapshot(path, state); err != nil {
+		if _, skipped, _, err := readSnapshot(vfs.OS, path, state); err != nil {
 			t.Fatalf("readSnapshot I/O error: %v", err)
 		} else if skipped > 1 {
 			t.Fatalf("readSnapshot skipped=%d", skipped)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/asap-go/asap/internal/fnv"
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // ShardOf returns the shard a series hashes onto for the given shard
@@ -195,7 +196,7 @@ func loadShardState(dir string, id int, rec *Recovery, pos *CursorPos, horizonPo
 
 	if len(snapSeqs) > 0 {
 		pos.SnapSeq = snapSeqs[len(snapSeqs)-1]
-		records, skipped, _, err := readSnapshot(filepath.Join(shardDir, snapshotFile(pos.SnapSeq)), rec.Series)
+		records, skipped, _, err := readSnapshot(vfs.OS, filepath.Join(shardDir, snapshotFile(pos.SnapSeq)), rec.Series)
 		if err != nil {
 			return err
 		}
@@ -218,7 +219,7 @@ func loadShardState(dir string, id int, rec *Recovery, pos *CursorPos, horizonPo
 		}
 		// Trim per record, like openShard: replaying days of segments must
 		// not materialize each series' full history before the final trim.
-		records, skipped, validSize, err := replaySegment(filepath.Join(shardDir, segmentFile(seq)), func(series string, total int64, values []float64) {
+		records, skipped, validSize, err := replaySegment(vfs.OS, filepath.Join(shardDir, segmentFile(seq)), func(series string, total int64, values []float64) {
 			FoldRecord(rec.Series, series, total, values, horizonPoints)
 			if !(total == 0 && len(values) == 0) {
 				rec.Stats.PointsReplayed += len(values)

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // TestGroupCommitCoalesces: with FsyncEvery 0, concurrent appenders
@@ -463,7 +465,7 @@ func TestChainGapStopsRecovery(t *testing.T) {
 		if s >= hole {
 			break
 		}
-		_, _, _, err := replaySegment(filepath.Join(shardDir, segmentFile(s)), func(_ string, _ int64, values []float64) {
+		_, _, _, err := replaySegment(vfs.OS, filepath.Join(shardDir, segmentFile(s)), func(_ string, _ int64, values []float64) {
 			wantTotal += int64(len(values))
 		})
 		if err != nil {

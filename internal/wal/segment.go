@@ -2,9 +2,10 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
+
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // Segment files are named seg-<seq>.wal with a zero-padded decimal
@@ -70,8 +71,8 @@ type segmentInfo struct {
 // stops at the first bad frame; a bad magic rejects the whole file),
 // and the valid byte size — the record-aligned prefix ending after the
 // last intact record, which is what replication may serve.
-func replaySegment(path string, fn func(series string, total int64, values []float64)) (records, skipped int, validSize int64, err error) {
-	data, err := os.ReadFile(path)
+func replaySegment(fsys vfs.FS, path string, fn func(series string, total int64, values []float64)) (records, skipped int, validSize int64, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // SeriesState is one recovered series: the retained raw tail (the most
@@ -23,8 +25,8 @@ type SeriesState struct {
 // seen. Returns intact records read, torn/corrupt tails skipped (0 or
 // 1 — reading stops at the first bad frame), and the valid byte size
 // (header plus the record-aligned intact prefix).
-func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped int, validSize int64, err error) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fsys vfs.FS, path string, dst map[string]*SeriesState) (records, skipped int, validSize int64, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -61,7 +63,7 @@ func readSnapshot(path string, dst map[string]*SeriesState) (records, skipped in
 // reports 0 or 1).
 func ReadSnapshotFile(path string) (state map[string]*SeriesState, records int64, skipped int, err error) {
 	state = make(map[string]*SeriesState)
-	n, skipped, _, err := readSnapshot(path, state)
+	n, skipped, _, err := readSnapshot(vfs.OS, path, state)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -76,7 +78,7 @@ func ReadSnapshotFile(path string) (state map[string]*SeriesState, records int64
 // state map. Long tails are chunked into multiple records, each framed
 // and CRC'd like a WAL append. Returns the file's record count and
 // byte size alongside the path, for the replication manifest.
-func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState) (path string, records, size int64, err error) {
+func writeSnapshot(fsys vfs.FS, dir string, coveredSeq uint64, state map[string]*SeriesState) (path string, records, size int64, err error) {
 	names := make([]string, 0, len(state))
 	for name := range state {
 		names = append(names, name)
@@ -85,13 +87,13 @@ func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState)
 
 	path = filepath.Join(dir, snapshotFile(coveredSeq))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return "", 0, 0, err
 	}
 	fail := func(err error) (string, int64, int64, error) {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", 0, 0, err
 	}
 	bw := bufio.NewWriterSize(f, 256<<10)
@@ -145,11 +147,11 @@ func writeSnapshot(dir string, coveredSeq uint64, state map[string]*SeriesState)
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", 0, 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return "", 0, 0, err
 	}
 	if err := syncDir(dir); err != nil {

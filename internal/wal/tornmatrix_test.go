@@ -1,0 +1,118 @@
+package wal
+
+// Torn-write recovery matrix: TestTornTailReplay checks one arbitrary
+// truncation; this test checks every one. A crash can stop a write at
+// any byte, so the segment is cut at every offset inside its last
+// record and both recovery paths — Open (primary restart) and
+// LoadState (follower restart) — must return exactly the two-record
+// prefix at every cut. Run via make chaos-check.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyDir clones the WAL directory (wal.meta plus shard dirs) so each
+// truncation point gets a pristine copy to corrupt.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyDir(t, s, d)
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTornWriteMatrix(t *testing.T) {
+	base := t.TempDir()
+	cfg := testConfig(base)
+	cfg.Shards = 1
+	l := openTest(t, cfg)
+	if err := l.Append("s", seq(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("s", seq(5, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Strict mode (FsyncEvery 0) flushes every append, so on-disk sizes
+	// are exact without closing.
+	segPath := newestSegment(t, base, 0)
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixSize := fi.Size() // boundary before the last record
+	if err := l.Append("s", seq(4, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSize := fi.Size()
+	if fullSize <= prefixSize {
+		t.Fatalf("last record added no bytes: %d -> %d", prefixSize, fullSize)
+	}
+	segName := filepath.Base(segPath)
+
+	wantTail := append(seq(10, 0), seq(5, 50)...)
+	for cut := prefixSize; cut < fullSize; cut++ {
+		dir := t.TempDir()
+		copyDir(t, base, dir)
+		torn := filepath.Join(dir, "shard-0000", segName)
+		if err := os.Truncate(torn, cut); err != nil {
+			t.Fatal(err)
+		}
+		wantSkipped := 1
+		if cut == prefixSize {
+			wantSkipped = 0 // clean cut at the record boundary: nothing torn
+		}
+
+		// Follower path: LoadState must stop at the record-aligned prefix
+		// and report a cursor replication can resume from.
+		rec, cur, err := LoadState(dir, cfg.HorizonPoints)
+		if err != nil {
+			t.Fatalf("cut %d: LoadState: %v", cut, err)
+		}
+		requireSeries(t, *rec, "s", wantTail, 15)
+		if got := rec.Stats.CorruptRecordsSkipped; got != wantSkipped {
+			t.Errorf("cut %d: LoadState skipped %d records, want %d", cut, got, wantSkipped)
+		}
+		if got := cur.Shards[0].Offset; got != prefixSize {
+			t.Errorf("cut %d: cursor offset %d, want record-aligned prefix %d", cut, got, prefixSize)
+		}
+
+		// Primary path: Open must recover the same prefix and keep serving.
+		cfg2 := testConfig(dir)
+		cfg2.Shards = 1
+		l2 := openTest(t, cfg2)
+		rec2 := l2.Recover()
+		requireSeries(t, rec2, "s", wantTail, 15)
+		if got := rec2.Stats.CorruptRecordsSkipped; got != wantSkipped {
+			t.Errorf("cut %d: Open skipped %d records, want %d", cut, got, wantSkipped)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}

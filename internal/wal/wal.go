@@ -29,6 +29,14 @@
 // the segment is deleted whole. Snapshot() additionally compacts all
 // sealed segments plus the previous checkpoint into a fresh one, so
 // restart replay cost stays proportional to the horizon, not uptime.
+//
+// Failure handling: a write or fsync error puts the affected shard in
+// a degraded state — appends fail fast with ErrDegraded while a
+// background loop retries with capped exponential backoff, reopening a
+// fresh segment and re-landing the acknowledged-but-not-yet-durable
+// tail before clearing degradation. After Config.ReopenRetries failed
+// attempts (when positive) the shard wedges permanently, the pre-
+// degradation behavior. See docs/RESILIENCE.md for the full contract.
 package wal
 
 import (
@@ -45,16 +53,34 @@ import (
 	"time"
 
 	"github.com/asap-go/asap/internal/fnv"
+	"github.com/asap-go/asap/internal/vfs"
 )
 
 // Defaults for Config fields left zero.
 const (
 	DefaultShards       = 8
 	DefaultSegmentBytes = 8 << 20
+	// DefaultReopenBackoff / DefaultReopenMaxBackoff bound the
+	// degraded-shard reopen retry schedule when Config leaves them zero.
+	DefaultReopenBackoff    = 50 * time.Millisecond
+	DefaultReopenMaxBackoff = 5 * time.Second
 )
 
 // ErrClosed reports an operation on a closed log.
 var ErrClosed = errors.New("wal: closed")
+
+// ErrDegraded reports an append to a shard whose durability is
+// temporarily broken: a write or fsync failed, and a background loop
+// is retrying the segment. The failure is retryable — callers should
+// back off and try again (HTTP handlers translate it to 503 +
+// Retry-After) — and reads are unaffected. Test with errors.Is.
+var ErrDegraded = errors.New("wal: shard degraded, durability failure being retried")
+
+// FS is the filesystem seam the log writes through (an alias of
+// vfs.FS, which lives in its own package so fault injectors can
+// implement it without an import cycle). Config.FS defaults to the
+// real filesystem.
+type FS = vfs.FS
 
 // Config configures a Log.
 type Config struct {
@@ -87,6 +113,20 @@ type Config struct {
 	// group-commit batch-size observations. Nil keeps the append path
 	// free of clock reads.
 	Metrics *Metrics
+	// FS is the filesystem the log's mutations go through. Nil means
+	// the real filesystem; tests inject internal/faultfs here.
+	FS FS
+	// ReopenRetries bounds how many consecutive reopen attempts a
+	// degraded shard gets before it wedges permanently. Zero retries
+	// forever; negative disables degraded mode entirely (the first
+	// durability failure wedges, the pre-degradation behavior).
+	ReopenRetries int
+	// ReopenBackoff and ReopenMaxBackoff shape the reopen retry
+	// schedule: capped exponential backoff with jitter, starting at
+	// ReopenBackoff and never exceeding ReopenMaxBackoff. Zeroes mean
+	// DefaultReopenBackoff / DefaultReopenMaxBackoff.
+	ReopenBackoff    time.Duration
+	ReopenMaxBackoff time.Duration
 }
 
 // RecoveryStats describes what the last Open rebuilt.
@@ -119,7 +159,15 @@ type Stats struct {
 	// FlushLag is the age of the oldest append not yet fsynced (zero
 	// when everything acknowledged is on disk).
 	FlushLag time.Duration
-	Recovery RecoveryStats
+	// DegradedShards counts shards currently in the degraded state
+	// (durability broken, reopen retries in flight); WedgedShards
+	// counts shards that gave up permanently. ReopenAttempts and
+	// ReopenRecoveries are lifetime totals across all shards.
+	DegradedShards   int
+	WedgedShards     int
+	ReopenAttempts   int64
+	ReopenRecoveries int64
+	Recovery         RecoveryStats
 }
 
 // SnapshotResult summarizes one Snapshot call.
@@ -134,23 +182,32 @@ type SnapshotResult struct {
 type Log struct {
 	cfg    Config
 	logf   func(format string, args ...interface{})
+	fs     vfs.FS
 	shards []*shardLog
 
 	mu        sync.Mutex // guards the one-shot recovery handoff
 	recovered *Recovery
 	recStats  RecoveryStats
 
-	appendedRecords atomic.Int64
-	appendedPoints  atomic.Int64
-	syncs           atomic.Int64
-	syncErrors      atomic.Int64
-	rotations       atomic.Int64
-	segmentsDropped atomic.Int64
-	snapshots       atomic.Int64
+	appendedRecords  atomic.Int64
+	appendedPoints   atomic.Int64
+	syncs            atomic.Int64
+	syncErrors       atomic.Int64
+	rotations        atomic.Int64
+	segmentsDropped  atomic.Int64
+	snapshots        atomic.Int64
+	reopenAttempts   atomic.Int64
+	reopenRecoveries atomic.Int64
 
 	closed    atomic.Bool
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	// The degraded-shard reopen loop: kicked when a shard degrades,
+	// re-armed on each retry schedule. Nil when ReopenRetries < 0.
+	reopenStop chan struct{}
+	reopenKick chan struct{}
+	reopenDone chan struct{}
 }
 
 // shardLog is one shard's append state. Its mutex covers everything
@@ -161,8 +218,10 @@ type shardLog struct {
 	lg  *Log
 
 	mu          sync.Mutex
-	failed      error // first unrecoverable write error; wedges the shard
-	active      *os.File
+	failed      error    // non-nil while degraded or wedged; cleared by a successful reopen
+	degraded    bool     // durability broken, reopen retries scheduled
+	terminal    bool     // gave up (or degraded mode disabled): wedged until restart
+	active      vfs.File // nil only while degraded mid-reopen
 	bw          *bufio.Writer
 	info        segmentInfo
 	sealed      []segmentInfo // oldest first, all newer than snapSeq
@@ -190,6 +249,38 @@ type shardLog struct {
 	syncCond      *sync.Cond // tied to mu
 	syncedSize    int64      // durable byte size of the active segment
 	syncedRecords int64      // durable record count of the active segment
+
+	// The acknowledged-but-not-yet-durable tail: one entry per record
+	// written since the last covering fsync, with the framed bytes in
+	// pendingBuf. If durability breaks, a successful reopen re-lands
+	// exactly these records in the fresh segment — nothing acknowledged
+	// is lost, nothing unacknowledged is resurrected. Both slices are
+	// reused across fsync cycles, so the steady-state append path stays
+	// allocation-free.
+	pending    []pendingRec
+	pendingBuf []byte
+
+	// Degraded-state bookkeeping, meaningful only while degraded.
+	degradedSince  time.Time
+	reopenAttempts int       // consecutive failures this episode
+	nextReopen     time.Time // earliest next attempt
+}
+
+// pendingRec locates one not-yet-durable record in pendingBuf plus the
+// metadata needed to rebuild segment retention counts on reopen and,
+// via prevTotal/hadPrev, to undo the shard's cumulative-total update
+// exactly (in reverse write order) when the record is rolled back
+// instead of re-landed — an unacknowledged record must leave no trace,
+// or later totals would count phantom points and misalign sequence
+// numbers after a restart.
+type pendingRec struct {
+	name      string
+	points    int
+	tomb      bool
+	off       int
+	n         int
+	prevTotal int64
+	hadPrev   bool
 }
 
 // Open opens (creating if necessary) the log in cfg.Dir, replaying the
@@ -209,6 +300,18 @@ func Open(cfg Config) (*Log, error) {
 	if cfg.HorizonPoints < 0 {
 		cfg.HorizonPoints = 0
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS
+	}
+	if cfg.ReopenBackoff <= 0 {
+		cfg.ReopenBackoff = DefaultReopenBackoff
+	}
+	if cfg.ReopenMaxBackoff <= 0 {
+		cfg.ReopenMaxBackoff = DefaultReopenMaxBackoff
+	}
+	if cfg.ReopenMaxBackoff < cfg.ReopenBackoff {
+		cfg.ReopenMaxBackoff = cfg.ReopenBackoff
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -222,7 +325,7 @@ func Open(cfg Config) (*Log, error) {
 	}
 	cfg.Shards = shards
 
-	l := &Log{cfg: cfg, logf: logf}
+	l := &Log{cfg: cfg, logf: logf, fs: cfg.FS}
 	rec := &Recovery{Series: make(map[string]*SeriesState)}
 	start := time.Now()
 	for i := 0; i < shards; i++ {
@@ -251,6 +354,12 @@ func Open(cfg Config) (*Log, error) {
 		l.flushDone = make(chan struct{})
 		go l.flushLoop()
 	}
+	if cfg.ReopenRetries >= 0 {
+		l.reopenStop = make(chan struct{})
+		l.reopenKick = make(chan struct{}, 1)
+		l.reopenDone = make(chan struct{})
+		go l.reopenLoop()
+	}
 	return l, nil
 }
 
@@ -271,9 +380,11 @@ func (l *Log) Recover() Recovery {
 // Append durably logs one batch for series, chunking large batches
 // into multiple records. With FsyncEvery == 0 the batch is on disk
 // when Append returns; otherwise the background flusher fsyncs within
-// the configured interval. Once a shard hits an unrecoverable write
-// error it stays wedged (every Append fails) until the process
-// restarts and recovery reseals its segments.
+// the configured interval. A write or fsync failure degrades the shard
+// — appends fail fast with ErrDegraded while a background loop retries
+// the segment — until either a reopen succeeds (appends resume, every
+// previously acknowledged record intact) or Config.ReopenRetries runs
+// out and the shard wedges until the process restarts.
 func (l *Log) Append(series string, values []float64) error {
 	m := l.cfg.Metrics
 	if m == nil {
@@ -303,6 +414,10 @@ func (l *Log) append(series string, values []float64) error {
 	if sh.failed != nil {
 		return sh.failed
 	}
+	// Mark the pending tail so a failed call's own records can be
+	// rolled back: they were never acknowledged, so a later reopen must
+	// not resurrect them (the hub never applied them either).
+	mark := len(sh.pending)
 	for off := 0; off < len(values); off += maxPointsPerRecord {
 		end := off + maxPointsPerRecord
 		if end > len(values) {
@@ -310,8 +425,8 @@ func (l *Log) append(series string, values []float64) error {
 		}
 		total := sh.totals[series] + int64(end-off)
 		if err := sh.appendLocked(series, total, values[off:end]); err != nil {
-			sh.failed = err
-			return err
+			sh.rollbackPendingLocked(mark)
+			return sh.degradeLocked("append", err)
 		}
 		sh.totals[series] = total
 	}
@@ -344,9 +459,10 @@ func (l *Log) Tombstone(series string) error {
 	if sh.failed != nil {
 		return sh.failed
 	}
+	mark := len(sh.pending)
 	if err := sh.appendLocked(series, 0, nil); err != nil {
-		sh.failed = err
-		return err
+		sh.rollbackPendingLocked(mark)
+		return sh.degradeLocked("append", err)
 	}
 	delete(sh.totals, series)
 	if l.cfg.FsyncEvery == 0 {
@@ -359,15 +475,15 @@ func (l *Log) Tombstone(series string) error {
 }
 
 // Sync forces every shard's buffered records to disk. A shard whose
-// fsync fails is wedged (see Append) — its acknowledged-but-unsynced
-// window can no longer be trusted.
+// fsync fails degrades (see Append) — its acknowledged-but-unsynced
+// window is re-landed by the background reopen before appends resume.
 func (l *Log) Sync() error {
 	var first error
 	for _, sh := range l.shards {
 		sh.mu.Lock()
 		err := sh.flushSyncLocked()
 		if err != nil && sh.failed == nil {
-			sh.failed = err
+			err = sh.degradeLocked("fsync", err)
 		}
 		sh.mu.Unlock()
 		if err != nil && first == nil {
@@ -409,8 +525,10 @@ func (l *Log) Stats() Stats {
 		SyncErrors:      l.syncErrors.Load(),
 		Rotations:       l.rotations.Load(),
 		SegmentsDropped: l.segmentsDropped.Load(),
-		Snapshots:       l.snapshots.Load(),
-		Recovery:        l.recStats,
+		Snapshots:        l.snapshots.Load(),
+		ReopenAttempts:   l.reopenAttempts.Load(),
+		ReopenRecoveries: l.reopenRecoveries.Load(),
+		Recovery:         l.recStats,
 	}
 	for _, sh := range l.shards {
 		sh.mu.Lock()
@@ -418,6 +536,12 @@ func (l *Log) Stats() Stats {
 			if lag := time.Since(sh.dirtySince); lag > st.FlushLag {
 				st.FlushLag = lag
 			}
+		}
+		if sh.degraded {
+			st.DegradedShards++
+		}
+		if sh.terminal {
+			st.WedgedShards++
 		}
 		sh.mu.Unlock()
 	}
@@ -436,14 +560,25 @@ func (l *Log) Close() error {
 		close(l.flushStop)
 		<-l.flushDone
 	}
+	if l.reopenStop != nil {
+		close(l.reopenStop)
+		<-l.reopenDone
+	}
 	var first error
 	for _, sh := range l.shards {
 		sh.mu.Lock()
 		if err := sh.flushSyncLocked(); err != nil && first == nil {
 			first = err
 		}
-		if err := sh.active.Close(); err != nil && first == nil {
-			first = err
+		if sh.degraded && len(sh.pending) > 0 {
+			// Closing a degraded shard abandons its re-land buffer: these
+			// records were acknowledged but never reached disk.
+			l.logf("wal: shard %d: closed while degraded, %d acknowledged records lost", sh.id, len(sh.pending))
+		}
+		if sh.active != nil {
+			if err := sh.active.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 		if sh.failed == nil {
 			sh.failed = ErrClosed
@@ -475,12 +610,13 @@ func (l *Log) flushLoop() {
 					if err := sh.flushSyncLocked(); err != nil {
 						// A failed fsync may have dropped the dirty pages
 						// (Linux EIO semantics): the acknowledged-but-unsynced
-						// window is already suspect, and a later "successful"
-						// fsync would hide that. Wedge the shard so further
-						// ingest fails loudly instead of acknowledging into
-						// a log that silently lost data.
-						sh.failed = err
-						l.logf("wal: shard %d: flush failed, shard wedged: %v", sh.id, err)
+						// window can no longer be trusted to the current file
+						// handle, and a later "successful" fsync would hide
+						// that. Degrade the shard: ingest fails loudly while
+						// the reopen loop rebuilds durability from the last
+						// known-synced prefix plus the pending tail it holds
+						// in memory.
+						sh.degradeLocked("flush", err)
 					}
 				}
 				sh.mu.Unlock()
@@ -574,7 +710,7 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 		} else if seq, ok := parseSeq(name, snapshotPrefix, snapshotSuffix); ok {
 			snapSeqs = append(snapSeqs, seq)
 		} else if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name)) // crashed atomic write
+			l.fs.Remove(filepath.Join(dir, name)) // crashed atomic write
 		}
 	}
 	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
@@ -584,11 +720,11 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 	if len(snapSeqs) > 0 {
 		snapSeq := snapSeqs[len(snapSeqs)-1]
 		for _, s := range snapSeqs[:len(snapSeqs)-1] {
-			os.Remove(filepath.Join(dir, snapshotFile(s)))
+			l.fs.Remove(filepath.Join(dir, snapshotFile(s)))
 		}
 		path := filepath.Join(dir, snapshotFile(snapSeq))
 		fromSnap := make(map[string]*SeriesState)
-		records, skipped, validSize, err := readSnapshot(path, fromSnap)
+		records, skipped, validSize, err := readSnapshot(l.fs, path, fromSnap)
 		if err != nil {
 			return nil, err
 		}
@@ -615,7 +751,7 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 	for i, seq := range segSeqs {
 		path := filepath.Join(dir, segmentFile(seq))
 		if sh.snapPath != "" && seq <= sh.snapSeq {
-			os.Remove(path) // covered by the snapshot
+			l.fs.Remove(path) // covered by the snapshot
 			continue
 		}
 		// A broken chain can only be a replica mirror whose resync died
@@ -627,13 +763,13 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 			l.logf("wal: shard %d: segment chain gap at %d (after %d): dropping %d later segments from an incomplete resync",
 				id, seq, lastSeq, len(segSeqs)-i)
 			for _, drop := range segSeqs[i:] {
-				os.Remove(filepath.Join(dir, segmentFile(drop)))
+				l.fs.Remove(filepath.Join(dir, segmentFile(drop)))
 			}
 			break
 		}
 		lastSeq = seq
 		info := segmentInfo{seq: seq, path: path, counts: make(map[string]int64)}
-		records, skipped, validSize, err := replaySegment(path, func(series string, total int64, values []float64) {
+		records, skipped, validSize, err := replaySegment(l.fs, path, func(series string, total int64, values []float64) {
 			if total == 0 && len(values) == 0 { // tombstone: series was dropped
 				if info.tombs == nil {
 					info.tombs = make(map[string]bool)
@@ -675,12 +811,14 @@ func (l *Log) openShard(id int, rec *Recovery) (*shardLog, error) {
 
 func (sh *shardLog) openActiveLocked() error {
 	seq := sh.nextSeq
-	sh.nextSeq++
 	path := filepath.Join(sh.dir, segmentFile(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := sh.lg.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		// nextSeq is untouched on failure so a reopen retry reuses this
+		// sequence — a skipped number would read as a chain gap.
 		return err
 	}
+	sh.nextSeq++
 	bw := bufio.NewWriterSize(f, 64<<10)
 	if _, err := bw.WriteString(segmentMagic); err != nil {
 		f.Close()
@@ -709,6 +847,16 @@ func (sh *shardLog) appendLocked(series string, total int64, values []float64) e
 	sh.writeSeq++
 	sh.info.size += int64(len(rec))
 	sh.info.records++
+	// Keep the framed bytes until an fsync covers them: if durability
+	// breaks first, the reopen re-lands them in a fresh segment (or an
+	// unacknowledged one is rolled back, totals included).
+	off := len(sh.pendingBuf)
+	prevTotal, hadPrev := sh.totals[series]
+	sh.pendingBuf = append(sh.pendingBuf, rec...)
+	sh.pending = append(sh.pending, pendingRec{
+		name: series, points: len(values), tomb: len(values) == 0, off: off, n: len(rec),
+		prevTotal: prevTotal, hadPrev: hadPrev,
+	})
 	if len(values) > 0 {
 		sh.info.counts[series] += int64(len(values))
 		// A recreation after an in-segment tombstone: the tombstone no
@@ -737,6 +885,11 @@ func (sh *shardLog) flushSyncLocked() error {
 	// a rotation out from under it.
 	for sh.syncing {
 		sh.syncCond.Wait()
+	}
+	// A degraded or wedged shard has no trustworthy handle (it may even
+	// be nil mid-reopen); the reopen loop owns making it durable again.
+	if sh.failed != nil {
+		return sh.failed
 	}
 	// needsSync, not bw.Buffered(), decides: bufio writes records larger
 	// than its buffer straight through, so an empty buffer does not mean
@@ -767,6 +920,7 @@ func (sh *shardLog) flushSyncLocked() error {
 	sh.dirtySince = time.Time{}
 	sh.syncSeq = sh.writeSeq
 	sh.syncedSize, sh.syncedRecords = sh.info.size, sh.info.records
+	sh.dropPendingLocked(len(sh.pending)) // everything written is now durable
 	sh.syncCond.Broadcast()
 	if sh.lg.cfg.OnDurable != nil {
 		sh.lg.cfg.OnDurable()
@@ -781,8 +935,10 @@ func (sh *shardLog) flushSyncLocked() error {
 // behind it; when the leader returns, everyone whose writes the fsync
 // covered is released together, and one straggler whose write landed
 // during the fsync becomes the next leader. Called with sh.mu held;
-// returns with it held. A failed flush or fsync wedges the shard, like
-// every other durability failure.
+// returns with it held. A failed flush or fsync degrades the shard,
+// like every other durability failure; in strict mode nothing unsynced
+// was ever acknowledged, so degradeLocked drops the pending tail and
+// every parked appender reports the failure to its caller.
 func (sh *shardLog) groupCommitLocked() error {
 	target := sh.writeSeq
 	for {
@@ -800,7 +956,7 @@ func (sh *shardLog) groupCommitLocked() error {
 		// kernel), fsync without it (the slow part).
 		if err := sh.bw.Flush(); err != nil {
 			sh.lg.syncErrors.Add(1)
-			sh.failed = err
+			err = sh.degradeLocked("flush", err)
 			sh.syncCond.Broadcast()
 			return err
 		}
@@ -823,12 +979,13 @@ func (sh *shardLog) groupCommitLocked() error {
 		sh.syncing = false
 		if err != nil {
 			sh.lg.syncErrors.Add(1)
-			sh.failed = err
+			err = sh.degradeLocked("fsync", err)
 			sh.syncCond.Broadcast()
 			return err
 		}
 		sh.lg.syncs.Add(1)
 		if covered > sh.syncSeq {
+			sh.dropPendingLocked(int(covered - sh.syncSeq))
 			sh.syncSeq = covered
 			sh.syncedSize, sh.syncedRecords = size, records
 			if sh.lg.cfg.OnDurable != nil {
@@ -851,6 +1008,11 @@ func (sh *shardLog) rotateLocked() error {
 		return err
 	}
 	sh.sealed = append(sh.sealed, sh.info)
+	// The old handle is sealed and gone; clear it before opening the
+	// next file so a failure below (e.g. ENOSPC creating the segment)
+	// leaves state the reopen loop recognizes: active == nil means
+	// "durable prefix already sealed, just need a fresh segment".
+	sh.active, sh.bw = nil, nil
 	sh.lg.rotations.Add(1)
 	// Open the fresh segment before running retention: retainLocked
 	// seeds its "newer points" count from sh.info, which must be the
@@ -924,7 +1086,7 @@ func (sh *shardLog) retainLocked() {
 		return
 	}
 	for i := 0; i < drop; i++ {
-		if err := os.Remove(sh.sealed[i].path); err != nil {
+		if err := sh.lg.fs.Remove(sh.sealed[i].path); err != nil {
 			sh.lg.logf("wal: drop segment %s: %v", sh.sealed[i].path, err)
 		}
 	}
@@ -940,8 +1102,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 	if sh.info.size > int64(len(segmentMagic)) {
 		if err := sh.rotateLocked(); err != nil {
-			sh.failed = err
-			return SnapshotResult{}, err
+			return SnapshotResult{}, sh.degradeLocked("rotate", err)
 		}
 	}
 	if len(sh.sealed) == 0 {
@@ -950,7 +1111,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 
 	state := make(map[string]*SeriesState)
 	if sh.snapPath != "" {
-		if _, skipped, _, err := readSnapshot(sh.snapPath, state); err != nil {
+		if _, skipped, _, err := readSnapshot(sh.lg.fs, sh.snapPath, state); err != nil {
 			return SnapshotResult{}, err
 		} else if skipped > 0 {
 			sh.lg.logf("wal: shard %d: snapshot %s: corrupt tail skipped during compaction", sh.id, sh.snapPath)
@@ -958,7 +1119,7 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 	h := sh.lg.cfg.HorizonPoints
 	for _, seg := range sh.sealed {
-		_, skipped, _, err := replaySegment(seg.path, func(series string, total int64, values []float64) {
+		_, skipped, _, err := replaySegment(sh.lg.fs, seg.path, func(series string, total int64, values []float64) {
 			FoldRecord(state, series, total, values, h)
 		})
 		if err != nil {
@@ -970,17 +1131,17 @@ func (sh *shardLog) snapshot() (SnapshotResult, error) {
 	}
 
 	covered := sh.sealed[len(sh.sealed)-1].seq
-	path, snapRecords, snapSize, err := writeSnapshot(sh.dir, covered, state)
+	path, snapRecords, snapSize, err := writeSnapshot(sh.lg.fs, sh.dir, covered, state)
 	if err != nil {
 		return SnapshotResult{}, err
 	}
 	// The new checkpoint is durable; everything it covers goes.
 	if sh.snapPath != "" && sh.snapPath != path {
-		os.Remove(sh.snapPath)
+		sh.lg.fs.Remove(sh.snapPath)
 	}
 	removed := len(sh.sealed)
 	for _, seg := range sh.sealed {
-		os.Remove(seg.path)
+		sh.lg.fs.Remove(seg.path)
 	}
 	sh.sealed = sh.sealed[:0]
 	sh.snapSeq, sh.snapPath = covered, path
