@@ -2,8 +2,8 @@ GO ?= go
 
 # Packages carrying the refresh-engine + broadcast + metrics benchmark
 # suite.
-BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream ./internal/server ./internal/obs
-BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced|BenchmarkBroadcastFanout|BenchmarkMetricsHotPath)$$
+BENCH_PKGS = ./internal/fft ./internal/acf ./internal/stream ./internal/server ./internal/obs ./internal/obs/trace
+BENCH_PAT  = ^(BenchmarkRefresh|BenchmarkACFPlan|BenchmarkFFTPlan|BenchmarkIncrementalACF|BenchmarkPushBatchCoalesced|BenchmarkBroadcastFanout|BenchmarkMetricsHotPath|BenchmarkTraceHotPath)$$
 
 # bench-gate knobs: fractional ns/op+B/op growth, absolute allocs/op
 # growth, and absolute B/op slack allowed over the committed
@@ -16,7 +16,7 @@ BENCH_BYTE_SLACK  ?= 1024
 # sharing clocks. allocs/op and B/op gate everywhere regardless.
 BENCH_TIME_GATE   ?= auto
 
-.PHONY: check vet build test race alloc-check obs-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check chaos-check clean clean-data
+.PHONY: check vet build test race alloc-check obs-check trace-check bench bench-smoke bench-gate fuzz fuzz-check failover-check stream-check chaos-check clean clean-data
 
 ## check: the standard verify — vet, build, and the race-enabled suite.
 check: vet build race
@@ -45,6 +45,14 @@ alloc-check:
 obs-check:
 	$(GO) test -race -v ./internal/obs/
 	$(GO) test -race -run 'Metrics|RequestID|StatsAggregate|SelfMonitor|Pprof' -v ./internal/server/
+
+## trace-check: the tracing acceptance suite under -race — the span /
+## traceparent / tail-sampling unit tests, plus the server end-to-end
+## pipeline trace (ingest spans, replication join, /traces explorer),
+## exemplar exposition, and slow-request breakdown tests.
+trace-check:
+	$(GO) test -race -v ./internal/obs/trace/
+	$(GO) test -race -run 'Trace|Exemplar|SlowRequest' -v ./internal/server/
 
 ## bench: run the refresh-engine benchmark suite and (re)write the
 ## committed baseline BENCH_refresh.json.
@@ -107,6 +115,7 @@ fuzz-check:
 	$(GO) test -run Fuzz -fuzz='^$$' ./internal/server/
 	$(GO) test -run Fuzz -fuzz='^$$' ./internal/csvio/
 	$(GO) test -run Fuzz -fuzz='^$$' ./internal/wal/
+	$(GO) test -run Fuzz -fuzz='^$$' ./internal/obs/trace/
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,10 @@
 //	GET  /replica/segments      replication manifest (WAL shipping)
 //	GET  /replica/segment       ranged segment/snapshot bytes
 //	POST /promote               turn a follower into the primary
+//	GET  /traces                retained traces (slow/errored/sampled),
+//	                            filterable: ?route= &min_ms= &errors=1
+//	GET  /traces/{id}           one trace as a JSON span tree (or a
+//	                            text waterfall with ?format=text)
 //	GET  /                      embedded dashboard (live via /stream)
 //
 // The ingest line protocol is one point per line: either "series=value"
@@ -63,6 +67,16 @@
 // writable WAL, and starts accepting ingest — failover. Frames served
 // by a follower are bit-identical (Values, Window, Sequence) to the
 // primary's for every replicated point; see docs/DURABILITY.md.
+//
+// Every request roots a trace (honoring an inbound W3C traceparent
+// and echoing one on the response): ingest opens child spans for the
+// parse, the WAL append and fsync, the refresh, and the broadcast
+// publish, and a follower's poll joins its trace to the primary's over
+// the replication hop. Slow, errored, and reservoir-sampled traces are
+// retained for the GET /traces explorer; -trace-slow sets the slow
+// threshold (such requests also log a span breakdown), -trace-sample
+// the head-sampling rate. See the Tracing section of
+// docs/OBSERVABILITY.md.
 //
 // For demos, -simulate taxi feeds the built-in Taxi generator at a
 // fixed rate so the dashboard animates without an external producer.
@@ -117,6 +131,9 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060; empty = off)")
 		selfMonitor = flag.Bool("self-monitor", false, "ingest the server's own health gauges as __asap.* series and smooth them live")
 		selfEvery   = flag.Duration("self-monitor-every", time.Second, "self-monitor sampling interval")
+
+		traceSlow   = flag.Duration("trace-slow", 0, "slow-request threshold: traces at or over it are retained and logged with a span breakdown (0 = 250ms)")
+		traceSample = flag.Int("trace-sample", 0, "record 1 in N requests without an inbound traceparent (0 = all; negative = only joined traces)")
 	)
 	flag.Parse()
 
@@ -158,6 +175,8 @@ func main() {
 		PprofAddr:        *pprofAddr,
 		SelfMonitor:      *selfMonitor,
 		SelfMonitorEvery: *selfEvery,
+		TraceSlow:        *traceSlow,
+		TraceSample:      *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asap-server: %v\n", err)

@@ -100,6 +100,13 @@
 // listener, and -self-monitor feeds the server's own request-rate and
 // fsync-latency gauges back through the hub as __asap.* series, so
 // the dashboard streams an ASAP-smoothed view of the server itself —
-// the paper's opening use case, applied reflexively. See
-// docs/OBSERVABILITY.md for the metric catalog and walkthroughs.
+// the paper's opening use case, applied reflexively. On top of the
+// metrics, every request roots a distributed trace
+// (internal/obs/trace): the ingest pipeline opens child spans per
+// stage (parse, WAL append/fsync, refresh, broadcast), followers
+// propagate W3C traceparent over the replication hop, OpenMetrics
+// scrapes carry trace-id exemplars, and GET /traces explores the
+// slow, errored, and baseline traces the tail sampler retained. See
+// docs/OBSERVABILITY.md for the metric catalog, the Tracing section,
+// and walkthroughs.
 package asap

@@ -24,11 +24,13 @@ import (
 	"strings"
 )
 
-// ExpoSample is one parsed sample line.
+// ExpoSample is one parsed sample line. Exemplar holds the OpenMetrics
+// exemplar's labels (e.g. trace_id) when the line carried one.
 type ExpoSample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar map[string]string
 }
 
 // ExpoFamily is one parsed metric family: its TYPE, optional HELP, and
@@ -145,10 +147,19 @@ func familyFor(families map[string]*ExpoFamily, sample string) *ExpoFamily {
 	return nil
 }
 
-// parseSample parses `name{labels} value [timestamp]`.
+// parseSample parses `name{labels} value [timestamp]`, optionally
+// followed by an OpenMetrics exemplar: ` # {labels} value [timestamp]`.
 func parseSample(line string) (ExpoSample, error) {
 	s := ExpoSample{Labels: map[string]string{}}
 	rest := line
+	if j := strings.Index(rest, " # "); j >= 0 {
+		ex, err := parseExemplar(rest[j+3:])
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		rest = rest[:j]
+	}
 	i := strings.IndexAny(rest, "{ ")
 	if i < 0 {
 		return s, fmt.Errorf("malformed sample %q", line)
@@ -181,6 +192,33 @@ func parseSample(line string) (ExpoSample, error) {
 		}
 	}
 	return s, nil
+}
+
+// parseExemplar validates `{labels} value [timestamp]` after the " # "
+// separator and returns the exemplar's labels. Exemplar timestamps are
+// seconds and may be fractional, unlike sample timestamps.
+func parseExemplar(rest string) (map[string]string, error) {
+	if !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("exemplar must start with a label block, got %q", rest)
+	}
+	labels := map[string]string{}
+	rest, err := parseLabels(rest[1:], labels)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar: expected value [timestamp], got %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("exemplar: bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("exemplar: bad timestamp %q", fields[1])
+		}
+	}
+	return labels, nil
 }
 
 // parseLabels consumes `key="value",...}` (the caller ate the opening

@@ -16,11 +16,30 @@ import (
 // expositionContentType is the Content-Type of the 0.0.4 text format.
 const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// openMetricsContentType is the Content-Type of the OpenMetrics text
+// format, served when the scraper negotiates for it.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // WritePrometheus renders every registered metric in text exposition
 // format, families sorted by name, series in registration order.
 // Collectors run first (once), then every value function is read under
 // the registry lock — value functions must not re-enter the registry.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the same catalog in a pragmatic subset of
+// the OpenMetrics text format: identical family names and TYPE lines,
+// histogram bucket samples carrying `# {trace_id="..."} value ts`
+// exemplars when one was recorded, and the mandatory `# EOF`
+// terminator. (Full OpenMetrics would rename counter samples to a
+// _total suffix; our counters already follow that convention, so the
+// output is scrapeable by Prometheus in either mode.)
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, fn := range r.collectors {
@@ -41,11 +60,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
 		for _, s := range f.series {
 			if f.kind == kindHistogram {
-				writeHistogram(bw, f.name, s)
+				writeHistogram(bw, f.name, s, openMetrics)
 				continue
 			}
 			bw.WriteString(f.name + s.labels + " " + formatValue(s.value()) + "\n")
 		}
+	}
+	if openMetrics {
+		bw.WriteString("# EOF\n")
 	}
 	return bw.Flush()
 }
@@ -53,16 +75,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeHistogram expands one histogram series into its exposition
 // lines. Bucket cumulative counts come from a single snapshot read, so
 // they are monotone by construction even under concurrent observers.
-func writeHistogram(bw *bufio.Writer, name string, s series) {
+func writeHistogram(bw *bufio.Writer, name string, s series, openMetrics bool) {
 	cum, total, sum := s.hist.snapshot()
 	for i, ub := range s.hist.upper {
 		bw.WriteString(name + "_bucket" + withLabel(s.labels, `le="`+formatValue(ub)+`"`) +
-			" " + strconv.FormatInt(cum[i], 10) + "\n")
+			" " + strconv.FormatInt(cum[i], 10))
+		if openMetrics {
+			writeExemplar(bw, s.hist, i)
+		}
+		bw.WriteString("\n")
 	}
 	bw.WriteString(name + "_bucket" + withLabel(s.labels, `le="+Inf"`) +
-		" " + strconv.FormatInt(total, 10) + "\n")
+		" " + strconv.FormatInt(total, 10))
+	if openMetrics {
+		writeExemplar(bw, s.hist, len(s.hist.upper))
+	}
+	bw.WriteString("\n")
 	bw.WriteString(name + "_sum" + s.labels + " " + formatValue(sum) + "\n")
 	bw.WriteString(name + "_count" + s.labels + " " + strconv.FormatInt(total, 10) + "\n")
+}
+
+// writeExemplar appends the bucket's exemplar suffix, if one was
+// recorded: ` # {trace_id="..."} value timestamp` (OpenMetrics
+// timestamps are seconds).
+func writeExemplar(bw *bufio.Writer, h *Histogram, bucket int) {
+	e := h.ex[bucket].Load()
+	if e == nil {
+		return
+	}
+	bw.WriteString(` # {trace_id="` + escapeLabelValue(e.traceID) + `"} ` +
+		formatValue(e.value) + " " +
+		strconv.FormatFloat(float64(e.at.UnixNano())/1e9, 'f', 3, 64))
 }
 
 // withLabel merges one extra rendered label pair into a pre-rendered
@@ -100,7 +143,25 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", expositionContentType)
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics is the content negotiation for /metrics: the
+// OpenMetrics exposition (with exemplars) is opt-in via the Accept
+// header, so default scrapes keep the 0.0.4 text format byte-for-byte.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }

@@ -138,6 +138,18 @@ type Histogram struct {
 	upper  []float64 // ascending; +Inf bucket is counts[len(upper)]
 	counts []atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-added
+	// ex holds the latest exemplar per bucket (last-write-wins), only
+	// written by ObserveExemplar — the plain Observe path never touches
+	// it, so untraced observations stay allocation-free.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar is one OpenMetrics exemplar: the observed value, the trace
+// id it came from, and when it was recorded.
+type exemplar struct {
+	value   float64
+	traceID string
+	at      time.Time
 }
 
 // Observe records one value. NaN observations are dropped (they would
@@ -163,6 +175,34 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records d in seconds — the base unit every
 // *_seconds histogram uses.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records v and attaches it as the bucket's exemplar,
+// labeled with the given trace id — rendered only in the OpenMetrics
+// exposition (`# {trace_id="..."} v ts`). An empty trace id degrades
+// to a plain Observe. Called only on sampled (traced) observations, so
+// the one allocation per call never lands on the untraced hot path.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.ex[i].Store(&exemplar{value: v, traceID: traceID, at: time.Now()})
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Count returns the total number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
@@ -338,6 +378,7 @@ func (r *Registry) Histogram(o Opts, buckets []float64) *Histogram {
 	h := &Histogram{
 		upper:  append([]float64(nil), buckets...),
 		counts: make([]atomic.Int64, len(buckets)+1),
+		ex:     make([]atomic.Pointer[exemplar], len(buckets)+1),
 	}
 	r.register(o, kindHistogram, series{hist: h})
 	return h

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// ctxKey is the context key for the active span. An empty struct key
+// converts to interface{} without allocating, which keeps the
+// unsampled StartSpan lookup free.
+type ctxKey struct{}
+
+// spanCtx pairs the trace with the goroutine's current span.
+type spanCtx struct {
+	tr *Trace
+	sp *Span
+}
+
+func withSpan(ctx context.Context, tr *Trace, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, spanCtx{tr, sp})
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying the child. When the context holds no
+// recorded trace it returns (ctx, nil) without allocating — the
+// instrumented hot paths call this unconditionally and pay one map-free
+// context lookup when tracing is off or the request was not sampled.
+//
+// The returned span may be nil even on a recorded trace (span cap);
+// all Span methods tolerate that.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok {
+		return ctx, nil
+	}
+	sp := sc.tr.startSpan(name, sc.sp, time.Now())
+	if sp == nil {
+		return ctx, nil
+	}
+	return withSpan(ctx, sc.tr, sp), sp
+}
+
+// StartSpanAt opens a leaf child whose start time is supplied by the
+// caller — used where the measured interval began before the
+// instrumentation point (e.g. the SSE flush span starts at the oldest
+// queued event's publish time). The child is not placed into a derived
+// context; callers End it directly.
+func StartSpanAt(ctx context.Context, name string, start time.Time) *Span {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok {
+		return nil
+	}
+	return sc.tr.startSpan(name, sc.sp, start)
+}
+
+// Child opens a child span directly off sp, for call paths where
+// threading a derived context is impractical (e.g. under a lock-scoped
+// helper). Nil-safe; may return nil at the span cap.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr.startSpan(name, sp, time.Now())
+}
+
+// ChildAt is Child with a caller-supplied start time, for intervals
+// measured before the instrumentation point.
+func (sp *Span) ChildAt(name string, start time.Time) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr.startSpan(name, sp, start)
+}
+
+// FromContext returns the context's trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok {
+		return nil
+	}
+	return sc.tr
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok {
+		return nil
+	}
+	return sc.sp
+}
+
+// IDFromContext returns the active trace's hex id, or "" — the value
+// log lines stamp alongside the request id.
+func IDFromContext(ctx context.Context) string {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok {
+		return ""
+	}
+	return sc.tr.idHex
+}
+
+// Outbound renders the traceparent header an outgoing request should
+// carry: the active trace's id with the CURRENT span as parent, so the
+// remote side's spans join under the local operation that issued the
+// call. Returns "" when the context holds no recorded trace.
+func Outbound(ctx context.Context) string {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok || sc.sp == nil {
+		return ""
+	}
+	return formatTraceparent(sc.tr.id, sc.sp.id, true)
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceparent asserts Parse never panics on arbitrary input, and
+// that anything it accepts round-trips: re-rendering the parsed header
+// and parsing again yields the identical Traceparent.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("garbage")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, err := Parse(s)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+			t.Fatalf("Parse(%q) accepted zero ids", s)
+		}
+		re, err := Parse(tp.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", tp.String(), s, err)
+		}
+		if re != tp {
+			t.Fatalf("round trip drift: %q -> %+v -> %+v", s, tp, re)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the fixed-size ring of retained traces. Offers overwrite
+// the oldest entry; reads snapshot under the lock, so the explorer
+// endpoints never block the tail sampler for long.
+type Store struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	n    int
+}
+
+func newStore(capacity int) *Store {
+	return &Store{ring: make([]*Trace, capacity)}
+}
+
+func (s *Store) offer(tr *Trace) {
+	s.mu.Lock()
+	s.ring[s.next] = tr
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of retained traces (0 on nil).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Filter narrows a List call. Zero values match everything.
+type Filter struct {
+	Route      string        // exact route match
+	MinDur     time.Duration // root duration at or above
+	ErrorsOnly bool          // only traces kept for (or containing) an error
+	Limit      int           // max results (0 = all)
+}
+
+// Summary is one row of the trace list.
+type Summary struct {
+	TraceID    string    `json:"trace_id"`
+	Route      string    `json:"route"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Error      bool      `json:"error"`
+	Kept       string    `json:"kept"`
+	Remote     bool      `json:"remote,omitempty"`
+}
+
+// List returns matching trace summaries, newest first.
+func (s *Store) List(f Filter) []Summary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := make([]*Trace, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		// Walk backwards from the most recent offer.
+		idx := (s.next - 1 - i + len(s.ring) + len(s.ring)) % len(s.ring)
+		if tr := s.ring[idx]; tr != nil {
+			snap = append(snap, tr)
+		}
+	}
+	s.mu.Unlock()
+
+	out := make([]Summary, 0, len(snap))
+	for _, tr := range snap {
+		if f.Route != "" && tr.route != f.Route {
+			continue
+		}
+		if tr.Duration() < f.MinDur {
+			continue
+		}
+		errored := tr.keep == VerdictError || tr.anyError()
+		if f.ErrorsOnly && !errored {
+			continue
+		}
+		tr.mu.Lock()
+		nspans := len(tr.spans)
+		tr.mu.Unlock()
+		out = append(out, Summary{
+			TraceID:    tr.idHex,
+			Route:      tr.route,
+			Start:      tr.start,
+			DurationMS: float64(tr.Duration()) / float64(time.Millisecond),
+			Spans:      nspans,
+			Error:      errored,
+			Kept:       tr.keep.String(),
+			Remote:     tr.remote,
+		})
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given hex id, or nil.
+func (s *Store) Get(id string) *Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.ring {
+		if tr != nil && tr.idHex == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// SpanNode is one exported span with its children nested — the JSON
+// span tree `/traces/{id}` serves.
+type SpanNode struct {
+	SpanID     string                 `json:"span_id"`
+	Name       string                 `json:"name"`
+	StartNS    int64                  `json:"start_ns"` // offset from trace start
+	DurationNS int64                  `json:"duration_ns"`
+	Error      bool                   `json:"error,omitempty"`
+	Attrs      map[string]interface{} `json:"attrs,omitempty"`
+	Children   []*SpanNode            `json:"children,omitempty"`
+}
+
+// Export is the full serialized trace.
+type Export struct {
+	TraceID      string      `json:"trace_id"`
+	Route        string      `json:"route"`
+	Start        time.Time   `json:"start"`
+	DurationNS   int64       `json:"duration_ns"`
+	Kept         string      `json:"kept"`
+	RemoteParent string      `json:"remote_parent,omitempty"` // upstream span id we joined under
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []*SpanNode `json:"spans"`
+	Waterfall    string      `json:"waterfall"`
+}
+
+// Export serializes the trace as a span tree plus a text waterfall.
+func (tr *Trace) Export() *Export {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	spans := make([]*Span, len(tr.spans))
+	copy(spans, tr.spans)
+	dropped := tr.dropped
+	tr.mu.Unlock()
+
+	nodes := make([]*SpanNode, len(spans))
+	for i, sp := range spans {
+		n := &SpanNode{
+			SpanID:     sp.id.String(),
+			Name:       sp.name,
+			StartNS:    sp.startNS,
+			DurationNS: sp.durNS,
+			Error:      sp.err,
+		}
+		if sp.nattr > 0 {
+			n.Attrs = make(map[string]interface{}, sp.nattr)
+			for j := 0; j < sp.nattr; j++ {
+				n.Attrs[sp.attrs[j].Key] = sp.attrs[j].Value()
+			}
+		}
+		nodes[i] = n
+	}
+	var roots []*SpanNode
+	for i, sp := range spans {
+		if sp.parent >= 0 && int(sp.parent) < len(nodes) {
+			p := nodes[sp.parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	ex := &Export{
+		TraceID:      tr.idHex,
+		Route:        tr.route,
+		Start:        tr.start,
+		DurationNS:   int64(tr.Duration()),
+		Kept:         tr.keep.String(),
+		DroppedSpans: dropped,
+		Spans:        roots,
+	}
+	if tr.remote {
+		ex.RemoteParent = tr.parent.String()
+	}
+	ex.Waterfall = waterfall(ex)
+	return ex
+}
+
+// waterfall renders the span tree as aligned text: start offset,
+// duration, an indent-per-depth name, and a proportional bar scaled to
+// the root duration.
+func waterfall(ex *Export) string {
+	const barWidth = 30
+	total := ex.DurationNS
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s route=%s dur=%s kept=%s\n",
+		ex.TraceID, ex.Route, time.Duration(ex.DurationNS), ex.Kept)
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		startCol := int(n.StartNS * barWidth / total)
+		width := int(n.DurationNS * barWidth / total)
+		if startCol > barWidth {
+			startCol = barWidth
+		}
+		if width < 1 {
+			width = 1
+		}
+		if startCol+width > barWidth {
+			width = barWidth - startCol
+			if width < 1 {
+				startCol, width = barWidth-1, 1
+			}
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("=", width) +
+			strings.Repeat(" ", barWidth-startCol-width)
+		name := strings.Repeat("  ", depth) + n.Name
+		if n.Error {
+			name += " !"
+		}
+		fmt.Fprintf(&b, "%12s %12s  |%s|  %s%s\n",
+			time.Duration(n.StartNS).Round(time.Microsecond),
+			time.Duration(n.DurationNS).Round(time.Microsecond),
+			bar, name, attrSuffix(n.Attrs))
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].StartNS < n.Children[j].StartNS
+		})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range ex.Spans {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func attrSuffix(attrs map[string]interface{}) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("  {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, attrs[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Breakdown renders the non-root spans inline — "parse=110µs
+// wal.append=1.2ms ..." — for the structured slow-request log line.
+func (tr *Trace) Breakdown() string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	spans := make([]*Span, len(tr.spans))
+	copy(spans, tr.spans)
+	tr.mu.Unlock()
+	var b strings.Builder
+	for _, sp := range spans[1:] {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.name, time.Duration(sp.durNS).Round(time.Microsecond))
+	}
+	return b.String()
+}

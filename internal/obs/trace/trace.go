@@ -1,0 +1,551 @@
+// Package trace is the zero-dependency distributed-tracing layer
+// behind asap-server: allocation-conscious spans threaded through
+// context.Context, W3C traceparent propagation across the replication
+// hop, and a fixed-size ring store with tail-based retention (slow,
+// errored, or reservoir-sampled traces survive; uniform noise does
+// not).
+//
+// The design constraints mirror internal/obs: the unsampled hot path —
+// StartSpan on a context carrying no recorded trace — performs zero
+// allocations and every span method is nil-receiver safe, so the WAL
+// append path, the hub refresh, and the broadcast fan-out can be
+// instrumented unconditionally. Recording is a head decision made once
+// per request (honoring an inbound traceparent's sampled flag);
+// retention is a tail decision made once per completed trace, so the
+// ring holds the interesting latencies rather than a uniform sample.
+//
+// A span belongs to the goroutine that started it: Set* and End must
+// not race from other goroutines. Adding spans to one trace from
+// several goroutines is safe (the trace serializes its span list).
+package trace
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCapacity       = 256
+	DefaultMaxSpans       = 256
+	DefaultSlow           = 250 * time.Millisecond
+	DefaultReservoirEvery = 16
+)
+
+// maxAttrs bounds the key/value attributes one span can carry; setters
+// beyond it overwrite by key or are dropped silently.
+const maxAttrs = 8
+
+// TraceID is the W3C 16-byte trace id.
+type TraceID [16]byte
+
+// SpanID is the W3C 8-byte span (parent) id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is all-zero (invalid per W3C).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is all-zero (invalid per W3C).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 32-hex-digit form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String returns the 16-hex-digit form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// Process-unique id generation: a random seed XOR a counter, so ids
+// are unique without a syscall per span. The seed comes from
+// crypto/rand once at startup.
+var (
+	idSeedHi, idSeedLo, spanSeed uint64
+	idCounter                    atomic.Uint64
+)
+
+func init() {
+	var b [24]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Fall back to the clock: uniqueness within the process still
+		// holds via the counter.
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+	}
+	idSeedHi = binary.BigEndian.Uint64(b[0:8])
+	idSeedLo = binary.BigEndian.Uint64(b[8:16])
+	spanSeed = binary.BigEndian.Uint64(b[16:24])
+	if idSeedHi == 0 {
+		idSeedHi = 1 // keep generated trace ids non-zero by construction
+	}
+	if spanSeed == 0 {
+		spanSeed = 1
+	}
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[0:8], idSeedHi)
+	binary.BigEndian.PutUint64(id[8:16], idSeedLo^idCounter.Add(1))
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], spanSeed^idCounter.Add(1))
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// attrKind tags which Attr field holds the value.
+type attrKind uint8
+
+const (
+	attrNone attrKind = iota
+	attrStr
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one bounded key/value span attribute.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// Value returns the attribute's value as an interface, for export.
+func (a Attr) Value() interface{} {
+	switch a.kind {
+	case attrStr:
+		return a.s
+	case attrInt:
+		return a.i
+	case attrFloat:
+		return a.f
+	case attrBool:
+		return a.i != 0
+	default:
+		return nil
+	}
+}
+
+// Span is one timed operation inside a trace: child-linked via the
+// parent index, with a monotonic start offset and duration relative to
+// the trace's start. All methods are nil-receiver safe, so unsampled
+// callers pay one branch.
+type Span struct {
+	tr      *Trace
+	id      SpanID
+	idx     int32
+	parent  int32 // index into tr.spans; -1 for the root
+	name    string
+	startNS int64 // monotonic offset from tr.start
+	durNS   int64 // 0 while open; End makes it >= 1
+	err     bool
+	attrs   [maxAttrs]Attr
+	nattr   int
+}
+
+// End closes the span. Durations are clamped to >= 1ns so a finished
+// span is distinguishable from an open one and never reads as "took no
+// time". Idempotent: the first End wins.
+func (sp *Span) End() {
+	if sp == nil || sp.durNS != 0 {
+		return
+	}
+	d := int64(time.Since(sp.tr.start)) - sp.startNS
+	if d <= 0 {
+		d = 1
+	}
+	sp.durNS = d
+}
+
+// setAttr overwrites an existing key or appends when there is room.
+func (sp *Span) setAttr(a Attr) {
+	if sp == nil {
+		return
+	}
+	for i := 0; i < sp.nattr; i++ {
+		if sp.attrs[i].Key == a.Key {
+			sp.attrs[i] = a
+			return
+		}
+	}
+	if sp.nattr < maxAttrs {
+		sp.attrs[sp.nattr] = a
+		sp.nattr++
+	}
+}
+
+// SetStr attaches a string attribute.
+func (sp *Span) SetStr(key, v string) { sp.setAttr(Attr{Key: key, kind: attrStr, s: v}) }
+
+// SetInt attaches an integer attribute.
+func (sp *Span) SetInt(key string, v int64) { sp.setAttr(Attr{Key: key, kind: attrInt, i: v}) }
+
+// SetFloat attaches a float attribute.
+func (sp *Span) SetFloat(key string, v float64) { sp.setAttr(Attr{Key: key, kind: attrFloat, f: v}) }
+
+// SetBool attaches a boolean attribute.
+func (sp *Span) SetBool(key string, v bool) {
+	var i int64
+	if v {
+		i = 1
+	}
+	sp.setAttr(Attr{Key: key, kind: attrBool, i: i})
+}
+
+// SetError flags the span (and therefore the trace) as errored; a
+// non-empty message lands in the "error" attribute. Errored traces are
+// always retained by the tail sampler.
+func (sp *Span) SetError(msg string) {
+	if sp == nil {
+		return
+	}
+	sp.err = true
+	if msg != "" {
+		sp.SetStr("error", msg)
+	}
+}
+
+// TraceID returns the owning trace's hex id ("" on nil) — the exemplar
+// label value.
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.tr.idHex
+}
+
+// Trace is one recorded request (or background operation): a trace id
+// plus the spans accumulated under it. Created by Tracer.StartRequest
+// or StartTrace, completed by Tracer.Finish.
+type Trace struct {
+	tracer *Tracer
+	id     TraceID
+	idHex  string // cached: exemplars and log lines read it repeatedly
+	route  string
+	start  time.Time // wall clock; carries the monotonic reading
+	remote bool      // joined from an inbound traceparent
+	parent SpanID    // remote parent span id (zero when locally rooted)
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int // spans dropped by the per-trace cap
+
+	keep Verdict // set by Finish
+}
+
+// ID returns the trace's hex id.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.idHex
+}
+
+// Route returns the route (or operation name) the trace was rooted
+// under.
+func (tr *Trace) Route() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.route
+}
+
+// Root returns the root span (nil on nil trace).
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.spans[0]
+}
+
+// Duration returns the root span's duration (zero while open).
+func (tr *Trace) Duration() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Duration(tr.spans[0].durNS)
+}
+
+// Traceparent renders the header value downstream hops (and response
+// echoes) carry: the trace id plus the ROOT span as parent, sampled.
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	return formatTraceparent(tr.id, tr.spans[0].id, true)
+}
+
+// startSpan appends a child span (nil parent = root). Returns nil when
+// the per-trace span cap is hit — callers get a no-op span rather than
+// unbounded growth on pathological traces.
+func (tr *Trace) startSpan(name string, parent *Span, start time.Time) *Span {
+	startNS := int64(start.Sub(tr.start))
+	tr.tracer.spansStarted.Add(1)
+	sp := &Span{tr: tr, id: newSpanID(), parent: -1, name: name, startNS: startNS}
+	if parent != nil {
+		sp.parent = parent.idx
+	}
+	tr.mu.Lock()
+	if len(tr.spans) >= tr.tracer.cfg.MaxSpans {
+		tr.dropped++
+		tr.mu.Unlock()
+		return nil
+	}
+	sp.idx = int32(len(tr.spans))
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// anyError reports whether any span flagged an error.
+func (tr *Trace) anyError() bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, sp := range tr.spans {
+		if sp.err {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is the tail-sampling decision for a completed trace.
+type Verdict uint8
+
+const (
+	// VerdictDropped: completed unremarkably and not reservoir-picked.
+	VerdictDropped Verdict = iota
+	// VerdictSlow: root latency at or over the route's threshold.
+	VerdictSlow
+	// VerdictError: some span flagged an error.
+	VerdictError
+	// VerdictReservoir: kept as the periodic sample of normal traffic.
+	VerdictReservoir
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSlow:
+		return "slow"
+	case VerdictError:
+		return "error"
+	case VerdictReservoir:
+		return "reservoir"
+	default:
+		return "dropped"
+	}
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Capacity is the ring store size in retained traces (default 256).
+	Capacity int
+	// MaxSpans caps spans per trace (default 256); extra spans are
+	// counted and dropped.
+	MaxSpans int
+	// Slow is the default per-route slow threshold: a completed root at
+	// or over it is always retained (default 250ms).
+	Slow time.Duration
+	// SlowRoute overrides Slow per route — streaming routes whose
+	// connection lifetime is intentionally long set effectively-infinite
+	// thresholds here.
+	SlowRoute map[string]time.Duration
+	// HeadEvery records 1 in N requests that arrive without an inbound
+	// sampled traceparent. 0 means 1 (record all); negative disables
+	// head sampling entirely (only joined traces record).
+	HeadEvery int64
+	// ReservoirEvery retains 1 in N completed traces that were neither
+	// slow nor errored, so the store always holds a baseline of normal
+	// traffic. 0 means DefaultReservoirEvery; negative disables.
+	ReservoirEvery int64
+}
+
+// Tracer owns the sampling decisions, the counters, and the ring
+// store. A nil Tracer is valid and records nothing.
+type Tracer struct {
+	cfg   Config
+	store *Store
+
+	headN atomic.Int64
+	resN  atomic.Int64
+
+	spansStarted  atomic.Int64
+	tracesSampled atomic.Int64
+	keptSlow      atomic.Int64
+	keptError     atomic.Int64
+	keptReservoir atomic.Int64
+	dropped       atomic.Int64
+}
+
+// New builds a Tracer, applying defaults to zero Config fields.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = DefaultMaxSpans
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = DefaultSlow
+	}
+	if cfg.HeadEvery == 0 {
+		cfg.HeadEvery = 1
+	}
+	if cfg.ReservoirEvery == 0 {
+		cfg.ReservoirEvery = DefaultReservoirEvery
+	}
+	return &Tracer{cfg: cfg, store: newStore(cfg.Capacity)}
+}
+
+// Store returns the ring of retained traces (nil on a nil Tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// SlowThreshold returns the route's slow threshold.
+func (t *Tracer) SlowThreshold(route string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	if d, ok := t.cfg.SlowRoute[route]; ok {
+		return d
+	}
+	return t.cfg.Slow
+}
+
+// StartRequest roots a trace for an inbound request. An inbound
+// traceparent is honored both ways: a valid sampled one joins its
+// trace id (the cross-process hop), a valid unsampled one suppresses
+// recording, and an absent or malformed one falls back to the head
+// sampler. Returns the derived context and the trace, or (ctx, nil)
+// unchanged — the allocation-free path — when the request is not
+// recorded.
+func (t *Tracer) StartRequest(ctx context.Context, route, traceparent string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	var tid TraceID
+	var parent SpanID
+	remote := false
+	if traceparent != "" {
+		if tp, err := Parse(traceparent); err == nil {
+			if !tp.Sampled {
+				return ctx, nil
+			}
+			tid, parent, remote = tp.TraceID, tp.SpanID, true
+		}
+	}
+	if !remote {
+		he := t.cfg.HeadEvery
+		if he < 0 {
+			return ctx, nil
+		}
+		if he > 1 && t.headN.Add(1)%he != 1 {
+			return ctx, nil
+		}
+		tid = newTraceID()
+	}
+	return t.root(ctx, route, tid, parent, remote)
+}
+
+// StartTrace roots a trace for a background operation (e.g. the
+// follower's replication poll) — the head sampler applies, there is no
+// inbound traceparent.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	if he := t.cfg.HeadEvery; he < 0 || (he > 1 && t.headN.Add(1)%he != 1) {
+		return ctx, nil
+	}
+	return t.root(ctx, name, newTraceID(), SpanID{}, false)
+}
+
+func (t *Tracer) root(ctx context.Context, route string, tid TraceID, parent SpanID, remote bool) (context.Context, *Trace) {
+	now := time.Now()
+	tr := &Trace{
+		tracer: t, id: tid, idHex: tid.String(), route: route,
+		start: now, remote: remote, parent: parent,
+	}
+	t.tracesSampled.Add(1)
+	root := tr.startSpan(route, nil, now)
+	return withSpan(ctx, tr, root), tr
+}
+
+// Finish ends the root span (if still open) and makes the tail
+// decision: retain the trace when it was slow, errored, or picked by
+// the reservoir; otherwise drop it. Safe on nil tracer/trace.
+func (t *Tracer) Finish(tr *Trace) Verdict {
+	if t == nil || tr == nil {
+		return VerdictDropped
+	}
+	root := tr.Root()
+	root.End()
+	verdict := VerdictDropped
+	switch {
+	case tr.anyError():
+		verdict = VerdictError
+	case time.Duration(root.durNS) >= t.SlowThreshold(tr.route):
+		verdict = VerdictSlow
+	default:
+		if n := t.cfg.ReservoirEvery; n > 0 && t.resN.Add(1)%n == 1 {
+			verdict = VerdictReservoir
+		}
+	}
+	tr.keep = verdict
+	switch verdict {
+	case VerdictSlow:
+		t.keptSlow.Add(1)
+	case VerdictError:
+		t.keptError.Add(1)
+	case VerdictReservoir:
+		t.keptReservoir.Add(1)
+	default:
+		t.dropped.Add(1)
+		return verdict
+	}
+	t.store.offer(tr)
+	return verdict
+}
+
+// Counters is a point-in-time read of the tracer's self-accounting,
+// exported as the asap_trace_* metric families.
+type Counters struct {
+	SpansStarted  int64
+	TracesSampled int64
+	KeptSlow      int64
+	KeptError     int64
+	KeptReservoir int64
+	Dropped       int64
+	StoreLen      int
+}
+
+// Counters snapshots the tracer's counters (zeros on nil).
+func (t *Tracer) Counters() Counters {
+	if t == nil {
+		return Counters{}
+	}
+	return Counters{
+		SpansStarted:  t.spansStarted.Load(),
+		TracesSampled: t.tracesSampled.Load(),
+		KeptSlow:      t.keptSlow.Load(),
+		KeptError:     t.keptError.Load(),
+		KeptReservoir: t.keptReservoir.Load(),
+		Dropped:       t.dropped.Load(),
+		StoreLen:      t.store.Len(),
+	}
+}

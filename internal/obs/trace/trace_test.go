@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tp := Traceparent{
+		TraceID: TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36},
+		SpanID:  SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7},
+		Sampled: true,
+	}
+	s := tp.String()
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+	got, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tp {
+		t.Fatalf("round trip: %+v != %+v", got, tp)
+	}
+
+	tp.Sampled = false
+	got, err = Parse(tp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled {
+		t.Fatal("unsampled flag did not round-trip")
+	}
+}
+
+func TestTraceparentParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",   // short flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-012", // version 00 must be exactly 55 bytes
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad separator
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // non-hex version
+		"01-4bf92f3577b34da6a3ce929d0e0e473600f067aa0ba902b7-01x",  // future version without separator at 55
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", s)
+		}
+	}
+	// A future version with extra trailing fields after byte 55 parses.
+	if _, err := Parse("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Errorf("future-version traceparent rejected: %v", err)
+	}
+}
+
+func TestStartRequestJoinsSampledTraceparent(t *testing.T) {
+	tr0 := New(Config{})
+	inbound := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	ctx, tr := tr0.StartRequest(context.Background(), "/ingest", inbound)
+	if tr == nil {
+		t.Fatal("sampled traceparent did not join")
+	}
+	if tr.ID() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("joined trace id = %s", tr.ID())
+	}
+	if !tr.remote || tr.parent.String() != "00f067aa0ba902b7" {
+		t.Fatalf("remote parent not recorded: remote=%v parent=%s", tr.remote, tr.parent)
+	}
+	if IDFromContext(ctx) != tr.ID() {
+		t.Fatal("context does not carry the joined trace")
+	}
+
+	// An unsampled inbound traceparent suppresses recording entirely.
+	if _, got := tr0.StartRequest(context.Background(), "/ingest",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); got != nil {
+		t.Fatal("unsampled traceparent recorded a trace")
+	}
+	// A malformed one falls through to the head sampler (record all here).
+	if _, got := tr0.StartRequest(context.Background(), "/ingest", "garbage"); got == nil {
+		t.Fatal("malformed traceparent suppressed the head sampler")
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr0 := New(Config{HeadEvery: -1})
+	if _, tr := tr0.StartRequest(context.Background(), "/x", ""); tr != nil {
+		t.Fatal("negative HeadEvery recorded an unjoined request")
+	}
+	if _, tr := tr0.StartRequest(context.Background(), "/x",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); tr == nil {
+		t.Fatal("negative HeadEvery must still join sampled traceparents")
+	}
+
+	tr3 := New(Config{HeadEvery: 3})
+	recorded := 0
+	for i := 0; i < 9; i++ {
+		if _, tr := tr3.StartRequest(context.Background(), "/x", ""); tr != nil {
+			recorded++
+		}
+	}
+	if recorded != 3 {
+		t.Fatalf("HeadEvery=3 recorded %d of 9", recorded)
+	}
+}
+
+func TestTailRetention(t *testing.T) {
+	tr0 := New(Config{Slow: 50 * time.Millisecond, ReservoirEvery: -1})
+
+	// Errored: always kept, regardless of latency.
+	_, tr := tr0.StartTrace(context.Background(), "op")
+	tr.Root().SetError("boom")
+	if v := tr0.Finish(tr); v != VerdictError {
+		t.Fatalf("errored trace verdict %s", v)
+	}
+	if tr0.Store().Get(tr.ID()) == nil {
+		t.Fatal("errored trace not in store")
+	}
+
+	// Fast and clean: dropped (reservoir disabled).
+	_, tr = tr0.StartTrace(context.Background(), "op")
+	if v := tr0.Finish(tr); v != VerdictDropped {
+		t.Fatalf("fast trace verdict %s", v)
+	}
+	if tr0.Store().Get(tr.ID()) != nil {
+		t.Fatal("dropped trace still in store")
+	}
+
+	// Slow: kept. Backdate the root instead of sleeping.
+	_, tr = tr0.StartTrace(context.Background(), "op")
+	tr.start = tr.start.Add(-time.Second)
+	tr.Root().startNS = 0
+	if v := tr0.Finish(tr); v != VerdictSlow {
+		t.Fatalf("slow trace verdict %s", v)
+	}
+
+	// Per-route override: the same latency under a neverSlow route drops.
+	trR := New(Config{Slow: 50 * time.Millisecond, ReservoirEvery: -1,
+		SlowRoute: map[string]time.Duration{"op": time.Hour}})
+	_, tr = trR.StartTrace(context.Background(), "op")
+	tr.start = tr.start.Add(-time.Second)
+	tr.Root().startNS = 0
+	if v := trR.Finish(tr); v != VerdictDropped {
+		t.Fatalf("neverSlow route verdict %s", v)
+	}
+
+	c := tr0.Counters()
+	if c.KeptError != 1 || c.KeptSlow != 1 || c.Dropped != 1 || c.TracesSampled != 3 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestReservoirKeepsBaseline(t *testing.T) {
+	tr0 := New(Config{ReservoirEvery: 4})
+	kept := 0
+	for i := 0; i < 8; i++ {
+		_, tr := tr0.StartTrace(context.Background(), "op")
+		if tr0.Finish(tr) == VerdictReservoir {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Fatalf("reservoir kept %d of 8 (every 4)", kept)
+	}
+}
+
+func TestStoreRingAndFilters(t *testing.T) {
+	tr0 := New(Config{Capacity: 4, Slow: time.Nanosecond}) // everything kept as slow
+	for i := 0; i < 6; i++ {
+		route := "/a"
+		if i%2 == 1 {
+			route = "/b"
+		}
+		_, tr := tr0.StartTrace(context.Background(), route)
+		if route == "/b" {
+			tr.Root().SetError("x")
+		}
+		tr0.Finish(tr)
+	}
+	if n := tr0.Store().Len(); n != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", n)
+	}
+	all := tr0.Store().List(Filter{})
+	if len(all) != 4 {
+		t.Fatalf("List returned %d", len(all))
+	}
+	// Newest first.
+	if !all[0].Start.After(all[3].Start) && !all[0].Start.Equal(all[3].Start) {
+		t.Fatal("List not newest-first")
+	}
+	if got := tr0.Store().List(Filter{Route: "/a"}); len(got) != 2 {
+		t.Fatalf("route filter returned %d", len(got))
+	}
+	errs := tr0.Store().List(Filter{ErrorsOnly: true})
+	if len(errs) != 2 {
+		t.Fatalf("errors filter returned %d", len(errs))
+	}
+	for _, s := range errs {
+		if s.Route != "/b" || !s.Error {
+			t.Fatalf("errors filter leaked %+v", s)
+		}
+	}
+	if got := tr0.Store().List(Filter{Limit: 1}); len(got) != 1 {
+		t.Fatalf("limit filter returned %d", len(got))
+	}
+	if got := tr0.Store().List(Filter{MinDur: time.Hour}); len(got) != 0 {
+		t.Fatalf("min-duration filter returned %d", len(got))
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr0 := New(Config{Slow: time.Nanosecond})
+	ctx, tr := tr0.StartTrace(context.Background(), "/ingest")
+	ctx2, parse := StartSpan(ctx, "parse")
+	parse.SetInt("points", 42)
+	parse.End()
+	_, push := StartSpan(ctx2, "hub.push")
+	fsync := push.Child("wal.fsync")
+	fsync.SetBool("leader", true)
+	fsync.End()
+	push.End()
+	tr0.Finish(tr)
+
+	ex := tr0.Store().Get(tr.ID()).Export()
+	if len(ex.Spans) != 1 {
+		t.Fatalf("want 1 root, got %d", len(ex.Spans))
+	}
+	root := ex.Spans[0]
+	if root.Name != "/ingest" || len(root.Children) != 1 {
+		t.Fatalf("root %q has %d children", root.Name, len(root.Children))
+	}
+	p := root.Children[0]
+	if p.Name != "parse" || p.Attrs["points"] != int64(42) {
+		t.Fatalf("parse node: %+v", p)
+	}
+	// hub.push was opened off parse's derived context, so it nests there.
+	if len(p.Children) != 1 || p.Children[0].Name != "hub.push" {
+		t.Fatalf("parse children: %+v", p.Children)
+	}
+	hp := p.Children[0]
+	if len(hp.Children) != 1 || hp.Children[0].Name != "wal.fsync" {
+		t.Fatalf("hub.push children: %+v", hp.Children)
+	}
+	if hp.Children[0].Attrs["leader"] != true {
+		t.Fatalf("fsync attrs: %+v", hp.Children[0].Attrs)
+	}
+	for _, n := range []*SpanNode{root, p, hp, hp.Children[0]} {
+		if n.DurationNS <= 0 {
+			t.Fatalf("span %s has zero duration", n.Name)
+		}
+	}
+	if !strings.Contains(ex.Waterfall, "wal.fsync") || !strings.Contains(ex.Waterfall, "leader=true") {
+		t.Fatalf("waterfall missing spans:\n%s", ex.Waterfall)
+	}
+	bd := tr.Breakdown()
+	for _, name := range []string{"parse=", "hub.push=", "wal.fsync="} {
+		if !strings.Contains(bd, name) {
+			t.Fatalf("breakdown %q missing %s", bd, name)
+		}
+	}
+}
+
+func TestSpanCapDropsNotGrows(t *testing.T) {
+	tr0 := New(Config{MaxSpans: 4, Slow: time.Nanosecond})
+	ctx, tr := tr0.StartTrace(context.Background(), "op")
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End() // nil-safe past the cap
+	}
+	tr0.Finish(tr)
+	ex := tr.Export()
+	if ex.DroppedSpans != 7 { // 10 children + root - 4 cap
+		t.Fatalf("dropped %d spans, want 7", ex.DroppedSpans)
+	}
+}
+
+// TestTraceUnsampledAllocs pins the contract the hot paths rely on:
+// starting (and not getting) a span on a context with no recorded
+// trace costs zero allocations, as do all span methods on nil.
+// Matched by make alloc-check (-run 'Alloc').
+func TestTraceUnsampledAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := StartSpan(ctx, "wal.append")
+		sp.SetInt("points", 1)
+		sp.SetError("")
+		sp.End()
+		_ = ctx2
+		if c := sp.Child("x"); c != nil {
+			t.Fatal("nil span produced a child")
+		}
+		if Outbound(ctx) != "" {
+			t.Fatal("outbound traceparent without a trace")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceHotPath measures the unsampled StartSpan lookup the
+// instrumented hot paths (WAL append, hub push) pay when tracing is
+// off or the request was not sampled.
+func BenchmarkTraceHotPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "wal.append")
+		sp.SetInt("points", 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Traceparent is a parsed W3C trace-context header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^version  ^trace-id (32 hex)        ^parent-id (16)  ^flags
+type Traceparent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// ErrTraceparent is the sentinel wrapped by every parse failure.
+var ErrTraceparent = errors.New("malformed traceparent")
+
+// String renders the header value (always version 00).
+func (tp Traceparent) String() string {
+	return formatTraceparent(tp.TraceID, tp.SpanID, tp.Sampled)
+}
+
+func formatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, tid[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sid[:])
+	if sampled {
+		buf = append(buf, "-01"...)
+	} else {
+		buf = append(buf, "-00"...)
+	}
+	return string(buf)
+}
+
+// Parse validates and decodes a traceparent header. Per the W3C rules:
+// the version must be two lowercase hex digits and not "ff"; version 00
+// admits exactly the 55-byte four-field form; higher versions are
+// accepted if their first four fields match the 00 layout and more data
+// follows a dash (forward compatibility). All-zero trace or parent ids
+// are invalid. Only the sampled bit of the flags is interpreted.
+func Parse(s string) (Traceparent, error) {
+	var tp Traceparent
+	if len(s) < 55 {
+		return tp, fmt.Errorf("%w: too short (%d bytes)", ErrTraceparent, len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, fmt.Errorf("%w: bad field separators", ErrTraceparent)
+	}
+	if !isHexLower(s[0:2]) {
+		return tp, fmt.Errorf("%w: bad version", ErrTraceparent)
+	}
+	if s[0:2] == "ff" {
+		return tp, fmt.Errorf("%w: version ff is forbidden", ErrTraceparent)
+	}
+	if len(s) > 55 {
+		if s[0:2] == "00" {
+			return tp, fmt.Errorf("%w: version 00 must be exactly 55 bytes", ErrTraceparent)
+		}
+		if s[55] != '-' {
+			return tp, fmt.Errorf("%w: trailing data without separator", ErrTraceparent)
+		}
+	}
+	if !isHexLower(s[3:35]) || !isHexLower(s[36:52]) || !isHexLower(s[53:55]) {
+		return tp, fmt.Errorf("%w: non-hex field", ErrTraceparent)
+	}
+	if _, err := hex.Decode(tp.TraceID[:], []byte(s[3:35])); err != nil {
+		return tp, fmt.Errorf("%w: trace-id: %v", ErrTraceparent, err)
+	}
+	if _, err := hex.Decode(tp.SpanID[:], []byte(s[36:52])); err != nil {
+		return tp, fmt.Errorf("%w: parent-id: %v", ErrTraceparent, err)
+	}
+	if tp.TraceID.IsZero() {
+		return tp, fmt.Errorf("%w: all-zero trace-id", ErrTraceparent)
+	}
+	if tp.SpanID.IsZero() {
+		return tp, fmt.Errorf("%w: all-zero parent-id", ErrTraceparent)
+	}
+	flags := hexNibble(s[53])<<4 | hexNibble(s[54])
+	tp.Sampled = flags&0x01 != 0
+	return tp, nil
+}
+
+// hexNibble decodes one pre-validated lowercase hex digit.
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// isHexLower reports whether s is entirely lowercase hex digits — the
+// W3C header is case-sensitive (uppercase hex is invalid).
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

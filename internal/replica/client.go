@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/wal"
 )
 
@@ -210,6 +211,11 @@ func (c *Client) ManifestWait(ctx context.Context, version int64, wait time.Dura
 	if err != nil {
 		return nil, err
 	}
+	// Propagate the follower's trace across the hop so the primary's
+	// request joins it (and its /traces shows both sides by one id).
+	if tp := trace.Outbound(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replica: manifest: %w", err)
@@ -244,6 +250,9 @@ func (c *Client) FetchRange(ctx context.Context, shard int, name string, off, le
 		return nil, err
 	}
 	req.Header.Set("Range", "bytes="+strconv.FormatInt(off, 10)+"-"+strconv.FormatInt(off+length-1, 10))
+	if tp := trace.Outbound(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replica: fetch %s: %w", name, err)

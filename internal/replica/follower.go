@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/wal"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	RetryMaxBackoff time.Duration
 	// Logf receives operational messages. Nil means log.Printf.
 	Logf func(format string, args ...interface{})
+	// Tracer, when set, roots a "replica.poll" trace per poll and sends
+	// its traceparent on every manifest and segment request, so the
+	// primary's side of the hop joins the follower's trace. Nil records
+	// nothing.
+	Tracer *trace.Tracer
 }
 
 // Spec captures the primary facts a follower must agree on to produce
@@ -100,9 +106,9 @@ type Status struct {
 	// Retries counts backed-off retry pauses Run has taken after
 	// transient failures — a follower riding out a primary restart
 	// accumulates retries but, crucially, no Resyncs.
-	Retries int64
-	LastPoll       time.Time // last successful poll
-	LastError      string
+	Retries   int64
+	LastPoll  time.Time // last successful poll
+	LastError string
 }
 
 // segCursor tracks the segment currently being fetched and applied:
@@ -472,12 +478,33 @@ func (f *Follower) PollOnce(ctx context.Context) error {
 	return f.poll(ctx, 0)
 }
 
-// poll is PollOnce with an optional server-side long-poll wait.
+// poll is PollOnce with an optional server-side long-poll wait, traced
+// as one "replica.poll" operation (manifest fetch and per-shard sync as
+// child spans, errors flagged for tail retention).
 func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
+	ctx, tr := f.cfg.Tracer.StartTrace(ctx, "replica.poll")
+	err := f.pollTrace(ctx, wait)
+	if tr != nil {
+		if err != nil {
+			tr.Root().SetError(err.Error())
+		}
+		f.cfg.Tracer.Finish(tr)
+	}
+	return err
+}
+
+func (f *Follower) pollTrace(ctx context.Context, wait time.Duration) error {
 	if f.target == nil {
 		return errors.New("replica: WarmUp before PollOnce")
 	}
-	man, err := f.client.ManifestWait(ctx, f.manVersion, wait)
+	mctx, msp := trace.StartSpan(ctx, "replica.manifest")
+	man, err := f.client.ManifestWait(mctx, f.manVersion, wait)
+	if msp != nil {
+		if err != nil {
+			msp.SetError(err.Error())
+		}
+		msp.End()
+	}
 	if err != nil {
 		f.noteError(err)
 		return err
@@ -498,7 +525,14 @@ func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 		if sm.Shard < 0 || sm.Shard >= len(f.shards) {
 			continue
 		}
-		if err := f.syncShard(ctx, f.shards[sm.Shard], sm); err != nil {
+		sctx, ssp := trace.StartSpan(ctx, "replica.sync_shard")
+		ssp.SetInt("shard", int64(sm.Shard))
+		err := f.syncShard(sctx, f.shards[sm.Shard], sm)
+		if err != nil {
+			ssp.SetError(err.Error())
+		}
+		ssp.End()
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

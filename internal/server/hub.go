@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/fnv"
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/wal"
 )
 
@@ -163,7 +165,15 @@ func (h *Hub) shardFor(name string) *shard {
 // WAL configured the batch is logged before it is applied — an error
 // means nothing from this call reached the in-memory series.
 func (h *Hub) PushBatch(name string, values []float64) error {
-	return h.push(name, values, true)
+	return h.push(context.Background(), name, values, true)
+}
+
+// PushBatchContext is PushBatch carrying a request context: when the
+// context holds a recorded trace, the push runs under a per-shard
+// "hub.push" child span with WAL-append, refresh, and broadcast child
+// spans beneath it. With no recorded trace it is exactly PushBatch.
+func (h *Hub) PushBatchContext(ctx context.Context, name string, values []float64) error {
+	return h.push(ctx, name, values, true)
 }
 
 // Replicate applies a batch that is already durable on a primary — the
@@ -172,18 +182,26 @@ func (h *Hub) PushBatch(name string, values []float64) error {
 // choices arrive as tombstones (Drop), and an independent local choice
 // would diverge from the primary's bit-identical frame stream.
 func (h *Hub) Replicate(name string, values []float64) error {
-	return h.push(name, values, false)
+	return h.push(context.Background(), name, values, false)
 }
 
-func (h *Hub) push(name string, values []float64, primary bool) error {
+func (h *Hub) push(ctx context.Context, name string, values []float64, primary bool) error {
+	ctx, sp := trace.StartSpan(ctx, "hub.push")
 	sh := h.shardFor(name)
+	if sp != nil {
+		sp.SetStr("series", name)
+		sp.SetInt("shard", int64(fnv.Hash32a(name)%uint32(len(h.shards))))
+		sp.SetInt("points", int64(len(values)))
+	}
 	sh.mu.Lock()
 	if w := h.wal.Load(); primary && w != nil {
 		// Append before apply, under the shard lock, so the log's
 		// per-series record order always matches the apply order and an
 		// acknowledged batch survives kill -9.
-		if err := w.Append(name, values); err != nil {
+		if err := w.AppendContext(ctx, name, values); err != nil {
 			sh.mu.Unlock()
+			sp.SetError(err.Error())
+			sp.End()
 			return fmt.Errorf("wal append %q: %w", name, err)
 		}
 	}
@@ -193,6 +211,8 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 		st, err := asap.NewStreamer(h.cfg.Stream)
 		if err != nil {
 			sh.mu.Unlock()
+			sp.SetError(err.Error())
+			sp.End()
 			return err
 		}
 		e = &entry{st: st}
@@ -204,21 +224,43 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 	// only when it emitted a frame — the refresh path, not the cheap
 	// buffer-append pushes between refreshes. Two clock reads, no
 	// allocation, so the PR 3/5 zero-alloc refresh discipline holds
-	// with instrumentation on.
+	// with instrumentation on. A recorded trace additionally gets a
+	// "refresh" child span annotated with the searches the refresh ran,
+	// served memoized (skipped), or coalesced into the batch tail.
 	var pushStart time.Time
-	if h.cfg.metrics != nil {
+	var statsBefore asap.StreamStats
+	if h.cfg.metrics != nil || sp != nil {
 		pushStart = time.Now()
 	}
+	if sp != nil {
+		statsBefore = e.st.Stats()
+	}
 	f := e.st.PushBatch(values)
-	if h.cfg.metrics != nil && f != nil {
-		h.cfg.metrics.refreshSeconds.ObserveDuration(time.Since(pushStart))
+	if f != nil {
+		if sp != nil {
+			rsp := sp.ChildAt("refresh", pushStart)
+			rsp.End()
+			after := e.st.Stats()
+			rsp.SetInt("searches", int64(after.Searches-statsBefore.Searches))
+			rsp.SetInt("skipped", int64(after.SearchesSkipped-statsBefore.SearchesSkipped))
+			rsp.SetInt("coalesced", int64(after.SearchesCoalesced-statsBefore.SearchesCoalesced))
+		}
+		if h.cfg.metrics != nil {
+			if tid := sp.TraceID(); tid != "" {
+				h.cfg.metrics.refreshSeconds.ObserveExemplar(time.Since(pushStart).Seconds(), tid)
+			} else {
+				h.cfg.metrics.refreshSeconds.ObserveDuration(time.Since(pushStart))
+			}
+		}
 	}
 	sh.mu.Unlock()
 	if f != nil {
 		if h.cfg.OnFrame != nil {
 			// The broadcast layer takes ownership: it retains per holder
 			// and releases the emission when fan-out is done.
+			bsp := sp.Child("broadcast.publish")
 			h.cfg.OnFrame(name, f)
+			bsp.End()
 		} else {
 			// No subscribers possible: release immediately so the refresh
 			// path recycles its values buffer through the frame pool and
@@ -226,6 +268,7 @@ func (h *Hub) push(name string, values []float64, primary bool) error {
 			f.Release()
 		}
 	}
+	sp.End()
 	if created && int(h.count.Add(1)) > h.cfg.MaxSeries && primary {
 		h.evictLRU(name)
 	}
@@ -287,7 +330,7 @@ func (h *Hub) SetWAL(l *wal.Log) { h.wal.Store(l) }
 // ruled out by NewHub): series pushed before the failing one stay
 // applied — their WAL records landed — and the counts report what was
 // applied so the caller can say so.
-func (h *Hub) Apply(pts []point) (npoints, nseries int, err error) {
+func (h *Hub) Apply(ctx context.Context, pts []point) (npoints, nseries int, err error) {
 	order := make([]string, 0, 4)
 	groups := make(map[string][]float64, 4)
 	for _, p := range pts {
@@ -297,7 +340,7 @@ func (h *Hub) Apply(pts []point) (npoints, nseries int, err error) {
 		groups[p.series] = append(groups[p.series], p.value)
 	}
 	for _, name := range order {
-		if err := h.PushBatch(name, groups[name]); err != nil {
+		if err := h.push(ctx, name, groups[name], true); err != nil {
 			return npoints, nseries, err
 		}
 		npoints += len(groups[name])

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/asap-go/asap/internal/obs"
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/replica"
 	"github.com/asap-go/asap/internal/wal"
 )
@@ -35,6 +36,17 @@ var routePatterns = []string{
 	"/", "/ingest", "/frame", "/stream", "/series", "/stats", "/plot.svg",
 	"/healthz", "/readyz", "/snapshot", "/metrics",
 	"/replica/segments", "/replica/segment", "/promote",
+	"/traces", "/traces/",
+}
+
+// streamingRoutes hold the connection open by design (SSE fan-out, the
+// replication long-poll), so their durations are connection lifetimes,
+// not request latencies. They get their own histogram family — mixing
+// them into asap_http_request_duration_seconds skewed every aggregate
+// p99 toward the poll timeout.
+var streamingRoutes = map[string]bool{
+	"/stream":           true,
+	"/replica/segments": true,
 }
 
 // statusClasses are the exported status-class label values, indexed by
@@ -82,6 +94,7 @@ type serverMetrics struct {
 	walOn    bool
 	fstatus  replica.Status
 	fOn      bool
+	tc       trace.Counters
 }
 
 // newServerMetrics registers every instrument-backed family. The
@@ -100,13 +113,21 @@ func newServerMetrics() *serverMetrics {
 		Help: "HTTP requests currently being served.",
 	})
 	durBuckets := obs.ExpBuckets(0.0005, 2.5, 12) // 0.5ms .. ~12s
+	lifeBuckets := obs.ExpBuckets(0.05, 4, 10)    // 50ms .. ~3.6h
 	for _, route := range routePatterns {
+		durOpts := obs.Opts{
+			Name:   "asap_http_request_duration_seconds",
+			Help:   "HTTP request latency by route.",
+			Labels: []obs.Label{{Key: "route", Value: route}},
+		}
+		buckets := durBuckets
+		if streamingRoutes[route] {
+			durOpts.Name = "asap_http_streaming_duration_seconds"
+			durOpts.Help = "Connection lifetime of streaming routes (SSE, replication long-poll)."
+			buckets = lifeBuckets
+		}
 		rm := &routeMetrics{
-			duration: reg.Histogram(obs.Opts{
-				Name:   "asap_http_request_duration_seconds",
-				Help:   "HTTP request latency by route (streaming routes measure connection lifetime).",
-				Labels: []obs.Label{{Key: "route", Value: route}},
-			}, durBuckets),
+			duration: reg.Histogram(durOpts, buckets),
 		}
 		for class := 1; class < len(statusClasses); class++ {
 			rm.byClass[class] = reg.Counter(obs.Opts{
@@ -191,6 +212,7 @@ func (m *serverMetrics) bind(s *Server) {
 		} else {
 			m.fstatus, m.fOn = replica.Status{}, false
 		}
+		m.tc = s.tracer.Counters()
 	})
 
 	// --- stream layer (hub aggregates over live series; evicting a
@@ -382,6 +404,34 @@ func (m *serverMetrics) bind(s *Server) {
 	reg.CounterFunc(obs.Opts{Name: "asap_replica_bytes_fetched_total",
 		Help: "Segment bytes fetched from the primary."},
 		func() float64 { return float64(m.fstatus.BytesFetched) })
+
+	// --- trace layer ---
+	reg.CounterFunc(obs.Opts{Name: "asap_trace_spans_started_total",
+		Help: "Spans opened across all recorded traces."},
+		func() float64 { return float64(m.tc.SpansStarted) })
+	reg.CounterFunc(obs.Opts{Name: "asap_trace_traces_sampled_total",
+		Help: "Traces recorded by the head sampler (or joined via traceparent)."},
+		func() float64 { return float64(m.tc.TracesSampled) })
+	for _, k := range []struct {
+		reason string
+		val    func() int64
+	}{
+		{"slow", func() int64 { return m.tc.KeptSlow }},
+		{"error", func() int64 { return m.tc.KeptError }},
+		{"reservoir", func() int64 { return m.tc.KeptReservoir }},
+	} {
+		val := k.val
+		reg.CounterFunc(obs.Opts{Name: "asap_trace_traces_kept_total",
+			Help:   "Completed traces retained by the tail sampler, by reason.",
+			Labels: []obs.Label{{Key: "reason", Value: k.reason}}},
+			func() float64 { return float64(val()) })
+	}
+	reg.CounterFunc(obs.Opts{Name: "asap_trace_traces_dropped_total",
+		Help: "Completed traces discarded by the tail sampler (unremarkable latency, no error)."},
+		func() float64 { return float64(m.tc.Dropped) })
+	reg.GaugeFunc(obs.Opts{Name: "asap_trace_store_traces",
+		Help: "Traces currently retained in the ring store (GET /traces)."},
+		func() float64 { return float64(m.tc.StoreLen) })
 }
 
 // statusRecorder captures the response status for the request metrics
@@ -442,9 +492,13 @@ func cleanRequestID(id string) bool {
 }
 
 // instrument wraps one route's handler with the HTTP layer: request-ID
-// assignment (honoring a clean incoming X-Request-ID), the in-flight
-// gauge, the per-route latency histogram and status-class counters,
-// and a debug-level access log line carrying the request ID.
+// assignment (honoring a clean incoming X-Request-ID), trace rooting
+// (honoring an inbound W3C traceparent and echoing ours on the
+// response), the in-flight gauge, the per-route latency histogram
+// (with a trace-id exemplar when the request was recorded), the
+// status-class counters, a slow-request warning carrying the span
+// breakdown inline, and a debug-level access log line carrying both
+// correlation ids.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	rm := s.metrics.routes[route]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -453,7 +507,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			rid = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
-		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+		ctx := obs.WithRequestID(r.Context(), rid)
+		ctx, tr := s.tracer.StartRequest(ctx, route, r.Header.Get("traceparent"))
+		if tr != nil {
+			// Echo so clients (and the follower joining over the replication
+			// hop) can correlate their side with GET /traces/{id}.
+			w.Header().Set("traceparent", tr.Traceparent())
+		}
+		r = r.WithContext(ctx)
 
 		rec := &statusRecorder{ResponseWriter: w}
 		s.metrics.requests.Inc()
@@ -475,13 +536,39 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if c := rm.byClass[class]; c != nil {
 			c.Inc()
 		}
-		rm.duration.ObserveDuration(dur)
-		s.log().LogAttrs(r.Context(), slog.LevelDebug, "http",
+		traceID := ""
+		if tr != nil {
+			root := tr.Root()
+			root.SetInt("status", int64(status))
+			if class == 5 {
+				root.SetError(http.StatusText(status))
+			}
+			s.tracer.Finish(tr)
+			traceID = tr.ID()
+		}
+		if traceID != "" {
+			rm.duration.ObserveExemplar(dur.Seconds(), traceID)
+		} else {
+			rm.duration.ObserveDuration(dur)
+		}
+		if tr != nil && dur >= s.tracer.SlowThreshold(route) {
+			s.log().LogAttrs(ctx, slog.LevelWarn, "slow request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", status),
+				slog.Int64("duration_us", dur.Microseconds()),
+				slog.String("request_id", rid),
+				slog.String("trace_id", traceID),
+				slog.String("spans", tr.Breakdown()),
+			)
+		}
+		s.log().LogAttrs(ctx, slog.LevelDebug, "http",
 			slog.String("route", route),
 			slog.String("method", r.Method),
 			slog.Int("status", status),
 			slog.Int64("duration_us", dur.Microseconds()),
 			slog.String("request_id", rid),
+			slog.String("trace_id", traceID),
 		)
 	}
 }

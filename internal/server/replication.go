@@ -48,13 +48,14 @@ func newFollower(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{logger: cfg.Logger, metrics: newServerMetrics()}
+	s := &Server{logger: cfg.Logger, metrics: newServerMetrics(), tracer: newTracer(cfg)}
 	s.attachBroadcast(&cfg) // followers stream replicated frames too
 	f, err := replica.New(replica.Config{
 		Dir:     cfg.DataDir,
 		Primary: cfg.Follow,
 		Poll:    cfg.FollowPoll,
 		Logf:    obs.Printf(s.log(), slog.LevelInfo, "replica"),
+		Tracer:  s.tracer,
 	})
 	if err != nil {
 		lock.Release()
@@ -106,7 +107,7 @@ func newFollower(cfg Config) (*Server, error) {
 // header and the body, so clients and proxies can fail over, plus a
 // Retry-After hint — a client that stays put (e.g. mid-promotion) can
 // retry here shortly instead of treating the fence as terminal.
-func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
+func (s *Server) rejectWriteOnFollower(w http.ResponseWriter, r *http.Request) bool {
 	if s.role.Load() == rolePrimary {
 		return false
 	}
@@ -114,6 +115,7 @@ func (s *Server) rejectWriteOnFollower(w http.ResponseWriter) bool {
 	if s.follower != nil {
 		primary = s.follower.Status().Primary
 	}
+	s.logUnavailable(r, "read-only follower (primary at "+primary+")", nil)
 	w.Header().Set("Location", primary)
 	w.Header().Set("X-ASAP-Primary", primary)
 	w.Header().Set("Retry-After", readyRetryAfter)

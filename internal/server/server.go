@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"github.com/asap-go/asap"
 	"github.com/asap-go/asap/internal/datasets"
 	"github.com/asap-go/asap/internal/obs"
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/plot"
 	"github.com/asap-go/asap/internal/replica"
 	"github.com/asap-go/asap/internal/stats"
@@ -124,6 +126,18 @@ type Config struct {
 	// SelfMonitorEvery is the self-monitor sampling interval. Zero
 	// means 1s.
 	SelfMonitorEvery time.Duration
+	// TraceSlow is the slow-request threshold: a completed trace whose
+	// root latency reaches it is always retained by the tail sampler and
+	// emits a structured slow-request log line with the span breakdown
+	// inline. Zero means trace.DefaultSlow (250ms). Streaming routes
+	// (/stream, /replica/segments) are exempt — their connection
+	// lifetime is long by design.
+	TraceSlow time.Duration
+	// TraceSample records 1 in N requests that arrive without an
+	// inbound sampled traceparent. Zero means 1 (record all — retention
+	// is tail-based, so this only bounds span bookkeeping, not storage);
+	// negative disables head sampling (only joined traces record).
+	TraceSample int
 }
 
 // Server roles. A memory-only server still counts as primary: it
@@ -144,6 +158,7 @@ type Server struct {
 	follower  *replica.Follower
 	broadcast *Broadcast
 	metrics   *serverMetrics
+	tracer    *trace.Tracer
 	logger    *slog.Logger
 
 	// pprofAddr holds the profiling listener's resolved address (":0"
@@ -214,7 +229,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Follow != "" {
 		return newFollower(cfg)
 	}
-	s := &Server{logger: cfg.Logger, metrics: newServerMetrics()}
+	s := &Server{logger: cfg.Logger, metrics: newServerMetrics(), tracer: newTracer(cfg)}
 	s.attachBroadcast(&cfg)
 	cfg.Hub.metrics = s.metrics.hub
 	var wlog *wal.Log
@@ -307,6 +322,51 @@ func (s *Server) log() *slog.Logger {
 	return slog.Default()
 }
 
+// neverSlow is the SlowRoute threshold for connection-lifetime routes:
+// an SSE stream or replication long-poll staying open for hours is
+// healthy, not slow, so it must never trip tail retention.
+const neverSlow = 100 * 365 * 24 * time.Hour
+
+// newTracer builds the pipeline tracer from Config's trace knobs.
+func newTracer(cfg Config) *trace.Tracer {
+	return trace.New(trace.Config{
+		Slow:      cfg.TraceSlow,
+		HeadEvery: int64(cfg.TraceSample),
+		SlowRoute: map[string]time.Duration{
+			"/stream":           neverSlow,
+			"/replica/segments": neverSlow,
+			// The follower's poll parks inside the primary's long-poll hold;
+			// its duration is the hold, not work.
+			"replica.poll": neverSlow,
+		},
+	})
+}
+
+// logUnavailable is the one structured log line every 503 path emits,
+// so a client retrying off Retry-After can be correlated server-side:
+// route, request id, trace id, the refusal reason, and — when the
+// cause is a degraded WAL shard — which shard and operation failed.
+func (s *Server) logUnavailable(r *http.Request, reason string, err error) {
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("route", r.URL.Path),
+		slog.Int("status", http.StatusServiceUnavailable),
+		slog.String("reason", reason),
+		slog.String("request_id", obs.RequestIDFrom(r.Context())),
+	)
+	if tid := trace.IDFromContext(r.Context()); tid != "" {
+		attrs = append(attrs, slog.String("trace_id", tid))
+	}
+	var de *wal.DegradedError
+	if errors.As(err, &de) {
+		attrs = append(attrs, slog.Int("shard", de.Shard), slog.String("op", de.Op))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	s.log().LogAttrs(r.Context(), slog.LevelWarn, "service unavailable", attrs...)
+}
+
 // Metrics exposes the server's observability registry — the /metrics
 // source, also usable for embedding-side instruments.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
@@ -397,6 +457,8 @@ func (s *Server) Handler() http.Handler {
 		"/replica/segments": s.handleReplicaSegments,
 		"/replica/segment":  s.handleReplicaSegment,
 		"/promote":          s.handlePromote,
+		"/traces":           s.handleTraces,
+		"/traces/":          s.handleTraceByID,
 	}
 	mux := http.NewServeMux()
 	for _, route := range routePatterns {
@@ -532,11 +594,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.rejectWriteOnFollower(w) {
+	if s.rejectWriteOnFollower(w, r) {
 		return
 	}
 	defer r.Body.Close()
+	_, psp := trace.StartSpan(r.Context(), "parse")
 	pts, err := parseIngest(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes), s.hub.DefaultSeries())
+	if psp != nil {
+		psp.SetInt("points", int64(len(pts)))
+		if err != nil {
+			psp.SetError(err.Error())
+		}
+		psp.End()
+	}
 	if err != nil {
 		// Nothing was applied: parse covers the whole body before Apply,
 		// so a bad line cannot leave a half-pushed batch. Oversized bodies
@@ -550,13 +620,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	npts, nseries, err := s.hub.Apply(pts)
+	npts, nseries, err := s.hub.Apply(r.Context(), pts)
 	if err != nil {
 		// Everything before the failing series was logged and applied;
 		// the remainder was dropped. A degraded shard is a retryable
 		// condition — the WAL is already reopening it in the background —
 		// so answer 503 + Retry-After; anything else is a 500.
 		if errors.Is(err, wal.ErrDegraded) {
+			s.logUnavailable(r, "WAL shard degraded", err)
 			w.Header().Set("Retry-After", readyRetryAfter)
 			http.Error(w, fmt.Sprintf("ingest unavailable after %d points (WAL shard degraded, retry): %v", npts, err),
 				http.StatusServiceUnavailable)
@@ -633,6 +704,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, r, body)
 		return
 	}
+	s.logUnavailable(r, "not ready: "+strings.Join(reasons, "; "), nil)
 	body["status"] = "unready"
 	body["reasons"] = reasons
 	w.Header().Set("Content-Type", "application/json")
@@ -693,7 +765,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.rejectWriteOnFollower(w) {
+	if s.rejectWriteOnFollower(w, r) {
 		return
 	}
 	wl := s.curWAL()
@@ -704,6 +776,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	res, err := wl.Snapshot()
 	if err != nil {
 		if errors.Is(err, wal.ErrDegraded) {
+			s.logUnavailable(r, "WAL shard degraded", err)
 			w.Header().Set("Retry-After", readyRetryAfter)
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -911,6 +984,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f == nil {
+		s.logUnavailable(r, "no frame yet", nil)
 		http.Error(w, "no frame yet", http.StatusServiceUnavailable)
 		return
 	}

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/asap-go/asap/internal/obs/trace"
 )
 
 // streamQueryLimit bounds the ?series= parameter.
@@ -110,6 +112,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sub, err := s.broadcast.Subscribe(names, parseLastEventID(r))
 	if err != nil {
 		if err == ErrSubscriberLimit {
+			s.logUnavailable(r, "subscriber limit reached", err)
 			w.Header().Set("Retry-After", "5")
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		} else {
@@ -208,9 +211,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			// Delivery latency = publish → flushed to the socket, one
-			// observation per drain, pinned to its oldest frame.
+			// observation per drain, pinned to its oldest frame. The flush
+			// closes the delivery span: it starts at the oldest queued
+			// event's publish time, so its duration is the full
+			// publish-to-socket interval this drain covered.
 			if !oldest.IsZero() {
-				s.metrics.delivery.ObserveDuration(time.Since(oldest))
+				dsp := trace.StartSpanAt(ctx, "sse.flush", oldest)
+				dsp.SetInt("events", int64(len(buf)))
+				dsp.End()
+				s.metrics.delivery.ObserveExemplar(time.Since(oldest).Seconds(), dsp.TraceID())
 			}
 		}
 	}

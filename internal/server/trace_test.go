@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asap-go/asap/internal/obs/trace"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: handler goroutines log
+// into it while the test reads it back.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newTestLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelWarn}))
+}
+
+// doReq issues req and returns the response (headers intact) plus the
+// drained body.
+func doReq(t *testing.T, req *http.Request) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// flattenSpans walks an exported span tree depth-first into a
+// name -> node map (last span of a repeated name wins; the pipeline
+// assertions only need presence and a nonzero duration).
+func flattenSpans(nodes []*trace.SpanNode, into map[string]*trace.SpanNode) {
+	for _, n := range nodes {
+		into[n.Name] = n
+		flattenSpans(n.Children, into)
+	}
+}
+
+// TestTracePipelineSpans is the tentpole acceptance test: one durable
+// ingest request yields one retained trace whose span tree covers the
+// whole pipeline — parse, hub push, WAL append + fsync, refresh, and
+// broadcast publish — every span with a nonzero duration, explorable
+// via /traces and /traces/{id}.
+func TestTracePipelineSpans(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	cfg.TraceSlow = time.Nanosecond // retain every completed request
+	_, ts := newTestServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest",
+		strings.NewReader(sineBody("cpu", 2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doReq(t, req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	tp := resp.Header.Get("traceparent")
+	if tp == "" {
+		t.Fatal("no traceparent echoed on the ingest response")
+	}
+	parsed, err := trace.Parse(tp)
+	if err != nil {
+		t.Fatalf("echoed traceparent %q: %v", tp, err)
+	}
+	if !parsed.Sampled {
+		t.Fatalf("echoed traceparent %q not sampled", tp)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID on the ingest response")
+	}
+	id := parsed.TraceID.String()
+
+	// The explorer list knows the trace.
+	code, body := get(t, ts.URL+"/traces?route=/ingest")
+	if code != 200 {
+		t.Fatalf("/traces status %d: %s", code, body)
+	}
+	var list struct {
+		Count  int             `json:"count"`
+		Traces []trace.Summary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("decode /traces: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range list.Traces {
+		if s.TraceID == id {
+			found = true
+			if s.Kept != "slow" {
+				t.Errorf("ingest trace kept=%q, want slow under a 1ns threshold", s.Kept)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /traces?route=/ingest (%d listed)", id, list.Count)
+	}
+
+	// The full span tree covers every pipeline stage.
+	code, body = get(t, ts.URL+"/traces/"+id)
+	if code != 200 {
+		t.Fatalf("/traces/%s status %d: %s", id, code, body)
+	}
+	var ex trace.Export
+	if err := json.Unmarshal([]byte(body), &ex); err != nil {
+		t.Fatalf("decode /traces/{id}: %v\n%s", err, body)
+	}
+	if ex.TraceID != id || ex.Route != "/ingest" {
+		t.Fatalf("export is for %s route=%s, want %s /ingest", ex.TraceID, ex.Route, id)
+	}
+	spans := map[string]*trace.SpanNode{}
+	flattenSpans(ex.Spans, spans)
+	for _, name := range []string{"/ingest", "parse", "hub.push", "wal.append", "wal.fsync", "refresh", "broadcast.publish"} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Errorf("span %q missing from the ingest trace (got %v)", name, spanNames(spans))
+			continue
+		}
+		if sp.DurationNS <= 0 {
+			t.Errorf("span %q has duration %dns, want > 0", name, sp.DurationNS)
+		}
+	}
+	if !strings.Contains(ex.Waterfall, "wal.fsync") {
+		t.Errorf("waterfall missing wal.fsync:\n%s", ex.Waterfall)
+	}
+
+	// The text rendering serves the waterfall alone.
+	treq, err := http.NewRequest(http.MethodGet, ts.URL+"/traces/"+id+"?format=text", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp, tbody := doReq(t, treq)
+	if ct := tresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("?format=text Content-Type = %q", ct)
+	}
+	if !strings.Contains(tbody, "broadcast.publish") {
+		t.Errorf("text waterfall missing spans:\n%s", tbody)
+	}
+
+	// Unknown ids 404 with a reason, not an empty 200.
+	if code, body := get(t, ts.URL+"/traces/ffffffffffffffffffffffffffffffff"); code != 404 {
+		t.Errorf("unknown trace id: status %d body %q", code, body)
+	}
+}
+
+func spanNames(m map[string]*trace.SpanNode) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceJoinsInboundTraceparent pins the cross-process contract on
+// the HTTP edge: a sampled inbound traceparent joins its trace id (and
+// the response echoes it), an unsampled one suppresses recording.
+func TestTraceJoinsInboundTraceparent(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceSlow = time.Nanosecond
+	s, ts := newTestServer(t, cfg)
+
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/series", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", inbound)
+	resp, _ := doReq(t, req)
+	echo := resp.Header.Get("traceparent")
+	if !strings.Contains(echo, "4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Fatalf("echoed traceparent %q did not join inbound trace id", echo)
+	}
+	tr := s.tracer.Store().Get("4bf92f3577b34da6a3ce929d0e0e4736")
+	if tr == nil {
+		t.Fatal("joined trace not retained")
+	}
+	ex := tr.Export()
+	if ex.RemoteParent != "00f067aa0ba902b7" {
+		t.Fatalf("remote parent = %q, want the inbound span id", ex.RemoteParent)
+	}
+
+	// Unsampled inbound: no recording, no echo, no retention.
+	req2, err := http.NewRequest(http.MethodGet, ts.URL+"/series", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("traceparent", "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-00f067aa0ba902b7-00")
+	resp2, _ := doReq(t, req2)
+	if got := resp2.Header.Get("traceparent"); got != "" {
+		t.Fatalf("unsampled request echoed traceparent %q", got)
+	}
+	if got := s.tracer.Store().Get("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"); got != nil {
+		t.Fatal("unsampled inbound traceparent was recorded")
+	}
+}
+
+// TestTraceReplicationJoin proves one trace spans the replication hop:
+// the follower's poll roots a "replica.poll" trace, sends traceparent
+// on its segment fetches, and the primary's /replica/segment trace
+// joins it — same trace id on both sides, remote-flagged on the
+// primary.
+func TestTraceReplicationJoin(t *testing.T) {
+	pcfg := durableConfig(t.TempDir())
+	pcfg.TraceSlow = time.Nanosecond
+	ps, pts := newTestServer(t, pcfg)
+
+	if code, body := post(t, pts.URL+"/ingest", sineBody("cpu", 500)); code != 200 {
+		t.Fatalf("primary ingest: %d %s", code, body)
+	}
+
+	fcfg := followerConfig(t.TempDir(), pts.URL)
+	fcfg.TraceSlow = time.Nanosecond
+	fs, _ := newTestServer(t, fcfg)
+
+	// New tail after the follower attached, so the traced poll has
+	// segment bytes to fetch.
+	if code, body := post(t, pts.URL+"/ingest", sineBody("cpu", 500)); code != 200 {
+		t.Fatalf("primary ingest: %d %s", code, body)
+	}
+	pollOnce(t, fs)
+
+	polls := fs.tracer.Store().List(trace.Filter{Route: "replica.poll"})
+	if len(polls) == 0 {
+		t.Fatal("follower retained no replica.poll trace")
+	}
+	pollID := polls[0].TraceID
+
+	fetches := ps.tracer.Store().List(trace.Filter{Route: "/replica/segment"})
+	joined := false
+	for _, f := range fetches {
+		if f.TraceID == pollID {
+			joined = true
+			if !f.Remote {
+				t.Error("primary-side segment fetch not flagged remote")
+			}
+		}
+	}
+	if !joined {
+		t.Fatalf("no primary /replica/segment trace joined follower poll %s (primary has %d fetch traces)",
+			pollID, len(fetches))
+	}
+	if tr := ps.tracer.Store().Get(pollID); tr == nil || tr.Export().RemoteParent == "" {
+		t.Fatal("primary-side joined trace missing its remote parent span id")
+	}
+}
+
+// TestMetricsExemplars pins the exposition contract: OpenMetrics
+// negotiation attaches trace-id exemplars to the route histograms, the
+// default Prometheus 0.0.4 form stays exemplar-free, and streaming
+// routes live in their own duration family.
+func TestMetricsExemplars(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	if code, body := post(t, ts.URL+"/ingest", sineBody("cpu", 200)); code != 200 {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, body := doReq(t, req)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
+	}
+	sawExemplar := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "asap_http_request_duration_seconds_bucket") &&
+			strings.Contains(line, `route="/ingest"`) &&
+			strings.Contains(line, `# {trace_id="`) {
+			sawExemplar = true
+			break
+		}
+	}
+	if !sawExemplar {
+		t.Error("no trace_id exemplar on the /ingest duration histogram in OpenMetrics exposition")
+	}
+	for _, fam := range []string{"asap_trace_spans_started_total", "asap_trace_traces_sampled_total", "asap_http_streaming_duration_seconds"} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+
+	// Default negotiation: Prometheus 0.0.4, no exemplars.
+	code, plain := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if strings.Contains(plain, `# {trace_id="`) {
+		t.Error("text/plain 0.0.4 exposition leaked exemplar syntax")
+	}
+	if strings.Contains(plain, "# EOF") {
+		t.Error("text/plain 0.0.4 exposition carries an OpenMetrics terminator")
+	}
+}
+
+// TestSlowRequestLogsBreakdown asserts the -trace-slow contract: a
+// request at or over the threshold emits one structured warn line with
+// the span breakdown inline.
+func TestSlowRequestLogsBreakdown(t *testing.T) {
+	var buf syncBuffer
+	cfg := testConfig()
+	cfg.TraceSlow = time.Nanosecond
+	cfg.Logger = newTestLogger(&buf)
+	_, ts := newTestServer(t, cfg)
+
+	if code, body := post(t, ts.URL+"/ingest", sineBody("cpu", 200)); code != 200 {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow request") {
+		t.Fatalf("no slow-request line in logs:\n%s", out)
+	}
+	if !strings.Contains(out, "spans=") || !strings.Contains(out, "parse=") {
+		t.Errorf("slow-request line missing span breakdown:\n%s", out)
+	}
+	if !strings.Contains(out, "trace_id=") {
+		t.Errorf("slow-request line missing trace_id:\n%s", out)
+	}
+}

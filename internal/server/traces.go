@@ -1,0 +1,81 @@
+package server
+
+// The slow-trace explorer: GET /traces lists the traces the tail
+// sampler retained (slow, errored, or reservoir-sampled), filterable
+// by route, minimum duration, and errors-only; GET /traces/{id}
+// serves one trace as a JSON span tree — including a preformatted
+// text waterfall — or, with ?format=text (or an Accept header
+// preferring text/plain), the waterfall alone for terminal use:
+//
+//	curl -s localhost:8347/traces?min_ms=100
+//	curl -s localhost:8347/traces/4bf92f3577b34da6a3ce929d0e0e4736?format=text
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/asap-go/asap/internal/obs/trace"
+)
+
+// traceFilterFromQuery builds the store filter from /traces query
+// parameters; malformed numbers fall back to the unfiltered default.
+func traceFilterFromQuery(route, minMS, errs, limit string) trace.Filter {
+	f := trace.Filter{Route: route, Limit: 100}
+	if ms, err := strconv.ParseFloat(minMS, 64); err == nil && ms > 0 {
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	f.ErrorsOnly = errs == "1" || errs == "true"
+	if n, err := strconv.Atoi(limit); err == nil && n > 0 {
+		f.Limit = n
+	}
+	return f
+}
+
+// handleTraces (GET) lists retained traces, newest first. Query
+// parameters: route (exact match), min_ms (root duration at or
+// above), errors=1 (only errored traces), limit (default 100).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	f := traceFilterFromQuery(q.Get("route"), q.Get("min_ms"), q.Get("errors"), q.Get("limit"))
+	list := s.tracer.Store().List(f)
+	if list == nil {
+		list = []trace.Summary{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.writeJSON(w, r, map[string]interface{}{
+		"count":  len(list),
+		"traces": list,
+	})
+}
+
+// handleTraceByID (GET) serves one retained trace's full span tree.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		http.Error(w, "trace id required: /traces/{trace_id}", http.StatusBadRequest)
+		return
+	}
+	tr := s.tracer.Store().Get(id)
+	if tr == nil {
+		http.Error(w, "trace "+id+" not retained (dropped by the tail sampler, evicted, or never recorded)",
+			http.StatusNotFound)
+		return
+	}
+	ex := tr.Export()
+	if r.URL.Query().Get("format") == "text" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(ex.Waterfall))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.writeJSON(w, r, ex)
+}

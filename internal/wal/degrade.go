@@ -18,6 +18,24 @@ import (
 	"time"
 )
 
+// DegradedError is the concrete error a degraded shard surfaces from
+// Append/Sync: it satisfies errors.Is(err, ErrDegraded) and carries
+// the shard id and failing operation so HTTP 503 log lines can name
+// the shard without parsing the message. The rendered message is
+// byte-identical to the pre-typed form.
+type DegradedError struct {
+	Shard int    // shard id whose durability failed
+	Op    string // "append", "flush", or "fsync"
+	Cause error  // the underlying durability failure
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("%s (shard %d, %s: %v)", ErrDegraded.Error(), e.Shard, e.Op, e.Cause)
+}
+
+// Unwrap makes errors.Is(err, ErrDegraded) hold.
+func (e *DegradedError) Unwrap() error { return ErrDegraded }
+
 // degradeLocked transitions the shard into the degraded state (or, with
 // ReopenRetries < 0 or the log closing, straight to the terminal
 // wedge). Called with sh.mu held, with cause being the durability
@@ -34,7 +52,7 @@ func (sh *shardLog) degradeLocked(op string, cause error) error {
 		lg.logf("wal: shard %d: %s failed, shard wedged: %v", sh.id, op, cause)
 		return sh.failed
 	}
-	sh.failed = fmt.Errorf("%w (shard %d, %s: %v)", ErrDegraded, sh.id, op, cause)
+	sh.failed = &DegradedError{Shard: sh.id, Op: op, Cause: cause}
 	sh.degraded = true
 	sh.degradedSince = time.Now()
 	sh.reopenAttempts = 0

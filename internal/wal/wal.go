@@ -41,6 +41,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"github.com/asap-go/asap/internal/fnv"
+	"github.com/asap-go/asap/internal/obs/trace"
 	"github.com/asap-go/asap/internal/vfs"
 )
 
@@ -388,17 +390,42 @@ func (l *Log) Recover() Recovery {
 func (l *Log) Append(series string, values []float64) error {
 	m := l.cfg.Metrics
 	if m == nil {
-		return l.append(series, values)
+		return l.append(series, values, nil)
 	}
 	// No defer closure: keeping the timing wrapper flat is what keeps
 	// the instrumented append allocation-free.
 	start := time.Now()
-	err := l.append(series, values)
+	err := l.append(series, values, nil)
 	m.AppendSeconds.ObserveDuration(time.Since(start))
 	return err
 }
 
-func (l *Log) append(series string, values []float64) error {
+// AppendContext is Append with tracing: when ctx carries a recorded
+// trace, the call runs under a "wal.append" child span (strict mode
+// adds a "wal.fsync" child attributing the group-commit leader wait
+// vs. the sync itself) and the append-latency observation carries the
+// trace id as an OpenMetrics exemplar. With no recorded trace it is
+// exactly Append — the span probe costs zero allocations.
+func (l *Log) AppendContext(ctx context.Context, series string, values []float64) error {
+	_, sp := trace.StartSpan(ctx, "wal.append")
+	if sp == nil {
+		return l.Append(series, values)
+	}
+	sp.SetInt("points", int64(len(values)))
+	m := l.cfg.Metrics
+	start := time.Now()
+	err := l.append(series, values, sp)
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	if m != nil {
+		m.AppendSeconds.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
+	}
+	sp.End()
+	return err
+}
+
+func (l *Log) append(series string, values []float64, sp *trace.Span) error {
 	if len(values) == 0 {
 		return nil
 	}
@@ -433,8 +460,12 @@ func (l *Log) append(series string, values []float64) error {
 	if l.cfg.FsyncEvery == 0 {
 		// Group commit: concurrent appenders into this shard coalesce
 		// into one fsync per leader round instead of paying one each.
-		return sh.groupCommitLocked()
+		fsp := sp.Child("wal.fsync")
+		err := sh.groupCommitLocked(fsp)
+		fsp.End()
+		return err
 	}
+	sp.SetStr("fsync", "batched") // durability deferred to the flush loop
 	if sh.dirtySince.IsZero() {
 		sh.dirtySince = time.Now()
 	}
@@ -466,7 +497,7 @@ func (l *Log) Tombstone(series string) error {
 	}
 	delete(sh.totals, series)
 	if l.cfg.FsyncEvery == 0 {
-		return sh.groupCommitLocked()
+		return sh.groupCommitLocked(nil)
 	}
 	if sh.dirtySince.IsZero() {
 		sh.dirtySince = time.Now()
@@ -519,12 +550,12 @@ func (l *Log) Snapshot() (SnapshotResult, error) {
 // Stats returns a point-in-time snapshot of the log's counters.
 func (l *Log) Stats() Stats {
 	st := Stats{
-		AppendedRecords: l.appendedRecords.Load(),
-		AppendedPoints:  l.appendedPoints.Load(),
-		Syncs:           l.syncs.Load(),
-		SyncErrors:      l.syncErrors.Load(),
-		Rotations:       l.rotations.Load(),
-		SegmentsDropped: l.segmentsDropped.Load(),
+		AppendedRecords:  l.appendedRecords.Load(),
+		AppendedPoints:   l.appendedPoints.Load(),
+		Syncs:            l.syncs.Load(),
+		SyncErrors:       l.syncErrors.Load(),
+		Rotations:        l.rotations.Load(),
+		SegmentsDropped:  l.segmentsDropped.Load(),
 		Snapshots:        l.snapshots.Load(),
 		ReopenAttempts:   l.reopenAttempts.Load(),
 		ReopenRecoveries: l.reopenRecoveries.Load(),
@@ -939,13 +970,20 @@ func (sh *shardLog) flushSyncLocked() error {
 // like every other durability failure; in strict mode nothing unsynced
 // was ever acknowledged, so degradeLocked drops the pending tail and
 // every parked appender reports the failure to its caller.
-func (sh *shardLog) groupCommitLocked() error {
+//
+// The optional span receives the leader-vs-wait attribution: leader
+// rounds record the sync itself as sync_ns (the span's remaining
+// duration is queueing behind the lock or a previous leader), waiters
+// record leader=false so their whole span reads as group-commit wait.
+func (sh *shardLog) groupCommitLocked(sp *trace.Span) error {
 	target := sh.writeSeq
+	leader := false
 	for {
 		if sh.failed != nil {
 			return sh.failed
 		}
 		if sh.syncSeq >= target {
+			sp.SetBool("leader", leader)
 			return nil
 		}
 		if sh.syncing {
@@ -964,16 +1002,22 @@ func (sh *shardLog) groupCommitLocked() error {
 		batch := covered - sh.syncSeq // captured under the lock: syncSeq is stable while syncing
 		f := sh.active
 		sh.syncing = true
+		leader = true
 		sh.mu.Unlock()
 		m := sh.lg.cfg.Metrics
 		var start time.Time
-		if m != nil {
+		if m != nil || sp != nil {
 			start = time.Now()
 		}
 		err := f.Sync()
-		if m != nil && err == nil {
-			m.FsyncSeconds.ObserveDuration(time.Since(start))
-			m.FsyncBatchRecords.Observe(float64(batch))
+		if err == nil {
+			syncDur := time.Since(start)
+			if m != nil {
+				m.FsyncSeconds.ObserveDuration(syncDur)
+				m.FsyncBatchRecords.Observe(float64(batch))
+			}
+			sp.SetInt("sync_ns", syncDur.Nanoseconds())
+			sp.SetInt("batch_records", batch)
 		}
 		sh.mu.Lock()
 		sh.syncing = false
